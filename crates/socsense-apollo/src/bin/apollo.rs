@@ -1,0 +1,223 @@
+//! Apollo command-line tool: simulate a scenario, run a fact-finder,
+//! print the ranked feed.
+//!
+//! ```text
+//! # simulated scenario:
+//! apollo [--scenario ukraine|kirkuk|superbug|la-marathon|paris-attack]
+//!        [--scale F] [--seed N] [--algorithm em-ext|em-social|em|voting|sums|avg-log|truth-finder]
+//!        [--top K] [--cluster-text] [--json PATH]
+//!
+//! # external corpus (tweets as JSON Lines, optional follower CSV):
+//! apollo --input tweets.jsonl [--follows follows.csv]
+//!        [--algorithm NAME] [--top K] [--json PATH]
+//! ```
+
+use std::process::ExitCode;
+
+use socsense_apollo::{render_report, Apollo, ApolloConfig};
+use socsense_baselines::{
+    AverageLog, EmExtFinder, EmIndependent, EmSocial, FactFinder, Sums, TruthFinder, Voting,
+};
+use socsense_twitter::{ScenarioConfig, TwitterDataset};
+
+struct Args {
+    scenario: String,
+    scale: f64,
+    seed: u64,
+    algorithm: String,
+    top: usize,
+    cluster_text: bool,
+    json: Option<String>,
+    input: Option<String>,
+    follows: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "ukraine".into(),
+        scale: 0.05,
+        seed: 0,
+        algorithm: "em-ext".into(),
+        top: 25,
+        cluster_text: false,
+        json: None,
+        input: None,
+        follows: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--algorithm" => args.algorithm = value("--algorithm")?,
+            "--top" => {
+                args.top = value("--top")?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?
+            }
+            "--cluster-text" => args.cluster_text = true,
+            "--json" => args.json = Some(value("--json")?),
+            "--input" => args.input = Some(value("--input")?),
+            "--follows" => args.follows = Some(value("--follows")?),
+            "--help" | "-h" => {
+                return Err("usage: apollo [--scenario NAME] [--scale F] [--seed N] \
+                     [--algorithm NAME] [--top K] [--cluster-text] [--json PATH] \
+                     | apollo --input tweets.jsonl [--follows follows.csv]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}; try --help")),
+        }
+    }
+    Ok(args)
+}
+
+fn scenario(name: &str) -> Result<ScenarioConfig, String> {
+    Ok(match name {
+        "ukraine" => ScenarioConfig::ukraine(),
+        "kirkuk" => ScenarioConfig::kirkuk(),
+        "superbug" => ScenarioConfig::superbug(),
+        "la-marathon" => ScenarioConfig::la_marathon(),
+        "paris-attack" => ScenarioConfig::paris_attack(),
+        other => return Err(format!("unknown scenario {other}")),
+    })
+}
+
+fn finder(name: &str) -> Result<Box<dyn FactFinder>, String> {
+    Ok(match name {
+        "em-ext" => Box::new(EmExtFinder::default()),
+        "em-social" => Box::new(EmSocial::default()),
+        "em" => Box::new(EmIndependent::default()),
+        "voting" => Box::new(Voting::default()),
+        "sums" => Box::new(Sums::default()),
+        "avg-log" => Box::new(AverageLog::default()),
+        "truth-finder" => Box::new(TruthFinder::default()),
+        other => return Err(format!("unknown algorithm {other}")),
+    })
+}
+
+fn run_external(args: &Args, input: &str) -> Result<(), String> {
+    let algo = finder(&args.algorithm)?;
+    let raw = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let tweets = socsense_apollo::parse_tweets_jsonl(&raw).map_err(|e| e.to_string())?;
+    let follows = match &args.follows {
+        Some(path) => {
+            let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            socsense_apollo::parse_follows_csv(&raw).map_err(|e| e.to_string())?
+        }
+        None => Vec::new(),
+    };
+    let corpus = socsense_apollo::assemble_corpus(tweets, &follows).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{}: {} tweets from {} users, {} follow edges",
+        input,
+        corpus.tweets.len(),
+        corpus.source_count(),
+        corpus.graph.edge_count()
+    );
+    let out = Apollo::new(ApolloConfig {
+        top_k: args.top.max(1),
+        ..ApolloConfig::default()
+    })
+    .run_corpus(&corpus, algo.as_ref())
+    .map_err(|e| e.to_string())?;
+    println!(
+        "== Apollo report: {input} via {} ({} assertion clusters) ==",
+        out.algorithm, out.assertion_count
+    );
+    println!("{:>5}  {:>10}  {:>7}  text", "rank", "score", "support");
+    for (rank, r) in out.ranked.iter().enumerate() {
+        println!(
+            "{:>5}  {:>10.4}  {:>7}  {}",
+            rank + 1,
+            r.score,
+            r.support,
+            r.sample_text
+        );
+    }
+    if let Some(path) = &args.json {
+        let payload = serde_json::json!({
+            "input": input,
+            "algorithm": out.algorithm,
+            "assertion_count": out.assertion_count,
+            "ranked": out.ranked,
+        });
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if let Some(input) = args.input.clone() {
+        return run_external(&args, &input);
+    }
+    let cfg = scenario(&args.scenario)?.scaled(args.scale);
+    let algo = finder(&args.algorithm)?;
+    eprintln!(
+        "simulating {} at scale {} (seed {}) ...",
+        cfg.name, args.scale, args.seed
+    );
+    let dataset = TwitterDataset::simulate(&cfg, args.seed).map_err(|e| e.to_string())?;
+    let summary = dataset.summary();
+    eprintln!(
+        "{}: {} sources, {} assertions, {} claims ({} original)",
+        summary.name,
+        summary.sources,
+        summary.assertions,
+        summary.total_claims,
+        summary.original_claims
+    );
+    let out = Apollo::new(ApolloConfig {
+        cluster_text: args.cluster_text,
+        top_k: args.top.max(1),
+        ..ApolloConfig::default()
+    })
+    .run(&dataset, algo.as_ref())
+    .map_err(|e| e.to_string())?;
+    print!("{}", render_report(&out, args.top));
+    if let Some(path) = args.json {
+        let payload = serde_json::json!({
+            "dataset": out.dataset,
+            "algorithm": out.algorithm,
+            "assertion_count": out.assertion_count,
+            "cluster_purity": out.cluster_purity,
+            "ranked": out.ranked,
+            "summary": summary,
+        });
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

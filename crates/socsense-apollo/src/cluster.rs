@@ -1,0 +1,278 @@
+//! Token-shingle clustering of tweets into assertions.
+//!
+//! Apollo's first stage must decide which tweets "say the same thing".
+//! We tokenize, index tweets by their *rare* tokens (common tokens such
+//! as a scenario hashtag appear everywhere and carry no grouping signal),
+//! and union tweets whose token-set Jaccard similarity clears a
+//! threshold. Union-find keeps the whole pass near-linear in the number
+//! of tweet–token incidences.
+
+use std::collections::HashMap;
+
+/// Configuration for [`cluster_texts`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Minimum token-set Jaccard similarity to merge two tweets.
+    pub jaccard_threshold: f64,
+    /// Tokens occurring in more than this many tweets are ignored for
+    /// candidate generation (they still count toward similarity).
+    pub max_token_df: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            jaccard_threshold: 0.5,
+            max_token_df: 200,
+        }
+    }
+}
+
+/// Result of [`cluster_texts`]: a dense cluster id per input text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// `assignment[i]` = cluster id of text `i`, in `0..cluster_count`.
+    pub assignment: Vec<u32>,
+    /// Number of distinct clusters.
+    pub cluster_count: u32,
+}
+
+impl Clustering {
+    /// Members of each cluster, indexed by cluster id.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.cluster_count as usize];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            out[c as usize].push(i as u32);
+        }
+        out
+    }
+
+    /// Purity against reference labels: the fraction of texts whose
+    /// cluster's majority reference label matches their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != assignment.len()`.
+    pub fn purity(&self, labels: &[u32]) -> f64 {
+        assert_eq!(labels.len(), self.assignment.len(), "label count mismatch");
+        if labels.is_empty() {
+            return 1.0;
+        }
+        let mut correct = 0usize;
+        for members in self.members() {
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for &i in &members {
+                *counts.entry(labels[i as usize]).or_default() += 1;
+            }
+            correct += counts.values().copied().max().unwrap_or(0);
+        }
+        correct as f64 / labels.len() as f64
+    }
+}
+
+/// Union-find with path halving and union by size.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+fn tokenize(text: &str) -> Vec<&str> {
+    text.split_whitespace()
+        .filter(|t| !t.eq_ignore_ascii_case("rt"))
+        .collect()
+}
+
+fn jaccard(a: &[&str], b: &[&str]) -> f64 {
+    // Token lists are short (< 12); a sorted-merge would not beat this.
+    let inter = a.iter().filter(|t| b.contains(t)).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Clusters texts by token-set similarity.
+///
+/// Each rare token nominates its first occurrence as a representative;
+/// later tweets sharing the token merge with it when their Jaccard
+/// similarity clears the threshold. Transitive merges through shared rare
+/// tokens build the full clusters.
+///
+/// # Panics
+///
+/// Panics if `config.jaccard_threshold` is outside `[0, 1]`.
+pub fn cluster_texts(texts: &[String], config: &ClusterConfig) -> Clustering {
+    assert!(
+        (0.0..=1.0).contains(&config.jaccard_threshold),
+        "jaccard_threshold must be in [0, 1]"
+    );
+    let tokens: Vec<Vec<&str>> = texts.iter().map(|t| tokenize(t)).collect();
+
+    // Inverted index with document frequencies.
+    let mut postings: HashMap<&str, Vec<u32>> = HashMap::new();
+    for (i, toks) in tokens.iter().enumerate() {
+        for &t in toks {
+            let entry = postings.entry(t).or_default();
+            if entry.last() != Some(&(i as u32)) {
+                entry.push(i as u32);
+            }
+        }
+    }
+
+    let mut uf = UnionFind::new(texts.len());
+    for (_, posting) in postings {
+        if posting.len() < 2 || posting.len() > config.max_token_df {
+            continue;
+        }
+        let rep = posting[0];
+        for &other in &posting[1..] {
+            if uf.find(rep) == uf.find(other) {
+                continue;
+            }
+            if jaccard(&tokens[rep as usize], &tokens[other as usize])
+                >= config.jaccard_threshold
+            {
+                uf.union(rep, other);
+            }
+        }
+    }
+
+    // Densify cluster ids.
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut assignment = Vec::with_capacity(texts.len());
+    for i in 0..texts.len() as u32 {
+        let root = uf.find(i);
+        let next = remap.len() as u32;
+        let id = *remap.entry(root).or_insert(next);
+        assignment.push(id);
+    }
+    Clustering {
+        assignment,
+        cluster_count: remap.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn near_duplicates_cluster_together() {
+        let texts = s(&[
+            "breaking police confirm explosion near bridge a00001 #x",
+            "RT police confirm explosion near bridge a00001 #x",
+            "crowd observes rescue near stadium a00002 #x",
+        ]);
+        let c = cluster_texts(&texts, &ClusterConfig::default());
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_ne!(c.assignment[0], c.assignment[2]);
+        assert_eq!(c.cluster_count, 2);
+    }
+
+    #[test]
+    fn common_tokens_do_not_glue_everything() {
+        // "#x" appears everywhere; with max_token_df small it is ignored
+        // for candidate generation, so dissimilar tweets stay apart.
+        let texts = s(&[
+            "alpha beta gamma #x",
+            "delta epsilon zeta #x",
+            "eta theta iota #x",
+        ]);
+        let cfg = ClusterConfig {
+            jaccard_threshold: 0.5,
+            max_token_df: 2,
+        };
+        let c = cluster_texts(&texts, &cfg);
+        assert_eq!(c.cluster_count, 3);
+    }
+
+    #[test]
+    fn purity_measures_against_reference() {
+        let texts = s(&["a b c", "a b c d", "x y z", "x y w"]);
+        let c = cluster_texts(&texts, &ClusterConfig::default());
+        let labels = vec![0, 0, 1, 1];
+        assert!(c.purity(&labels) > 0.99);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let c = cluster_texts(&[], &ClusterConfig::default());
+        assert_eq!(c.cluster_count, 0);
+        assert!(c.assignment.is_empty());
+        assert_eq!(c.purity(&[]), 1.0);
+    }
+
+    #[test]
+    fn threshold_one_only_merges_identical() {
+        let texts = s(&["a b c", "a b c", "a b d"]);
+        let cfg = ClusterConfig {
+            jaccard_threshold: 1.0,
+            ..ClusterConfig::default()
+        };
+        let c = cluster_texts(&texts, &cfg);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_ne!(c.assignment[0], c.assignment[2]);
+    }
+
+    #[test]
+    fn union_find_handles_chains() {
+        // a~b via token t1, b~c via token t2 -> all one cluster.
+        let texts = s(&["p q r s", "q r s t", "r s t u"]);
+        let c = cluster_texts(
+            &texts,
+            &ClusterConfig {
+                jaccard_threshold: 0.6,
+                max_token_df: 10,
+            },
+        );
+        assert_eq!(c.cluster_count, 1);
+    }
+
+    #[test]
+    fn clusters_simulated_tweets_close_to_truth() {
+        use socsense_twitter::{ScenarioConfig, TwitterDataset};
+        let ds = TwitterDataset::simulate(&ScenarioConfig::kirkuk().scaled(0.02), 9).unwrap();
+        let texts: Vec<String> = ds.tweets.iter().map(|t| t.text.clone()).collect();
+        let labels: Vec<u32> = ds.tweets.iter().map(|t| t.assertion).collect();
+        let c = cluster_texts(&texts, &ClusterConfig::default());
+        let p = c.purity(&labels);
+        assert!(p > 0.9, "clustering purity {p:.3}");
+    }
+}

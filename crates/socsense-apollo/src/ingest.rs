@@ -1,0 +1,328 @@
+//! External-data ingestion: run the pipeline on a real tweet corpus.
+//!
+//! The paper's Apollo consumed crawled tweets and "used retweet behaviors
+//! and other indicators to empirically construct a dependency network".
+//! This module reproduces that input path so the tool works beyond the
+//! simulator:
+//!
+//! * tweets arrive as JSON Lines — one object per line with `user`,
+//!   `time`, `text`, and optionally `id` and `retweet_of` (the id of the
+//!   reposted tweet);
+//! * an optional `follower,followee` CSV supplies explicit follow edges;
+//! * every observed retweet additionally induces a follow edge from the
+//!   retweeter to the original author — the paper's retweet-derived
+//!   dependency indicator.
+//!
+//! Usernames are interned to dense source ids (sorted, so ingestion is
+//! deterministic regardless of input order).
+
+use serde::Deserialize;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use socsense_graph::FollowerGraph;
+
+/// One tweet as parsed from a JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq, Deserialize)]
+pub struct RawTweet {
+    /// Optional unique tweet id; required for tweets that others retweet.
+    #[serde(default)]
+    pub id: Option<u64>,
+    /// Author handle.
+    pub user: String,
+    /// Timestamp (any monotone integer unit).
+    pub time: u64,
+    /// Tweet text.
+    pub text: String,
+    /// Id of the original tweet when this is a retweet.
+    #[serde(default)]
+    pub retweet_of: Option<u64>,
+}
+
+/// A corpus ready for [`crate::Apollo::run_corpus`].
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Interned handles, index = source id.
+    pub usernames: Vec<String>,
+    /// `(source id, time, text)` per tweet, time-ordered.
+    pub tweets: Vec<CorpusTweet>,
+    /// Explicit follows plus retweet-derived edges.
+    pub graph: FollowerGraph,
+}
+
+/// One ingested tweet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusTweet {
+    /// Dense source id (index into [`Corpus::usernames`]).
+    pub source: u32,
+    /// Timestamp.
+    pub time: u64,
+    /// Text, as supplied.
+    pub text: String,
+}
+
+impl Corpus {
+    /// Number of interned sources.
+    pub fn source_count(&self) -> u32 {
+        self.usernames.len() as u32
+    }
+
+    /// Looks up a source id by handle.
+    pub fn source_id(&self, user: &str) -> Option<u32> {
+        self.usernames
+            .binary_search_by(|u| u.as_str().cmp(user))
+            .ok()
+            .map(|i| i as u32)
+    }
+}
+
+/// Errors from parsing or assembling external data.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IngestError {
+    /// A JSONL line failed to parse.
+    BadJson {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// A CSV line did not have exactly two fields.
+    BadCsv {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A `retweet_of` referenced an id no tweet carries.
+    UnknownRetweetTarget {
+        /// The dangling id.
+        id: u64,
+    },
+    /// No tweets were supplied.
+    Empty,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::BadJson { line, message } => {
+                write!(f, "line {line}: invalid tweet JSON: {message}")
+            }
+            IngestError::BadCsv { line } => {
+                write!(f, "line {line}: expected `follower,followee`")
+            }
+            IngestError::UnknownRetweetTarget { id } => {
+                write!(f, "retweet_of references unknown tweet id {id}")
+            }
+            IngestError::Empty => write!(f, "no tweets in input"),
+        }
+    }
+}
+
+impl Error for IngestError {}
+
+/// Parses a JSON-Lines tweet dump. Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`IngestError::BadJson`] with the offending line number.
+pub fn parse_tweets_jsonl(input: &str) -> Result<Vec<RawTweet>, IngestError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tweet: RawTweet =
+            serde_json::from_str(line).map_err(|e| IngestError::BadJson {
+                line: idx + 1,
+                message: e.to_string(),
+            })?;
+        out.push(tweet);
+    }
+    Ok(out)
+}
+
+/// Parses a `follower,followee` CSV (no header). Blank lines are skipped;
+/// whitespace around handles is trimmed.
+///
+/// # Errors
+///
+/// Returns [`IngestError::BadCsv`] with the offending line number.
+pub fn parse_follows_csv(input: &str) -> Result<Vec<(String, String)>, IngestError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), None) if !a.trim().is_empty() && !b.trim().is_empty() => {
+                out.push((a.trim().to_owned(), b.trim().to_owned()));
+            }
+            _ => return Err(IngestError::BadCsv { line: idx + 1 }),
+        }
+    }
+    Ok(out)
+}
+
+/// Assembles a corpus: interns users, wires explicit follow edges, and
+/// derives one follow edge per observed retweet (retweeter → original
+/// author), the paper's retweet-based dependency indicator.
+///
+/// # Errors
+///
+/// * [`IngestError::Empty`] — no tweets.
+/// * [`IngestError::UnknownRetweetTarget`] — a `retweet_of` id matches no
+///   tweet with an `id`.
+pub fn assemble_corpus(
+    tweets: Vec<RawTweet>,
+    follows: &[(String, String)],
+) -> Result<Corpus, IngestError> {
+    if tweets.is_empty() {
+        return Err(IngestError::Empty);
+    }
+    // Deterministic interning: sorted unique handles from both inputs.
+    let mut usernames: Vec<String> = tweets
+        .iter()
+        .map(|t| t.user.clone())
+        .chain(follows.iter().flat_map(|(a, b)| [a.clone(), b.clone()]))
+        .collect();
+    usernames.sort_unstable();
+    usernames.dedup();
+    let id_of: HashMap<&str, u32> = usernames
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.as_str(), i as u32))
+        .collect();
+
+    let mut graph = FollowerGraph::new(usernames.len() as u32);
+    for (follower, followee) in follows {
+        let (a, b) = (id_of[follower.as_str()], id_of[followee.as_str()]);
+        if a != b {
+            graph.add_follow(a, b);
+        }
+    }
+    // Retweet-derived edges.
+    let author_of: HashMap<u64, &str> = tweets
+        .iter()
+        .filter_map(|t| t.id.map(|id| (id, t.user.as_str())))
+        .collect();
+    for t in &tweets {
+        if let Some(orig) = t.retweet_of {
+            let original_author = author_of
+                .get(&orig)
+                .ok_or(IngestError::UnknownRetweetTarget { id: orig })?;
+            let (a, b) = (id_of[t.user.as_str()], id_of[*original_author]);
+            if a != b {
+                graph.add_follow(a, b);
+            }
+        }
+    }
+
+    let mut out: Vec<CorpusTweet> = tweets
+        .into_iter()
+        .map(|t| CorpusTweet {
+            source: id_of[t.user.as_str()],
+            time: t.time,
+            text: t.text,
+        })
+        .collect();
+    out.sort_by_key(|t| (t.time, t.source));
+    Ok(Corpus {
+        usernames,
+        tweets: out,
+        graph,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        {"id": 1, "user": "sally", "time": 10, "text": "main street congested"}
+        {"id": 2, "user": "heather", "time": 11, "text": "university ave congested"}
+        {"id": 3, "user": "john", "time": 12, "text": "main street congested", "retweet_of": 1}
+        {"user": "john", "time": 13, "text": "university ave congested"}
+    "#;
+
+    #[test]
+    fn jsonl_parses_with_optional_fields() {
+        let tweets = parse_tweets_jsonl(SAMPLE).unwrap();
+        assert_eq!(tweets.len(), 4);
+        assert_eq!(tweets[0].id, Some(1));
+        assert_eq!(tweets[3].id, None);
+        assert_eq!(tweets[2].retweet_of, Some(1));
+    }
+
+    #[test]
+    fn jsonl_reports_bad_lines() {
+        let err = parse_tweets_jsonl("{\"user\": \"x\"}\n").unwrap_err();
+        assert!(matches!(err, IngestError::BadJson { line: 1, .. }));
+        let err = parse_tweets_jsonl("{\"user\":\"x\",\"time\":1,\"text\":\"t\"}\nnot json").unwrap_err();
+        assert!(matches!(err, IngestError::BadJson { line: 2, .. }));
+    }
+
+    #[test]
+    fn csv_parses_and_validates() {
+        let ok = parse_follows_csv("john, sally\n\nheather,sally\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[0], ("john".into(), "sally".into()));
+        assert!(matches!(
+            parse_follows_csv("justonefield"),
+            Err(IngestError::BadCsv { line: 1 })
+        ));
+        assert!(matches!(
+            parse_follows_csv("a,b,c"),
+            Err(IngestError::BadCsv { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn corpus_interns_users_and_derives_retweet_edges() {
+        let tweets = parse_tweets_jsonl(SAMPLE).unwrap();
+        let corpus = assemble_corpus(tweets, &[("heather".into(), "sally".into())]).unwrap();
+        assert_eq!(corpus.source_count(), 3);
+        // Sorted interning: heather < john < sally.
+        assert_eq!(corpus.usernames, vec!["heather", "john", "sally"]);
+        let john = corpus.source_id("john").unwrap();
+        let sally = corpus.source_id("sally").unwrap();
+        let heather = corpus.source_id("heather").unwrap();
+        // Explicit edge.
+        assert!(corpus.graph.follows(heather, sally));
+        // Retweet-derived edge: john retweeted sally's tweet 1.
+        assert!(corpus.graph.follows(john, sally));
+        // Tweets are time-ordered.
+        for w in corpus.tweets.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn dangling_retweet_is_an_error() {
+        let tweets =
+            parse_tweets_jsonl(r#"{"user":"a","time":1,"text":"x","retweet_of":99}"#).unwrap();
+        assert!(matches!(
+            assemble_corpus(tweets, &[]),
+            Err(IngestError::UnknownRetweetTarget { id: 99 })
+        ));
+    }
+
+    #[test]
+    fn empty_corpus_is_an_error() {
+        assert!(matches!(assemble_corpus(vec![], &[]), Err(IngestError::Empty)));
+    }
+
+    #[test]
+    fn ingestion_is_deterministic_under_reordering() {
+        let mut tweets = parse_tweets_jsonl(SAMPLE).unwrap();
+        let a = assemble_corpus(tweets.clone(), &[]).unwrap();
+        tweets.reverse();
+        let b = assemble_corpus(tweets, &[]).unwrap();
+        assert_eq!(a.usernames, b.usernames);
+        assert_eq!(a.tweets, b.tweets);
+        assert_eq!(a.graph, b.graph);
+    }
+}

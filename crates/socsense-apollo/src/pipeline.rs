@@ -1,0 +1,397 @@
+//! The end-to-end Apollo pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use socsense_baselines::FactFinder;
+use socsense_core::{ClaimData, SenseError};
+use socsense_graph::TimedClaim;
+use socsense_twitter::{TruthValue, TwitterDataset};
+
+use crate::cluster::{cluster_texts, ClusterConfig, Clustering};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApolloConfig {
+    /// When `true`, tweets are grouped by text clustering; when `false`
+    /// (default) the simulator's assertion ids are trusted, isolating the
+    /// estimator from clustering noise (the configuration the Fig. 11
+    /// harness uses).
+    pub cluster_text: bool,
+    /// Clustering parameters (used only when `cluster_text` is on).
+    pub cluster: ClusterConfig,
+    /// How many ranked assertions to keep in the report (Apollo's
+    /// top-100 by default).
+    pub top_k: usize,
+}
+
+impl Default for ApolloConfig {
+    fn default() -> Self {
+        Self {
+            cluster_text: false,
+            cluster: ClusterConfig::default(),
+            top_k: 100,
+        }
+    }
+}
+
+/// One ranked assertion in the pipeline output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedAssertion {
+    /// Assertion (cluster) id in the pipeline's claim matrix.
+    pub assertion: u32,
+    /// Credence score from the configured fact-finder.
+    pub score: f64,
+    /// Number of distinct sources asserting it.
+    pub support: usize,
+    /// A representative tweet text.
+    pub sample_text: String,
+    /// Ground-truth label (majority of member tweets' assertions), kept
+    /// for evaluation; a deployed Apollo would not have this column.
+    pub truth: TruthValue,
+}
+
+/// Full pipeline output.
+#[derive(Debug, Clone)]
+pub struct ApolloOutput {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Top-k assertions, best first.
+    pub ranked: Vec<RankedAssertion>,
+    /// Number of assertions the pipeline operated on (clusters or ids).
+    pub assertion_count: u32,
+    /// Clustering purity against simulator ids (1.0 when clustering is
+    /// bypassed).
+    pub cluster_purity: f64,
+    /// The claim matrices handed to the estimator.
+    pub claim_data: ClaimData,
+}
+
+impl ApolloOutput {
+    /// The paper's Fig. 11 metric over the top `k` of this ranking:
+    /// `#True / (#True + #False + #Opinion)`.
+    pub fn top_k_accuracy(&self, k: usize) -> f64 {
+        let take = self.ranked.iter().take(k);
+        let (mut true_n, mut total) = (0usize, 0usize);
+        for r in take {
+            total += 1;
+            if r.truth.is_true() {
+                true_n += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            true_n as f64 / total as f64
+        }
+    }
+}
+
+/// One ranked assertion from an external corpus (no ground truth column).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusRanked {
+    /// Cluster id in the pipeline's claim matrix.
+    pub assertion: u32,
+    /// Credence score from the configured fact-finder.
+    pub score: f64,
+    /// Number of distinct sources asserting it.
+    pub support: usize,
+    /// A representative tweet text.
+    pub sample_text: String,
+}
+
+/// Pipeline output for an external corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusOutput {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Top-k assertions, best first.
+    pub ranked: Vec<CorpusRanked>,
+    /// Number of text clusters found.
+    pub assertion_count: u32,
+    /// The claim matrices handed to the estimator.
+    pub claim_data: ClaimData,
+}
+
+/// The pipeline runner.
+#[derive(Debug, Clone, Default)]
+pub struct Apollo {
+    config: ApolloConfig,
+}
+
+impl Apollo {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ApolloConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs ingest → cluster → matrix construction → estimation → ranking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator failures as [`SenseError`].
+    pub fn run(
+        &self,
+        dataset: &TwitterDataset,
+        finder: &dyn FactFinder,
+    ) -> Result<ApolloOutput, SenseError> {
+        if dataset.tweets.is_empty() {
+            return Err(SenseError::EmptyData);
+        }
+
+        // Stage 2: assertion identity per tweet.
+        let (tweet_cluster, cluster_count, purity) = if self.config.cluster_text {
+            let texts: Vec<String> = dataset.tweets.iter().map(|t| t.text.clone()).collect();
+            let clustering: Clustering = cluster_texts(&texts, &self.config.cluster);
+            let labels: Vec<u32> = dataset.tweets.iter().map(|t| t.assertion).collect();
+            let purity = clustering.purity(&labels);
+            (clustering.assignment, clustering.cluster_count, purity)
+        } else {
+            let ids: Vec<u32> = dataset.tweets.iter().map(|t| t.assertion).collect();
+            (ids, dataset.assertion_count(), 1.0)
+        };
+
+        // Stage 3: SC / D from clustered claims + follow graph.
+        let claims: Vec<TimedClaim> = dataset
+            .tweets
+            .iter()
+            .zip(&tweet_cluster)
+            .map(|(t, &c)| TimedClaim::new(t.source, c, t.time))
+            .collect();
+        let data = ClaimData::from_claims(
+            dataset.source_count(),
+            cluster_count.max(1),
+            &claims,
+            &dataset.graph,
+        );
+
+        // Stage 4: estimation. Ranking scores (log-odds for the EM
+        // family) avoid posterior saturation ties in the top-k.
+        let scores = finder.ranking_scores(&data)?;
+
+        // Stage 5: ranking with representative text + ground truth.
+        let mut sample_text: Vec<Option<&str>> = vec![None; cluster_count as usize];
+        let mut majority: Vec<std::collections::HashMap<u32, usize>> =
+            vec![std::collections::HashMap::new(); cluster_count as usize];
+        for (t, &c) in dataset.tweets.iter().zip(&tweet_cluster) {
+            let cu = c as usize;
+            sample_text[cu].get_or_insert(&t.text);
+            *majority[cu].entry(t.assertion).or_default() += 1;
+        }
+
+        let mut order: Vec<u32> = (0..cluster_count).collect();
+        order.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let ranked: Vec<RankedAssertion> = order
+            .into_iter()
+            .take(self.config.top_k)
+            .map(|c| {
+                let cu = c as usize;
+                let truth_assertion = majority[cu]
+                    .iter()
+                    .max_by_key(|(_, &n)| n)
+                    .map(|(&a, _)| a);
+                RankedAssertion {
+                    assertion: c,
+                    score: scores[cu],
+                    support: data.sc().col_nnz(c),
+                    sample_text: sample_text[cu].unwrap_or_default().to_owned(),
+                    truth: truth_assertion
+                        .map(|a| dataset.truth_value(a))
+                        .unwrap_or(TruthValue::Opinion),
+                }
+            })
+            .collect();
+
+        Ok(ApolloOutput {
+            dataset: dataset.name.clone(),
+            algorithm: finder.name(),
+            ranked,
+            assertion_count: cluster_count,
+            cluster_purity: purity,
+            claim_data: data,
+        })
+    }
+}
+
+impl Apollo {
+    /// Runs the pipeline on an externally ingested corpus (see
+    /// [`crate::ingest`]). Text clustering always runs — external data
+    /// carries no assertion ids — and the output has no ground-truth
+    /// column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator failures; [`SenseError::EmptyData`] if the
+    /// corpus holds no tweets.
+    pub fn run_corpus(
+        &self,
+        corpus: &crate::ingest::Corpus,
+        finder: &dyn FactFinder,
+    ) -> Result<CorpusOutput, SenseError> {
+        if corpus.tweets.is_empty() {
+            return Err(SenseError::EmptyData);
+        }
+        let texts: Vec<String> = corpus.tweets.iter().map(|t| t.text.clone()).collect();
+        let clustering = cluster_texts(&texts, &self.config.cluster);
+        let claims: Vec<TimedClaim> = corpus
+            .tweets
+            .iter()
+            .zip(&clustering.assignment)
+            .map(|(t, &c)| TimedClaim::new(t.source, c, t.time))
+            .collect();
+        let data = ClaimData::from_claims(
+            corpus.source_count(),
+            clustering.cluster_count.max(1),
+            &claims,
+            &corpus.graph,
+        );
+        let scores = finder.ranking_scores(&data)?;
+
+        let mut sample_text: Vec<Option<&str>> =
+            vec![None; clustering.cluster_count as usize];
+        for (t, &c) in corpus.tweets.iter().zip(&clustering.assignment) {
+            sample_text[c as usize].get_or_insert(&t.text);
+        }
+        let mut order: Vec<u32> = (0..clustering.cluster_count).collect();
+        order.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let ranked = order
+            .into_iter()
+            .take(self.config.top_k)
+            .map(|c| CorpusRanked {
+                assertion: c,
+                score: scores[c as usize],
+                support: data.sc().col_nnz(c),
+                sample_text: sample_text[c as usize].unwrap_or_default().to_owned(),
+            })
+            .collect();
+        Ok(CorpusOutput {
+            algorithm: finder.name(),
+            ranked,
+            assertion_count: clustering.cluster_count,
+            claim_data: data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socsense_baselines::{EmExtFinder, Voting};
+    use socsense_twitter::ScenarioConfig;
+
+    fn dataset() -> TwitterDataset {
+        TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(0.02), 21).unwrap()
+    }
+
+    #[test]
+    fn pipeline_with_known_ids_ranks_all_assertions() {
+        let ds = dataset();
+        let out = Apollo::new(ApolloConfig::default())
+            .run(&ds, &Voting::default())
+            .unwrap();
+        assert_eq!(out.assertion_count, ds.assertion_count());
+        assert_eq!(out.cluster_purity, 1.0);
+        assert!(out.ranked.len() <= 100);
+        // Ranking is by non-increasing score.
+        for w in out.ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn pipeline_with_text_clustering_stays_faithful() {
+        let ds = dataset();
+        let cfg = ApolloConfig {
+            cluster_text: true,
+            ..ApolloConfig::default()
+        };
+        let out = Apollo::new(cfg).run(&ds, &Voting::default()).unwrap();
+        assert!(
+            out.cluster_purity > 0.9,
+            "purity {:.3}",
+            out.cluster_purity
+        );
+        // Cluster count lands near the number of *tweeted* assertions.
+        let tweeted: std::collections::HashSet<u32> =
+            ds.tweets.iter().map(|t| t.assertion).collect();
+        let ratio = out.assertion_count as f64 / tweeted.len() as f64;
+        assert!((0.7..=1.4).contains(&ratio), "cluster/assertion ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn top_k_accuracy_is_a_fraction() {
+        let ds = dataset();
+        let out = Apollo::new(ApolloConfig::default())
+            .run(&ds, &EmExtFinder::default())
+            .unwrap();
+        let acc = out.top_k_accuracy(50);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn em_ext_beats_chance_on_simulated_data() {
+        let ds =
+            TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(0.05), 21).unwrap();
+        let out = Apollo::new(ApolloConfig::default())
+            .run(&ds, &EmExtFinder::default())
+            .unwrap();
+        // Base rate: share of True among all assertions ≈ 0.51.
+        let base = ds
+            .truth
+            .iter()
+            .filter(|t| t.is_true())
+            .count() as f64
+            / ds.truth.len() as f64;
+        let acc = out.top_k_accuracy(30);
+        assert!(
+            acc > base + 0.1,
+            "top-30 accuracy {acc:.2} vs base rate {base:.2}"
+        );
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let mut ds = dataset();
+        ds.tweets.clear();
+        assert!(matches!(
+            Apollo::new(ApolloConfig::default()).run(&ds, &Voting::default()),
+            Err(SenseError::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn external_corpus_runs_end_to_end() {
+        let jsonl = r#"
+            {"id":1,"user":"sally","time":10,"text":"breaking explosion near bridge a1 #x"}
+            {"id":2,"user":"bob","time":11,"text":"breaking explosion near bridge a1 #x"}
+            {"id":3,"user":"john","time":12,"text":"breaking explosion near bridge a1 #x","retweet_of":1}
+            {"id":4,"user":"mia","time":13,"text":"crowd gathers at stadium a2 #x"}
+        "#;
+        let tweets = crate::ingest::parse_tweets_jsonl(jsonl).unwrap();
+        let corpus = crate::ingest::assemble_corpus(tweets, &[]).unwrap();
+        let out = Apollo::new(ApolloConfig::default())
+            .run_corpus(&corpus, &Voting::default())
+            .unwrap();
+        assert_eq!(out.assertion_count, 2);
+        assert_eq!(out.ranked.len(), 2);
+        // The explosion cluster has 3 supporters and ranks first.
+        assert_eq!(out.ranked[0].support, 3);
+        assert!(out.ranked[0].sample_text.contains("explosion"));
+        // John's repeat arrived after Sally's original via a retweet edge,
+        // so his cell is dependent.
+        let john = corpus.source_id("john").unwrap();
+        let cluster = out.ranked[0].assertion;
+        assert!(out.claim_data.dependent(john, cluster));
+    }
+}

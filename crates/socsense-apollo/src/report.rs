@@ -1,0 +1,69 @@
+//! Plain-text rendering of pipeline output.
+
+use std::fmt::Write as _;
+
+use socsense_twitter::TruthValue;
+
+use crate::pipeline::ApolloOutput;
+
+/// Renders an [`ApolloOutput`] as a fixed-width text report, the way the
+/// Apollo tool surfaces its ranked feed.
+pub fn render_report(out: &ApolloOutput, k: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "== Apollo report: {} via {} ({} assertions, purity {:.3}) ==",
+        out.dataset, out.algorithm, out.assertion_count, out.cluster_purity
+    );
+    let _ = writeln!(
+        s,
+        "{:>5}  {:>8}  {:>7}  {:<7}  text",
+        "rank", "score", "support", "truth"
+    );
+    for (rank, r) in out.ranked.iter().take(k).enumerate() {
+        let label = match r.truth {
+            TruthValue::True => "TRUE",
+            TruthValue::False => "FALSE",
+            TruthValue::Opinion => "OPINION",
+        };
+        let _ = writeln!(
+            s,
+            "{:>5}  {:>8.4}  {:>7}  {:<7}  {}",
+            rank + 1,
+            r.score,
+            r.support,
+            label,
+            r.sample_text
+        );
+    }
+    let _ = writeln!(
+        s,
+        "top-{} accuracy (#True / top-{}): {:.3}",
+        k,
+        k,
+        out.top_k_accuracy(k)
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Apollo, ApolloConfig};
+    use socsense_baselines::Voting;
+    use socsense_twitter::{ScenarioConfig, TwitterDataset};
+
+    #[test]
+    fn report_contains_header_rows_and_metric() {
+        let ds =
+            TwitterDataset::simulate(&ScenarioConfig::superbug().scaled(0.01), 4).unwrap();
+        let out = Apollo::new(ApolloConfig::default())
+            .run(&ds, &Voting::default())
+            .unwrap();
+        let text = render_report(&out, 10);
+        assert!(text.contains("Apollo report: Superbug via Voting"));
+        assert!(text.contains("top-10 accuracy"));
+        // One line per ranked row (up to 10) plus header/footer.
+        assert!(text.lines().count() >= 5);
+    }
+}

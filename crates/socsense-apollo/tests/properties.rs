@@ -1,0 +1,97 @@
+//! Property-based tests for the clustering stage and pipeline output.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use socsense_apollo::{cluster_texts, Apollo, ApolloConfig, ClusterConfig};
+use socsense_baselines::Voting;
+use socsense_twitter::{ScenarioConfig, TwitterDataset};
+
+/// Random lowercase word.
+fn word() -> impl Strategy<Value = String> {
+    "[a-e]{2,5}"
+}
+
+fn texts() -> impl Strategy<Value = Vec<String>> {
+    vec(vec(word(), 1..7).prop_map(|ws| ws.join(" ")), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clustering always yields a dense, total assignment.
+    #[test]
+    fn clustering_is_a_total_dense_partition(texts in texts(), threshold in 0.1f64..1.0) {
+        let cfg = ClusterConfig {
+            jaccard_threshold: threshold,
+            ..ClusterConfig::default()
+        };
+        let c = cluster_texts(&texts, &cfg);
+        prop_assert_eq!(c.assignment.len(), texts.len());
+        // Cluster ids are dense: every id below cluster_count occurs.
+        let mut seen = vec![false; c.cluster_count as usize];
+        for &a in &c.assignment {
+            prop_assert!(a < c.cluster_count);
+            seen[a as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Members partition the input.
+        let total: usize = c.members().iter().map(|m| m.len()).sum();
+        prop_assert_eq!(total, texts.len());
+    }
+
+    /// Identical texts always share a cluster (Jaccard 1 >= any threshold).
+    #[test]
+    fn identical_texts_always_merge(base in vec(word(), 2..6), threshold in 0.1f64..1.0) {
+        let text = base.join(" ");
+        let texts = vec![text.clone(), text.clone(), "zzz yyy xxx www".to_string()];
+        let cfg = ClusterConfig {
+            jaccard_threshold: threshold,
+            ..ClusterConfig::default()
+        };
+        let c = cluster_texts(&texts, &cfg);
+        prop_assert_eq!(c.assignment[0], c.assignment[1]);
+    }
+
+    /// Raising the threshold never produces coarser clusterings.
+    #[test]
+    fn higher_threshold_is_finer(texts in texts()) {
+        let count_at = |t: f64| {
+            cluster_texts(
+                &texts,
+                &ClusterConfig {
+                    jaccard_threshold: t,
+                    ..ClusterConfig::default()
+                },
+            )
+            .cluster_count
+        };
+        prop_assert!(count_at(0.3) <= count_at(0.9));
+    }
+
+    /// Purity is 1.0 when labels equal the clustering itself and never
+    /// exceeds 1.0 for arbitrary labels.
+    #[test]
+    fn purity_bounds(texts in texts(), labels_seed in 0u32..10) {
+        let c = cluster_texts(&texts, &ClusterConfig::default());
+        if !texts.is_empty() {
+            prop_assert!((c.purity(&c.assignment) - 1.0).abs() < 1e-12);
+            let labels: Vec<u32> = (0..texts.len() as u32).map(|i| (i + labels_seed) % 3).collect();
+            let p = c.purity(&labels);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}
+
+#[test]
+fn pipeline_top_k_never_exceeds_cluster_count() {
+    let ds = TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(0.01), 2).unwrap();
+    for top_k in [1usize, 5, 10_000] {
+        let out = Apollo::new(ApolloConfig {
+            top_k,
+            ..ApolloConfig::default()
+        })
+        .run(&ds, &Voting::default())
+        .unwrap();
+        assert!(out.ranked.len() <= top_k.min(out.assertion_count as usize));
+    }
+}

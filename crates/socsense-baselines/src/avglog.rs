@@ -1,0 +1,131 @@
+//! Average·Log — Pasternack & Roth 2010.
+
+use socsense_core::{ClaimData, SenseError};
+
+use crate::util::{l2_distance, max_normalize};
+use crate::FactFinder;
+
+/// The Average·Log fact-finder, a Sums variant that damps prolific
+/// sources: a source's trust is its *average* claim belief, re-weighted by
+/// the logarithm of how much it talks.
+///
+/// ```text
+/// T(s) = ln(1 + |C_s|) · ( Σ_{c ∈ C_s} B(c) / |C_s| )
+/// B(c) = Σ_{s claims c} T(s)
+/// ```
+///
+/// We use `ln(1 + ·)` rather than the original `ln(·)` so single-claim
+/// sources keep a small positive weight instead of being zeroed out —
+/// at Twitter scale most sources make exactly one claim, and `ln 1 = 0`
+/// would silence nearly the whole network.
+#[derive(Debug, Clone, Copy)]
+pub struct AverageLog {
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// L2 convergence threshold on the belief vector.
+    pub tol: f64,
+}
+
+impl Default for AverageLog {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            tol: 1e-9,
+        }
+    }
+}
+
+impl FactFinder for AverageLog {
+    fn name(&self) -> &'static str {
+        "Average.Log"
+    }
+
+    fn scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
+        if self.max_iters == 0 {
+            return Err(SenseError::BadConfig {
+                what: "AverageLog max_iters must be positive",
+            });
+        }
+        let n = data.source_count();
+        let m = data.assertion_count();
+        let log_weight: Vec<f64> = (0..n as u32)
+            .map(|i| (1.0 + data.sc().row_nnz(i) as f64).ln())
+            .collect();
+        let mut trust = vec![1.0_f64; n];
+        let mut belief = vec![0.0_f64; m];
+        for _ in 0..self.max_iters {
+            let prev = belief.clone();
+            for (j, b) in belief.iter_mut().enumerate() {
+                *b = data
+                    .sc()
+                    .col(j as u32)
+                    .iter()
+                    .map(|&i| trust[i as usize])
+                    .sum();
+            }
+            max_normalize(&mut belief);
+            for (i, t) in trust.iter_mut().enumerate() {
+                let row = data.sc().row(i as u32);
+                *t = if row.is_empty() {
+                    0.0
+                } else {
+                    let avg: f64 = row.iter().map(|&j| belief[j as usize]).sum::<f64>()
+                        / row.len() as f64;
+                    log_weight[i] * avg
+                };
+            }
+            max_normalize(&mut trust);
+            if l2_distance(&belief, &prev) < self.tol {
+                break;
+            }
+        }
+        Ok(belief)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socsense_matrix::SparseBinaryMatrix;
+
+    #[test]
+    fn support_still_dominates() {
+        let sc = SparseBinaryMatrix::from_entries(3, 2, [(0, 0), (1, 0), (2, 1)]);
+        let data = ClaimData::new(sc, SparseBinaryMatrix::empty(3, 2)).unwrap();
+        let s = AverageLog::default().scores(&data).unwrap();
+        assert!(s[0] > s[1]);
+    }
+
+    #[test]
+    fn spamming_is_damped_relative_to_sums() {
+        // Source 0 claims only assertion 0. Source 1 sprays 6 assertions
+        // including assertion 1. Under Sums the spammer's trust grows with
+        // raw volume; Average.Log divides by the claim count, so the
+        // focused source's assertion fares *relatively* better here.
+        let mut entries = vec![(0u32, 0u32)];
+        for j in 1..7u32 {
+            entries.push((1, j));
+        }
+        // A shared extra supporter keeps both assertions comparable.
+        entries.push((2, 0));
+        entries.push((2, 1));
+        let sc = SparseBinaryMatrix::from_entries(3, 7, entries);
+        let data = ClaimData::new(sc, SparseBinaryMatrix::empty(3, 7)).unwrap();
+        let avg = AverageLog::default().scores(&data).unwrap();
+        let sums = crate::Sums::default().scores(&data).unwrap();
+        let avg_ratio = avg[0] / avg[1];
+        let sums_ratio = sums[0] / sums[1];
+        assert!(
+            avg_ratio >= sums_ratio,
+            "Average.Log ratio {avg_ratio} should beat Sums ratio {sums_ratio}"
+        );
+    }
+
+    #[test]
+    fn silent_source_has_zero_effect() {
+        let sc = SparseBinaryMatrix::from_entries(3, 1, [(0, 0)]);
+        let data = ClaimData::new(sc, SparseBinaryMatrix::empty(3, 1)).unwrap();
+        let s = AverageLog::default().scores(&data).unwrap();
+        assert_eq!(s, vec![1.0]);
+    }
+}

@@ -1,0 +1,390 @@
+//! The EM-family algorithms: EM-Ext (this paper), EM (IPSN 2012), and
+//! EM-Social (IPSN 2014).
+
+use socsense_core::{ClaimData, EmConfig, EmExt, SenseError, SourceParams, Theta};
+use socsense_matrix::logprob::{normalize_log_pair, safe_ln, safe_ln_1m};
+use socsense_matrix::SparseBinaryMatrix;
+
+use crate::FactFinder;
+
+/// Adapter exposing the paper's EM-Ext estimator
+/// ([`socsense_core::EmExt`]) through the [`FactFinder`] interface.
+#[derive(Debug, Clone, Default)]
+pub struct EmExtFinder {
+    /// Underlying EM configuration.
+    pub config: EmConfig,
+}
+
+impl EmExtFinder {
+    /// Creates an adapter with the given EM configuration.
+    pub fn new(config: EmConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl FactFinder for EmExtFinder {
+    fn name(&self) -> &'static str {
+        "EM-Ext"
+    }
+
+    fn scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
+        Ok(EmExt::new(self.config).fit(data)?.posterior)
+    }
+
+    fn ranking_scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
+        Ok(EmExt::new(self.config).fit(data)?.log_odds)
+    }
+}
+
+/// EM (IPSN 2012): jointly estimates source reliability and truth values
+/// **assuming every claim is independent** — the dependency matrix is
+/// discarded before fitting.
+///
+/// This is the estimator whose false-positive rate the paper shows
+/// growing with the source count (Fig. 7-b): repeated rumors look like
+/// independent corroboration.
+#[derive(Debug, Clone, Default)]
+pub struct EmIndependent {
+    /// Underlying EM configuration.
+    pub config: EmConfig,
+}
+
+impl EmIndependent {
+    /// Creates the estimator with the given EM configuration.
+    pub fn new(config: EmConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl EmIndependent {
+    fn blind(&self, data: &ClaimData) -> Result<ClaimData, SenseError> {
+        ClaimData::new(
+            data.sc().clone(),
+            SparseBinaryMatrix::empty(data.sc().nrows(), data.sc().ncols()),
+        )
+    }
+}
+
+impl FactFinder for EmIndependent {
+    fn name(&self) -> &'static str {
+        "EM"
+    }
+
+    fn scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
+        // With D empty the f/g parameters are inert and EM-Ext reduces
+        // exactly to the IPSN'12 two-parameter estimator.
+        Ok(EmExt::new(self.config).fit(&self.blind(data)?)?.posterior)
+    }
+
+    fn ranking_scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
+        Ok(EmExt::new(self.config).fit(&self.blind(data)?)?.log_odds)
+    }
+}
+
+/// How [`EmSocial`] removes dependent claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DropMode {
+    /// Dependent **cells** are excluded from the likelihood entirely
+    /// (treated as unobserved). This matches IPSN'14's reasoning that a
+    /// repeated claim "offers no information": neither its presence nor
+    /// its absence is counted. Default.
+    #[default]
+    ExcludeCells,
+    /// Dependent **claims** are deleted and the cells then treated as
+    /// ordinary silence. A harsher cleaning that actively counts each
+    /// removed retweet as evidence *against* the assertion; kept as an
+    /// ablation.
+    AsSilence,
+}
+
+/// EM-Social (IPSN 2014): EM over independent claims only; dependent
+/// claims are discarded as a data-cleaning step.
+#[derive(Debug, Clone, Default)]
+pub struct EmSocial {
+    /// Underlying EM configuration.
+    pub config: EmConfig,
+    /// How dependent claims are removed.
+    pub drop_mode: DropMode,
+}
+
+impl EmSocial {
+    /// Creates the estimator with the given configuration and drop mode.
+    pub fn new(config: EmConfig, drop_mode: DropMode) -> Self {
+        Self { config, drop_mode }
+    }
+
+    /// EM restricted to independent cells: dependent cells contribute
+    /// nothing to either the E-step likelihood or the M-step counts.
+    /// Returns `(posterior, log_odds)` per assertion.
+    fn fit_excluding_cells(&self, data: &ClaimData) -> Result<(Vec<f64>, Vec<f64>), SenseError> {
+        let cfg = self.config;
+        if cfg.max_iters == 0 || cfg.tol <= 0.0 || cfg.tol.is_nan() {
+            return Err(SenseError::BadConfig {
+                what: "max_iters and tol must be positive",
+            });
+        }
+        let n = data.source_count();
+        let m = data.assertion_count();
+
+        // θ restricted to (a, b); the f/g slots stay at 0.5 and are inert.
+        let mut theta = Theta::neutral(n);
+        for i in 0..n {
+            let r = data.sc().row_nnz(i as u32) as f64 / m as f64;
+            let hi = (1.5 * r).clamp(cfg.eps, 0.95);
+            let lo = (0.5 * r).clamp(cfg.eps, 0.95);
+            set_ab(&mut theta, i, hi, lo);
+        }
+        let mut posterior = vec![0.5_f64; m];
+        let mut log_odds = vec![0.0_f64; m];
+
+        for _ in 0..cfg.max_iters {
+            // E-step over independent cells only.
+            let ln_a: Vec<f64> = theta.sources().iter().map(|s| safe_ln(s.a)).collect();
+            let ln_1a: Vec<f64> = theta.sources().iter().map(|s| safe_ln_1m(s.a)).collect();
+            let ln_b: Vec<f64> = theta.sources().iter().map(|s| safe_ln(s.b)).collect();
+            let ln_1b: Vec<f64> = theta.sources().iter().map(|s| safe_ln_1m(s.b)).collect();
+            let base1: f64 = ln_1a.iter().sum();
+            let base0: f64 = ln_1b.iter().sum();
+            let ln_z = safe_ln(theta.z());
+            let ln_1z = safe_ln_1m(theta.z());
+
+            for j in 0..m as u32 {
+                let mut ln1 = base1;
+                let mut ln0 = base0;
+                // Dependent cells vanish from the product.
+                for &i in data.d().col(j) {
+                    ln1 -= ln_1a[i as usize];
+                    ln0 -= ln_1b[i as usize];
+                }
+                // Independent claims flip silence -> claim.
+                let dep = data.d().col(j);
+                let mut dep_iter = dep.iter().peekable();
+                for &i in data.sc().col(j) {
+                    while dep_iter.peek().is_some_and(|&&d| d < i) {
+                        dep_iter.next();
+                    }
+                    if dep_iter.peek() == Some(&&i) {
+                        continue; // dependent claim: dropped
+                    }
+                    let iu = i as usize;
+                    ln1 += ln_a[iu] - ln_1a[iu];
+                    ln0 += ln_b[iu] - ln_1b[iu];
+                }
+                posterior[j as usize] = normalize_log_pair(ln1 + ln_z, ln0 + ln_1z).0;
+                log_odds[j as usize] = (ln1 + ln_z) - (ln0 + ln_1z);
+            }
+
+            // M-step over independent cells.
+            let sum_z: f64 = posterior.iter().sum();
+            let sum_y = m as f64 - sum_z;
+            let mut next = theta.clone();
+            for i in 0..n as u32 {
+                let mut dep_z = 0.0;
+                for &j in data.d().row(i) {
+                    dep_z += posterior[j as usize];
+                }
+                let dep_y = data.d().row_nnz(i) as f64 - dep_z;
+                let (mut num_a, mut num_b) = (0.0, 0.0);
+                let dep = data.d().row(i);
+                let mut dep_iter = dep.iter().peekable();
+                for &j in data.sc().row(i) {
+                    while dep_iter.peek().is_some_and(|&&dj| dj < j) {
+                        dep_iter.next();
+                    }
+                    if dep_iter.peek() == Some(&&j) {
+                        continue;
+                    }
+                    num_a += posterior[j as usize];
+                    num_b += 1.0 - posterior[j as usize];
+                }
+                let den_a = sum_z - dep_z;
+                let den_b = sum_y - dep_y;
+                let prev = *theta.source(i as usize);
+                let a = if den_a > 1e-12 { num_a / den_a } else { prev.a };
+                let b = if den_b > 1e-12 { num_b / den_b } else { prev.b };
+                set_ab(&mut next, i as usize, a, b);
+            }
+            next.set_z(sum_z / m as f64);
+            next.clamp_in_place(cfg.eps);
+            let delta = theta.max_abs_diff(&next)?;
+            theta = next;
+            if delta < cfg.tol {
+                break;
+            }
+        }
+        Ok((posterior, log_odds))
+    }
+}
+
+/// Helper setting only the (a, b) pair of one source.
+fn set_ab(theta: &mut Theta, i: usize, a: f64, b: f64) {
+    let s = *theta.source(i);
+    theta.set_source(
+        i,
+        SourceParams {
+            a,
+            b,
+            f: s.f,
+            g: s.g,
+        },
+    );
+}
+
+impl EmSocial {
+    /// The dependent-claims-deleted dataset used by
+    /// [`DropMode::AsSilence`].
+    fn cleaned(&self, data: &ClaimData) -> Result<ClaimData, SenseError> {
+        let sc = data.sc();
+        let kept = sc.entries().filter(|&(i, j)| !data.dependent(i, j));
+        let cleaned = SparseBinaryMatrix::from_entries(sc.nrows(), sc.ncols(), kept);
+        ClaimData::new(cleaned, SparseBinaryMatrix::empty(sc.nrows(), sc.ncols()))
+    }
+}
+
+impl FactFinder for EmSocial {
+    fn name(&self) -> &'static str {
+        "EM-Social"
+    }
+
+    fn scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
+        match self.drop_mode {
+            DropMode::ExcludeCells => Ok(self.fit_excluding_cells(data)?.0),
+            DropMode::AsSilence => {
+                Ok(EmExt::new(self.config).fit(&self.cleaned(data)?)?.posterior)
+            }
+        }
+    }
+
+    fn ranking_scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
+        match self.drop_mode {
+            DropMode::ExcludeCells => Ok(self.fit_excluding_cells(data)?.1),
+            DropMode::AsSilence => {
+                Ok(EmExt::new(self.config).fit(&self.cleaned(data)?)?.log_odds)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socsense_core::classify;
+
+    fn separable() -> ClaimData {
+        let mut entries = Vec::new();
+        for i in 0..4u32 {
+            for j in 0..5u32 {
+                entries.push((i, j));
+            }
+        }
+        for i in 4..6u32 {
+            for j in 5..10u32 {
+                entries.push((i, j));
+            }
+        }
+        let sc = SparseBinaryMatrix::from_entries(6, 10, entries);
+        ClaimData::new(sc, SparseBinaryMatrix::empty(6, 10)).unwrap()
+    }
+
+    #[test]
+    fn all_em_variants_agree_without_dependencies() {
+        // With an empty D, EM, EM-Social, and EM-Ext are the same model.
+        let data = separable();
+        let ext = EmExtFinder::default().scores(&data).unwrap();
+        let indep = EmIndependent::default().scores(&data).unwrap();
+        let social = EmSocial::default().scores(&data).unwrap();
+        let social_silence =
+            EmSocial::new(EmConfig::default(), DropMode::AsSilence).scores(&data).unwrap();
+        for j in 0..10 {
+            assert!((ext[j] - indep[j]).abs() < 1e-6, "EM j={j}");
+            assert!((ext[j] - social[j]).abs() < 1e-3, "EM-Social j={j}");
+            assert!((ext[j] - social_silence[j]).abs() < 1e-6, "AsSilence j={j}");
+        }
+        let truth: Vec<bool> = (0..10).map(|j| j < 5).collect();
+        assert_eq!(classify(&ext), truth);
+        assert_eq!(classify(&social), truth);
+    }
+
+    /// A rumor scenario: a single unreliable root claims false assertions
+    /// and an echo chamber repeats them; honest independents support the
+    /// true ones.
+    fn rumor_data() -> (ClaimData, Vec<bool>) {
+        let mut entries = Vec::new();
+        let mut dep = Vec::new();
+        // Sources 0..3: honest, claim true assertions 0..4 (sparsely).
+        for i in 0..4u32 {
+            for j in 0..5u32 {
+                if (i + j) % 2 == 0 {
+                    entries.push((i, j));
+                }
+            }
+        }
+        // Source 4: rumor root claiming false assertions 5..9.
+        for j in 5..10u32 {
+            entries.push((4, j));
+        }
+        // Sources 5..9: echoes of source 4 (dependent claims).
+        for i in 5..10u32 {
+            for j in 5..10u32 {
+                entries.push((i, j));
+                dep.push((i, j));
+            }
+        }
+        let sc = SparseBinaryMatrix::from_entries(10, 10, entries);
+        let d = SparseBinaryMatrix::from_entries(10, 10, dep);
+        let truth = (0..10).map(|j| j < 5).collect();
+        (ClaimData::new(sc, d).unwrap(), truth)
+    }
+
+    #[test]
+    fn dependency_aware_variants_resist_the_echo_chamber() {
+        let (data, truth) = rumor_data();
+        let ext = EmExtFinder::default().scores(&data).unwrap();
+        let indep = EmIndependent::default().scores(&data).unwrap();
+        let acc = |scores: &[f64]| {
+            classify(scores)
+                .iter()
+                .zip(&truth)
+                .filter(|(p, t)| p == t)
+                .count()
+        };
+        assert!(
+            acc(&ext) >= acc(&indep),
+            "EM-Ext {} should be at least as accurate as EM {}",
+            acc(&ext),
+            acc(&indep)
+        );
+        // EM, blind to dependencies, believes the echoed rumors more than
+        // EM-Ext does on average.
+        let rumor_belief = |s: &[f64]| s[5..].iter().sum::<f64>() / 5.0;
+        assert!(
+            rumor_belief(&ext) <= rumor_belief(&indep) + 1e-9,
+            "ext {} vs indep {}",
+            rumor_belief(&ext),
+            rumor_belief(&indep)
+        );
+    }
+
+    #[test]
+    fn em_social_discards_dependent_information() {
+        let (data, _) = rumor_data();
+        let social = EmSocial::default().scores(&data).unwrap();
+        assert_eq!(social.len(), 10);
+        for &p in &social {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn bad_config_surfaces() {
+        let (data, _) = rumor_data();
+        let bad = EmSocial::new(
+            EmConfig {
+                max_iters: 0,
+                ..EmConfig::default()
+            },
+            DropMode::ExcludeCells,
+        );
+        assert!(bad.scores(&data).is_err());
+    }
+}

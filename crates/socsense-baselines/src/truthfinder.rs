@@ -1,0 +1,155 @@
+//! TruthFinder — Yin, Han & Yu, TKDE 2008.
+
+use socsense_core::{ClaimData, SenseError};
+
+use crate::util::l2_distance;
+use crate::FactFinder;
+
+/// The TruthFinder algorithm: source trustworthiness and claim confidence
+/// reinforce each other through a log-odds transform.
+///
+/// Each round computes, for every assertion `c`,
+///
+/// ```text
+/// s(c) = Σ_{s claims c} τ(s)           where τ(s) = -ln(1 - t(s))
+/// σ(c) = 1 / (1 + e^(-γ·s(c)))         (dampened confidence)
+/// ```
+///
+/// and then every source's trust `t(s)` becomes the average confidence of
+/// its claims. `γ` dampens the unrealistic independence assumption, as in
+/// the original paper; implication links between claims (the `ρ` term) are
+/// not modelled because binary assertions in this workspace carry no
+/// mutual-support structure.
+#[derive(Debug, Clone, Copy)]
+pub struct TruthFinder {
+    /// Initial source trust `t_0`.
+    pub initial_trust: f64,
+    /// Dampening factor γ.
+    pub gamma: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// L2 convergence threshold on the trust vector.
+    pub tol: f64,
+}
+
+impl Default for TruthFinder {
+    fn default() -> Self {
+        Self {
+            initial_trust: 0.9,
+            gamma: 0.3,
+            max_iters: 100,
+            tol: 1e-6,
+        }
+    }
+}
+
+impl FactFinder for TruthFinder {
+    fn name(&self) -> &'static str {
+        "Truth-Finder"
+    }
+
+    fn scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
+        if self.initial_trust <= 0.0 || self.initial_trust >= 1.0 || self.initial_trust.is_nan() {
+            return Err(SenseError::InvalidProbability {
+                name: "initial_trust",
+                value: self.initial_trust,
+            });
+        }
+        if self.max_iters == 0 || self.gamma <= 0.0 || self.gamma.is_nan() {
+            return Err(SenseError::BadConfig {
+                what: "TruthFinder needs positive max_iters and gamma",
+            });
+        }
+        let n = data.source_count();
+        let m = data.assertion_count();
+        let mut trust = vec![self.initial_trust; n];
+        let mut confidence = vec![0.0_f64; m];
+        for _ in 0..self.max_iters {
+            let prev = trust.clone();
+            // τ(s) = -ln(1 - t(s)), kept finite by a tiny margin.
+            let tau: Vec<f64> = trust
+                .iter()
+                .map(|&t| -(1.0 - t).max(1e-12).ln())
+                .collect();
+            for (j, c) in confidence.iter_mut().enumerate() {
+                let s: f64 = data
+                    .sc()
+                    .col(j as u32)
+                    .iter()
+                    .map(|&i| tau[i as usize])
+                    .sum();
+                *c = 1.0 / (1.0 + (-self.gamma * s).exp());
+            }
+            for (i, t) in trust.iter_mut().enumerate() {
+                let row = data.sc().row(i as u32);
+                if !row.is_empty() {
+                    *t = row.iter().map(|&j| confidence[j as usize]).sum::<f64>()
+                        / row.len() as f64;
+                }
+            }
+            if l2_distance(&trust, &prev) < self.tol {
+                break;
+            }
+        }
+        Ok(confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socsense_matrix::SparseBinaryMatrix;
+
+    #[test]
+    fn confidence_grows_with_support() {
+        let sc = SparseBinaryMatrix::from_entries(4, 3, [(0, 0), (1, 0), (2, 0), (3, 1)]);
+        let data = ClaimData::new(sc, SparseBinaryMatrix::empty(4, 3)).unwrap();
+        let s = TruthFinder::default().scores(&data).unwrap();
+        assert!(s[0] > s[1]);
+        assert!(s[1] > s[2]); // one claimant beats zero
+        // Unclaimed assertion sits at the sigmoid midpoint.
+        assert!((s[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let sc = SparseBinaryMatrix::from_entries(3, 2, [(0, 0), (1, 1), (2, 1)]);
+        let data = ClaimData::new(sc, SparseBinaryMatrix::empty(3, 2)).unwrap();
+        for &s in &TruthFinder::default().scores(&data).unwrap() {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn trusted_sources_lift_their_other_claims() {
+        // Source 0 co-claims the popular assertion 0, then alone claims 1.
+        // Source 3 alone claims 2 and nothing else. Source 0 should earn
+        // more trust, so assertion 1 > assertion 2.
+        let sc = SparseBinaryMatrix::from_entries(
+            4,
+            3,
+            [(0, 0), (1, 0), (2, 0), (0, 1), (3, 2)],
+        );
+        let data = ClaimData::new(sc, SparseBinaryMatrix::empty(4, 3)).unwrap();
+        let s = TruthFinder::default().scores(&data).unwrap();
+        assert!(s[1] > s[2], "{s:?}");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let sc = SparseBinaryMatrix::from_entries(1, 1, [(0, 0)]);
+        let data = ClaimData::new(sc, SparseBinaryMatrix::empty(1, 1)).unwrap();
+        assert!(TruthFinder {
+            initial_trust: 1.0,
+            ..TruthFinder::default()
+        }
+        .scores(&data)
+        .is_err());
+        assert!(TruthFinder {
+            gamma: 0.0,
+            ..TruthFinder::default()
+        }
+        .scores(&data)
+        .is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared helpers for the iterative heuristics.
+
+/// Scales a non-negative score vector so its maximum is 1.
+///
+/// Leaves an all-zero (or empty) vector untouched. This is the
+/// normalisation Pasternack & Roth apply between Sums / Average·Log
+/// iterations to stop the scores diverging.
+pub(crate) fn max_normalize(scores: &mut [f64]) {
+    let max = scores.iter().copied().fold(0.0_f64, f64::max);
+    if max > 0.0 {
+        for s in scores.iter_mut() {
+            *s /= max;
+        }
+    }
+}
+
+/// L2 distance between two equally sized vectors.
+pub(crate) fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_normalize_scales_to_unit_max() {
+        let mut v = vec![2.0, 4.0, 1.0];
+        max_normalize(&mut v);
+        assert_eq!(v, vec![0.5, 1.0, 0.25]);
+    }
+
+    #[test]
+    fn max_normalize_ignores_zero_vector() {
+        let mut v = vec![0.0, 0.0];
+        max_normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn l2_distance_basic() {
+        assert_eq!(l2_distance(&[0.0, 3.0], &[4.0, 0.0]), 5.0);
+        assert_eq!(l2_distance(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Voting: credence by raw claim count.
+
+use socsense_core::{ClaimData, SenseError};
+
+use crate::util::max_normalize;
+use crate::FactFinder;
+
+/// Ranks assertions by the number of sources asserting them, normalised
+/// to `[0, 1]`.
+///
+/// The weakest baseline in the paper: it is exactly the estimator that
+/// rumors exploit, since every repetition counts as independent support.
+///
+/// # Example
+///
+/// ```
+/// use socsense_baselines::{FactFinder, Voting};
+/// use socsense_core::ClaimData;
+/// use socsense_matrix::SparseBinaryMatrix;
+///
+/// let sc = SparseBinaryMatrix::from_entries(2, 2, [(0, 1), (1, 1)]);
+/// let data = ClaimData::new(sc, SparseBinaryMatrix::empty(2, 2))?;
+/// assert_eq!(Voting::default().scores(&data)?, vec![0.0, 1.0]);
+/// # Ok::<(), socsense_core::SenseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Voting {
+    _private: (),
+}
+
+impl FactFinder for Voting {
+    fn name(&self) -> &'static str {
+        "Voting"
+    }
+
+    fn scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
+        let mut scores: Vec<f64> = (0..data.assertion_count() as u32)
+            .map(|j| data.sc().col_nnz(j) as f64)
+            .collect();
+        max_normalize(&mut scores);
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socsense_matrix::SparseBinaryMatrix;
+
+    #[test]
+    fn counts_claims_per_assertion() {
+        let sc = SparseBinaryMatrix::from_entries(3, 3, [(0, 0), (1, 0), (2, 0), (0, 1)]);
+        let data = ClaimData::new(sc, SparseBinaryMatrix::empty(3, 3)).unwrap();
+        let s = Voting::default().scores(&data).unwrap();
+        assert_eq!(s, vec![1.0, 1.0 / 3.0, 0.0]);
+    }
+
+    #[test]
+    fn ignores_dependency_information() {
+        let sc = SparseBinaryMatrix::from_entries(2, 1, [(0, 0), (1, 0)]);
+        let d_full = SparseBinaryMatrix::from_entries(2, 1, [(1, 0)]);
+        let with = ClaimData::new(sc.clone(), d_full).unwrap();
+        let without = ClaimData::new(sc, SparseBinaryMatrix::empty(2, 1)).unwrap();
+        let v = Voting::default();
+        assert_eq!(v.scores(&with).unwrap(), v.scores(&without).unwrap());
+    }
+}

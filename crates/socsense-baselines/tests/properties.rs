@@ -1,0 +1,113 @@
+//! Property-based tests: every fact-finder must be total, deterministic,
+//! and well-behaved on arbitrary claim matrices.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use socsense_baselines::{all_finders, AverageLog, FactFinder, Sums, TruthFinder, Voting};
+use socsense_core::ClaimData;
+use socsense_matrix::SparseBinaryMatrix;
+
+fn arbitrary_data() -> impl Strategy<Value = ClaimData> {
+    (2u32..12, 2u32..15).prop_flat_map(|(n, m)| {
+        let sc_entries = vec((0..n, 0..m), 1..60);
+        let d_entries = vec((0..n, 0..m), 0..40);
+        (Just(n), Just(m), sc_entries, d_entries).prop_map(|(n, m, sc_e, d_e)| {
+            ClaimData::new(
+                SparseBinaryMatrix::from_entries(n, m, sc_e),
+                SparseBinaryMatrix::from_entries(n, m, d_e),
+            )
+            .expect("shapes match")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every algorithm returns one finite score per assertion, twice the
+    /// same way.
+    #[test]
+    fn all_finders_are_total_and_deterministic(data in arbitrary_data()) {
+        for finder in all_finders() {
+            let s1 = finder.scores(&data).unwrap();
+            prop_assert_eq!(s1.len(), data.assertion_count(), "{}", finder.name());
+            prop_assert!(s1.iter().all(|v| v.is_finite()), "{}", finder.name());
+            let s2 = finder.scores(&data).unwrap();
+            prop_assert_eq!(s1, s2, "{} not deterministic", finder.name());
+        }
+    }
+
+    /// Heuristic scores live in [0, 1]; EM scores are probabilities.
+    #[test]
+    fn scores_are_bounded(data in arbitrary_data()) {
+        let heuristics: [Box<dyn FactFinder>; 4] = [
+            Box::new(Voting::default()),
+            Box::new(Sums::default()),
+            Box::new(AverageLog::default()),
+            Box::new(TruthFinder::default()),
+        ];
+        for finder in heuristics {
+            for &s in &finder.scores(&data).unwrap() {
+                prop_assert!((0.0..=1.0).contains(&s), "{}: {s}", finder.name());
+            }
+        }
+    }
+
+    /// top_k returns a ranking: unique ids, ordered by non-increasing
+    /// ranking score, stable under repetition, and a prefix property
+    /// (top-k is a prefix of top-(k+1) up to ties).
+    #[test]
+    fn top_k_is_a_consistent_ranking(data in arbitrary_data(), k in 1usize..8) {
+        for finder in all_finders() {
+            let top = finder.top_k(&data, k).unwrap();
+            prop_assert!(top.len() <= k);
+            let mut dedup = top.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), top.len(), "{} duplicated ids", finder.name());
+            let scores = finder.ranking_scores(&data).unwrap();
+            for w in top.windows(2) {
+                prop_assert!(
+                    scores[w[0] as usize] >= scores[w[1] as usize],
+                    "{} ranking out of order",
+                    finder.name()
+                );
+            }
+            let bigger = finder.top_k(&data, k + 1).unwrap();
+            prop_assert_eq!(&bigger[..top.len().min(bigger.len())], &top[..], "{} prefix", finder.name());
+        }
+    }
+
+    /// ranking_scores orders identically to scores wherever scores are
+    /// strictly ordered (the log-odds transform is monotone).
+    #[test]
+    fn ranking_scores_are_monotone_in_scores(data in arbitrary_data()) {
+        for finder in all_finders() {
+            let s = finder.scores(&data).unwrap();
+            let r = finder.ranking_scores(&data).unwrap();
+            for a in 0..s.len() {
+                for b in 0..s.len() {
+                    if s[a] > s[b] + 1e-9 {
+                        prop_assert!(
+                            r[a] >= r[b] - 1e-9,
+                            "{}: scores {} > {} but ranking {} < {}",
+                            finder.name(), s[a], s[b], r[a], r[b]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// classify agrees with thresholding scores at 0.5.
+    #[test]
+    fn classify_matches_score_threshold(data in arbitrary_data()) {
+        for finder in all_finders() {
+            let labels = finder.classify(&data).unwrap();
+            let scores = finder.scores(&data).unwrap();
+            for (l, s) in labels.iter().zip(&scores) {
+                prop_assert_eq!(*l, *s > 0.5, "{}", finder.name());
+            }
+        }
+    }
+}

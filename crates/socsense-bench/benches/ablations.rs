@@ -1,0 +1,123 @@
+//! Ablation benches for the design choices DESIGN.md calls out. These
+//! measure *time*; their accuracy counterparts live in the `repro`
+//! harness and the integration tests. Together they answer "what does
+//! each choice cost, and what does it buy".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use socsense_bench::{bound_fixture, synth_fixture};
+use socsense_core::{
+    bound_for_assertions, BoundMethod, EmConfig, EmExt, GibbsConfig, GibbsEstimator,
+    InitStrategy,
+};
+
+/// M-step shrinkage: the paper-exact update (`s = 0`) vs the hierarchical
+/// default (`s = 2`). The cost is one extra accumulation pass.
+fn bench_smoothing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-smoothing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let ds = synth_fixture(100, 21);
+    for s in [0.0f64, 2.0, 10.0] {
+        let em = EmExt::new(EmConfig {
+            smoothing: s,
+            ..EmConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("fit", format!("s{s}")), &s, |b, _| {
+            b.iter(|| em.fit(&ds.data).expect("fit succeeds"))
+        });
+    }
+    group.finish();
+}
+
+/// Init strategy: `Auto` runs two deterministic EMs and keeps the better
+/// likelihood — nominally 2× the work of a single init.
+fn bench_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-init");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let ds = synth_fixture(100, 22);
+    for (name, init) in [
+        ("auto", InitStrategy::Auto),
+        ("claim-rate", InitStrategy::ClaimRateBiased),
+        ("dep-biased", InitStrategy::DepBiased),
+        ("random", InitStrategy::Random { seed: 4 }),
+    ] {
+        let em = EmExt::new(EmConfig {
+            init,
+            ..EmConfig::default()
+        });
+        group.bench_function(BenchmarkId::new("fit", name), |b| {
+            b.iter(|| em.fit(&ds.data).expect("fit succeeds"))
+        });
+    }
+    group.finish();
+}
+
+/// Gibbs estimator variants: the consistent self-normalised average vs
+/// the paper's literal Eq. 6 ratio. Same chain, different accumulators.
+fn bench_gibbs_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-gibbs-estimator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let (data, theta) = bound_fixture(20, 23);
+    let cols: Vec<u32> = (0..8).collect();
+    for (name, estimator) in [
+        ("self-normalized", GibbsEstimator::SelfNormalized),
+        ("paper-ratio", GibbsEstimator::PaperRatio),
+    ] {
+        let method = BoundMethod::Gibbs(GibbsConfig {
+            estimator,
+            min_samples: 400,
+            max_samples: 800,
+            seed: 5,
+            ..GibbsConfig::default()
+        });
+        group.bench_function(BenchmarkId::new("bound", name), |b| {
+            b.iter(|| bound_for_assertions(&data, &theta, &method, &cols).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+/// Decision pruning in the exact bound: informative sources let whole
+/// subtrees resolve early; near-uninformative sources defeat the bounds
+/// and force the full 2^n walk. Comparing the two inputs at equal n shows
+/// what pruning buys on typical data.
+fn bench_exact_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-exact-pruning");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let n = 22usize;
+    let informative: Vec<(f64, f64)> = (0..n)
+        .map(|i| (0.7 + 0.01 * (i % 5) as f64, 0.2 + 0.01 * (i % 7) as f64))
+        .collect();
+    let adversarial: Vec<(f64, f64)> = (0..n)
+        .map(|i| (0.501 + 1e-4 * (i % 5) as f64, 0.499 - 1e-4 * (i % 7) as f64))
+        .collect();
+    group.bench_function("informative-sources", |b| {
+        b.iter(|| socsense_core::exact_bound(&informative, 0.5).expect("in range"))
+    });
+    group.bench_function("near-uninformative-sources", |b| {
+        b.iter(|| socsense_core::exact_bound(&adversarial, 0.5).expect("in range"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smoothing,
+    bench_init,
+    bench_gibbs_estimator,
+    bench_exact_pruning
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig. 6's subject as a Criterion benchmark: time to evaluate the mean
+//! per-assertion Bayes-risk bound, exact vs Gibbs, across source counts.
+//! The exact walk is exponential (pruning delays the blow-up by roughly
+//! 10 sources on informative inputs); Gibbs is linear per sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use socsense_bench::bound_fixture;
+use socsense_core::{bound_for_assertions, BoundMethod, GibbsConfig};
+
+fn bench_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bound");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // A fixed subset of assertions keeps runtimes comparable across n.
+    let cols: Vec<u32> = (0..8).collect();
+    for n in [5u32, 10, 15, 20, 25] {
+        let (data, theta) = bound_fixture(n, 42);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| {
+                bound_for_assertions(&data, &theta, &BoundMethod::Exact, &cols)
+                    .expect("n <= 25 supported")
+            })
+        });
+        let gibbs = BoundMethod::Gibbs(GibbsConfig {
+            min_samples: 400,
+            max_samples: 800,
+            seed: 7,
+            ..GibbsConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("gibbs", n), &n, |b, _| {
+            b.iter(|| bound_for_assertions(&data, &theta, &gibbs, &cols).expect("gibbs runs"))
+        });
+    }
+    // Gibbs keeps going where exact cannot.
+    for n in [50u32, 100] {
+        let (data, theta) = bound_fixture(n, 42);
+        let gibbs = BoundMethod::Gibbs(GibbsConfig {
+            min_samples: 400,
+            max_samples: 800,
+            seed: 7,
+            ..GibbsConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("gibbs", n), &n, |b, _| {
+            b.iter(|| bound_for_assertions(&data, &theta, &gibbs, &cols).expect("gibbs runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fit-time scaling of the three EM variants, from the paper's synthetic
+//! sizes up to a Twitter-scale sparse matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use socsense_bench::{synth_fixture, twitter_fixture};
+use socsense_baselines::{EmExtFinder, EmIndependent, EmSocial, FactFinder};
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimators");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let finders: [(&str, Box<dyn FactFinder>); 3] = [
+        ("em-ext", Box::new(EmExtFinder::default())),
+        ("em", Box::new(EmIndependent::default())),
+        ("em-social", Box::new(EmSocial::default())),
+    ];
+
+    for n in [50u32, 100, 200] {
+        let ds = synth_fixture(n, 11);
+        for (name, finder) in &finders {
+            group.bench_with_input(BenchmarkId::new(*name, format!("synth-n{n}")), &n, |b, _| {
+                b.iter(|| finder.scores(&ds.data).expect("fit succeeds"))
+            });
+        }
+    }
+
+    // Twitter-shaped sparsity: thousands of sources, ~1 claim each.
+    let tw = twitter_fixture(0.1, 5);
+    let data = tw.claim_data();
+    for (name, finder) in &finders {
+        group.bench_with_input(
+            BenchmarkId::new(*name, format!("twitter-{}x{}", data.source_count(), data.assertion_count())),
+            &0,
+            |b, _| b.iter(|| finder.scores(&data).expect("fit succeeds")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

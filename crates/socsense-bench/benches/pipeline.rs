@@ -1,0 +1,48 @@
+//! Apollo pipeline costs: text clustering in isolation, and the full
+//! ingest → cluster → estimate → rank run per algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use socsense_apollo::{cluster_texts, Apollo, ApolloConfig, ClusterConfig};
+use socsense_baselines::{EmExtFinder, FactFinder, Voting};
+use socsense_bench::twitter_fixture;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let tw = twitter_fixture(0.1, 17);
+    let texts: Vec<String> = tw.tweets.iter().map(|t| t.text.clone()).collect();
+    group.bench_with_input(
+        BenchmarkId::new("cluster-texts", texts.len()),
+        &texts.len(),
+        |b, _| b.iter(|| cluster_texts(&texts, &ClusterConfig::default())),
+    );
+
+    let finders: [(&str, Box<dyn FactFinder>); 2] = [
+        ("em-ext", Box::new(EmExtFinder::default())),
+        ("voting", Box::new(Voting::default())),
+    ];
+    for (name, finder) in &finders {
+        group.bench_function(format!("apollo-known-ids/{name}"), |b| {
+            let apollo = Apollo::new(ApolloConfig::default());
+            b.iter(|| apollo.run(&tw, finder.as_ref()).expect("pipeline runs"))
+        });
+    }
+    group.bench_function("apollo-text-clustered/em-ext", |b| {
+        let apollo = Apollo::new(ApolloConfig {
+            cluster_text: true,
+            ..ApolloConfig::default()
+        });
+        let finder = EmExtFinder::default();
+        b.iter(|| apollo.run(&tw, &finder).expect("pipeline runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

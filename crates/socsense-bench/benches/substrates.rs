@@ -1,0 +1,81 @@
+//! Throughput of the substrate layers: the synthetic generator, the
+//! cascade simulator, `SC`/`D` matrix construction, and the sparse
+//! likelihood kernel (the inner loop of every EM iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use socsense_bench::{synth_fixture, twitter_fixture};
+use socsense_core::{assertion_posteriors, ClaimData};
+use socsense_graph::build_matrices;
+use socsense_synth::{empirical_theta, GeneratorConfig, SyntheticDataset};
+use socsense_twitter::{ScenarioConfig, TwitterDataset};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Synthetic generator throughput across n.
+    for n in [50u32, 200] {
+        let cfg = GeneratorConfig {
+            n,
+            ..GeneratorConfig::paper_defaults()
+        };
+        group.bench_with_input(BenchmarkId::new("synth-generate", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                SyntheticDataset::generate(&cfg, seed).expect("validates")
+            })
+        });
+    }
+
+    // Cascade simulator throughput across scenario scale.
+    for scale in [0.02f64, 0.1] {
+        let cfg = ScenarioConfig::ukraine().scaled(scale);
+        group.bench_with_input(
+            BenchmarkId::new("twitter-simulate", format!("{scale}")),
+            &scale,
+            |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    TwitterDataset::simulate(&cfg, seed).expect("validates")
+                })
+            },
+        );
+    }
+
+    // SC/D construction from a claim log + follower graph.
+    let tw = twitter_fixture(0.1, 9);
+    let claims = tw.timed_claims();
+    group.bench_function("build-matrices/twitter-0.1", |b| {
+        b.iter(|| {
+            build_matrices(
+                tw.source_count(),
+                tw.assertion_count(),
+                &claims,
+                &tw.graph,
+            )
+        })
+    });
+
+    // Likelihood kernel: all posteriors for one θ (one EM E-step).
+    let ds = synth_fixture(100, 3);
+    let theta = empirical_theta(&ds);
+    group.bench_function("posteriors/synth-n100", |b| {
+        b.iter(|| assertion_posteriors(&ds.data, &theta).expect("dims match"))
+    });
+    let tw_data: ClaimData = tw.claim_data();
+    let tw_theta = socsense_core::Theta::neutral(tw_data.source_count());
+    group.bench_function("posteriors/twitter-0.1", |b| {
+        b.iter(|| assertion_posteriors(&tw_data, &tw_theta).expect("dims match"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the `socsense` workspace.
+//!
+//! One bench target per concern:
+//!
+//! * `bound` — Fig. 6's subject: exact (pruned-exponential) vs Gibbs
+//!   bound evaluation across source counts;
+//! * `estimators` — EM-Ext / EM / EM-Social fit time across problem
+//!   sizes, including a Twitter-scale matrix;
+//! * `substrates` — generator, simulator, matrix-construction, and
+//!   likelihood-kernel throughput;
+//! * `pipeline` — tweet-text clustering and the end-to-end Apollo run;
+//! * `ablations` — the design choices DESIGN.md calls out: M-step
+//!   shrinkage, init strategy, Gibbs estimator variant, pruning on/off
+//!   (via pathological vs typical inputs).
+//!
+//! The crate body hosts shared fixture builders so each bench file stays
+//! declarative.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use socsense_core::{ClaimData, Theta};
+use socsense_synth::{empirical_theta, GeneratorConfig, SyntheticDataset};
+use socsense_twitter::{ScenarioConfig, TwitterDataset};
+
+/// A paper-defaults synthetic dataset with `n` sources (seeded).
+pub fn synth_fixture(n: u32, seed: u64) -> SyntheticDataset {
+    let cfg = GeneratorConfig {
+        n,
+        ..GeneratorConfig::paper_defaults()
+    };
+    SyntheticDataset::generate(&cfg, seed).expect("paper defaults validate")
+}
+
+/// `(data, θ)` for bound benchmarks: the measured θ of a synthetic run.
+pub fn bound_fixture(n: u32, seed: u64) -> (ClaimData, Theta) {
+    let ds = synth_fixture(n, seed);
+    let theta = empirical_theta(&ds);
+    (ds.data, theta)
+}
+
+/// A scaled Ukraine campaign for Twitter-shaped benchmarks.
+pub fn twitter_fixture(scale: f64, seed: u64) -> TwitterDataset {
+    TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(scale), seed)
+        .expect("preset validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let ds = synth_fixture(10, 1);
+        assert_eq!(ds.source_count(), 10);
+        let (data, theta) = bound_fixture(8, 2);
+        assert_eq!(data.source_count(), theta.source_count());
+        let tw = twitter_fixture(0.01, 3);
+        assert!(!tw.tweets.is_empty());
+    }
+}

@@ -1,0 +1,369 @@
+//! Exact evaluation of the Bayes-risk bound (Eq. 3).
+//!
+//! The sum ranges over all `2^n` claim patterns, but the optimal detector
+//! partitions pattern space into a *true* region and a *false* region, and
+//! within either region the error mass telescopes: over any subtree of
+//! patterns sharing a prefix, `Σ_rest P(rest | C) = 1`. The enumerator
+//! therefore walks patterns depth-first and prunes a whole subtree as soon
+//! as precomputed suffix odds bounds prove every leaf below decides the
+//! same way — typically reducing the visited nodes by orders of magnitude
+//! while returning the mathematically exact value.
+
+use crate::bound::BoundResult;
+use crate::error::SenseError;
+
+/// Hard cap on the exact enumeration: beyond this the walk is intractable
+/// even with pruning, and [`crate::bound::gibbs_bound`] should be used.
+pub const MAX_EXACT_SOURCES: usize = 30;
+
+const P_MARGIN: f64 = 1e-12;
+
+/// Computes the exact Bayes-risk bound for one assertion.
+///
+/// `probs[i] = (p1_i, p0_i)` are source `i`'s claim probabilities under
+/// `C = 1` and `C = 0` — `(a_i, b_i)` for an independent cell, `(f_i,
+/// g_i)` for a dependent one. `z` is the prior `P(C = 1)`.
+///
+/// Probabilities are clamped to `[1e-12, 1-1e-12]` so the suffix odds used
+/// for pruning stay finite.
+///
+/// # Errors
+///
+/// * [`SenseError::EmptyData`] — `probs` is empty.
+/// * [`SenseError::TooManySources`] — more than [`MAX_EXACT_SOURCES`].
+/// * [`SenseError::InvalidProbability`] — any input outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use socsense_core::exact_bound;
+///
+/// // One perfectly silent-on-false source: claims resolve everything.
+/// let b = exact_bound(&[(1.0, 0.0)], 0.5)?;
+/// assert!(b.error < 1e-9);
+/// # Ok::<(), socsense_core::SenseError>(())
+/// ```
+pub fn exact_bound(probs: &[(f64, f64)], z: f64) -> Result<BoundResult, SenseError> {
+    let n = probs.len();
+    if n == 0 {
+        return Err(SenseError::EmptyData);
+    }
+    if n > MAX_EXACT_SOURCES {
+        return Err(SenseError::TooManySources {
+            n,
+            max: MAX_EXACT_SOURCES,
+        });
+    }
+    validate(probs, z)?;
+
+    let clamped: Vec<(f64, f64)> = probs
+        .iter()
+        .map(|&(p1, p0)| {
+            (
+                p1.clamp(P_MARGIN, 1.0 - P_MARGIN),
+                p0.clamp(P_MARGIN, 1.0 - P_MARGIN),
+            )
+        })
+        .collect();
+
+    // Suffix odds bounds: for patterns over sources k..n, the likelihood
+    // ratio rest1/rest0 lies within [min_ratio[k], max_ratio[k]].
+    let mut min_ratio = vec![1.0f64; n + 1];
+    let mut max_ratio = vec![1.0f64; n + 1];
+    for k in (0..n).rev() {
+        let (p1, p0) = clamped[k];
+        let claim = p1 / p0;
+        let silent = (1.0 - p1) / (1.0 - p0);
+        min_ratio[k] = min_ratio[k + 1] * claim.min(silent);
+        max_ratio[k] = max_ratio[k + 1] * claim.max(silent);
+    }
+
+    let mut acc = Accumulator::default();
+    dfs(&clamped, z, 0, 1.0, 1.0, &min_ratio, &max_ratio, &mut acc);
+    Ok(BoundResult {
+        error: acc.fp + acc.fn_,
+        false_positive: acc.fp,
+        false_negative: acc.fn_,
+    })
+}
+
+#[derive(Default)]
+struct Accumulator {
+    fp: f64,
+    fn_: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    probs: &[(f64, f64)],
+    z: f64,
+    k: usize,
+    q1: f64,
+    q0: f64,
+    min_ratio: &[f64],
+    max_ratio: &[f64],
+    acc: &mut Accumulator,
+) {
+    let w1 = z * q1;
+    let w0 = (1.0 - z) * q0;
+    // Whole subtree decides "true" (every leaf has w1·rest1 > w0·rest0):
+    // the error mass is Σ w0·rest0 = w0.
+    if w1 * min_ratio[k] > w0 {
+        acc.fp += w0;
+        return;
+    }
+    // Whole subtree decides "false": error mass Σ w1·rest1 = w1.
+    if w1 * max_ratio[k] <= w0 {
+        acc.fn_ += w1;
+        return;
+    }
+    debug_assert!(k < probs.len(), "leaf must have been decided by the bounds");
+    let (p1, p0) = probs[k];
+    dfs(probs, z, k + 1, q1 * p1, q0 * p0, min_ratio, max_ratio, acc);
+    dfs(
+        probs,
+        z,
+        k + 1,
+        q1 * (1.0 - p1),
+        q0 * (1.0 - p0),
+        min_ratio,
+        max_ratio,
+        acc,
+    );
+}
+
+/// Unpruned reference enumeration; used by tests to validate the pruned
+/// walk. Limited to small `n` by construction.
+#[cfg(test)]
+pub(crate) fn exact_bound_naive(probs: &[(f64, f64)], z: f64) -> BoundResult {
+    let n = probs.len();
+    assert!(n <= 20);
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for pattern in 0u32..(1 << n) {
+        let mut p1 = z;
+        let mut p0 = 1.0 - z;
+        for (i, &(a, b)) in probs.iter().enumerate() {
+            if pattern >> i & 1 == 1 {
+                p1 *= a;
+                p0 *= b;
+            } else {
+                p1 *= 1.0 - a;
+                p0 *= 1.0 - b;
+            }
+        }
+        if p1 > p0 {
+            fp += p0;
+        } else {
+            fn_ += p1;
+        }
+    }
+    BoundResult {
+        error: fp + fn_,
+        false_positive: fp,
+        false_negative: fn_,
+    }
+}
+
+/// Evaluates Eq. 3 from *explicit* joint pattern tables, as in the paper's
+/// Table I walk-through: `p1[s] = P(SC_j = s | C_j = 1)` and `p0[s] =
+/// P(SC_j = s | C_j = 0)` for every pattern `s`.
+///
+/// Unlike [`exact_bound`], this makes no factorisation assumption, so it
+/// accepts tables with arbitrary inter-source correlation.
+///
+/// # Errors
+///
+/// * [`SenseError::DimensionMismatch`] — the two tables differ in length.
+/// * [`SenseError::EmptyData`] — the tables are empty.
+/// * [`SenseError::InvalidProbability`] — `z ∉ [0, 1]`.
+pub fn exact_bound_from_table(p1: &[f64], p0: &[f64], z: f64) -> Result<BoundResult, SenseError> {
+    if p1.len() != p0.len() {
+        return Err(SenseError::DimensionMismatch {
+            what: "pattern table length",
+            expected: p1.len(),
+            actual: p0.len(),
+        });
+    }
+    if p1.is_empty() {
+        return Err(SenseError::EmptyData);
+    }
+    if !(0.0..=1.0).contains(&z) || !z.is_finite() {
+        return Err(SenseError::InvalidProbability { name: "z", value: z });
+    }
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for (&a, &b) in p1.iter().zip(p0) {
+        let w1 = z * a;
+        let w0 = (1.0 - z) * b;
+        if w1 > w0 {
+            fp += w0;
+        } else {
+            fn_ += w1;
+        }
+    }
+    Ok(BoundResult {
+        error: fp + fn_,
+        false_positive: fp,
+        false_negative: fn_,
+    })
+}
+
+fn validate(probs: &[(f64, f64)], z: f64) -> Result<(), SenseError> {
+    if !(0.0..=1.0).contains(&z) || !z.is_finite() {
+        return Err(SenseError::InvalidProbability { name: "z", value: z });
+    }
+    for &(p1, p0) in probs {
+        if !(0.0..=1.0).contains(&p1) || !p1.is_finite() {
+            return Err(SenseError::InvalidProbability {
+                name: "p1",
+                value: p1,
+            });
+        }
+        if !(0.0..=1.0).contains(&p0) || !p0.is_finite() {
+            return Err(SenseError::InvalidProbability {
+                name: "p0",
+                value: p0,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The paper's Table I, columns `P(SC_j|C_j=1)` and `P(SC_j|C_j=0)`
+    /// in pattern order 000, 001, 010, 011, 100, 101, 110, 111.
+    const TABLE_I_P1: [f64; 8] = [
+        0.18546216, 0.17606773, 0.00033244, 0.01971855, 0.24427898, 0.19063986, 0.02321803,
+        0.16028224,
+    ];
+    const TABLE_I_P0: [f64; 8] = [
+        0.05851677, 0.05300123, 0.12803859, 0.16032756, 0.14231588, 0.08222352, 0.18716734,
+        0.18840910,
+    ];
+
+    #[test]
+    fn reproduces_paper_table_i_walkthrough() {
+        let b = exact_bound_from_table(&TABLE_I_P1, &TABLE_I_P0, 0.5).unwrap();
+        // The paper: Err = 0.26980433.
+        assert!(
+            (b.error - 0.26980433).abs() < 1e-8,
+            "got {:.8}, paper says 0.26980433",
+            b.error
+        );
+        assert!((b.false_positive + b.false_negative - b.error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruned_matches_naive_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..50 {
+            let n = rng.gen_range(1..=10);
+            let probs: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.01..0.99), rng.gen_range(0.01..0.99)))
+                .collect();
+            let z = rng.gen_range(0.05..0.95);
+            let pruned = exact_bound(&probs, z).unwrap();
+            let naive = exact_bound_naive(&probs, z);
+            assert!(
+                (pruned.error - naive.error).abs() < 1e-10,
+                "trial {trial}: pruned {} vs naive {}",
+                pruned.error,
+                naive.error
+            );
+            assert!((pruned.false_positive - naive.false_positive).abs() < 1e-10);
+            assert!((pruned.false_negative - naive.false_negative).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bound_is_at_most_min_prior() {
+        // Guessing the prior blindly errs with min(z, 1-z); data only helps.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..=8);
+            let probs: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.01..0.99), rng.gen_range(0.01..0.99)))
+                .collect();
+            let z = rng.gen_range(0.05..0.95);
+            let b = exact_bound(&probs, z).unwrap();
+            assert!(b.error <= z.min(1.0 - z) + 1e-12);
+            assert!(b.error >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uninformative_sources_hit_the_prior() {
+        // p1 == p0 for everyone: claims carry no information, so the
+        // optimal detector guesses the prior and errs with min(z, 1-z).
+        let probs = vec![(0.4, 0.4); 6];
+        let b = exact_bound(&probs, 0.3).unwrap();
+        assert!((b.error - 0.3).abs() < 1e-9);
+        // All error is false negatives (everything is labelled false).
+        assert!(b.false_positive < 1e-9);
+    }
+
+    #[test]
+    fn perfect_sources_drive_error_to_zero() {
+        let probs = vec![(0.999999, 0.000001); 5];
+        let b = exact_bound(&probs, 0.5).unwrap();
+        assert!(b.error < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_priors_have_zero_error() {
+        let probs = vec![(0.7, 0.3); 4];
+        assert!(exact_bound(&probs, 0.0).unwrap().error < 1e-12);
+        assert!(exact_bound(&probs, 1.0).unwrap().error < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            exact_bound(&[], 0.5),
+            Err(SenseError::EmptyData)
+        ));
+        assert!(matches!(
+            exact_bound(&[(0.5, 0.5)], 1.5),
+            Err(SenseError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            exact_bound(&[(1.5, 0.5)], 0.5),
+            Err(SenseError::InvalidProbability { .. })
+        ));
+        let too_many = vec![(0.5, 0.5); MAX_EXACT_SOURCES + 1];
+        assert!(matches!(
+            exact_bound(&too_many, 0.5),
+            Err(SenseError::TooManySources { .. })
+        ));
+    }
+
+    #[test]
+    fn table_function_rejects_mismatched_tables() {
+        assert!(exact_bound_from_table(&[0.5], &[0.2, 0.3], 0.5).is_err());
+        assert!(exact_bound_from_table(&[], &[], 0.5).is_err());
+    }
+
+    #[test]
+    fn more_informative_sources_tighten_the_bound() {
+        let weak = exact_bound(&[(0.55, 0.45); 8], 0.5).unwrap();
+        let strong = exact_bound(&[(0.9, 0.1); 8], 0.5).unwrap();
+        assert!(strong.error < weak.error);
+    }
+
+    #[test]
+    fn pruning_handles_25_sources_quickly() {
+        // 2^25 leaves unpruned; with informative sources this must finish
+        // near-instantly because almost every subtree decides early.
+        let probs: Vec<(f64, f64)> = (0..25)
+            .map(|i| (0.6 + 0.01 * (i % 10) as f64, 0.4 - 0.01 * (i % 10) as f64))
+            .collect();
+        let b = exact_bound(&probs, 0.6).unwrap();
+        assert!(b.error > 0.0 && b.error < 0.4);
+    }
+}

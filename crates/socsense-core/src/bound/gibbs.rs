@@ -1,0 +1,468 @@
+//! Gibbs-sampling approximation of the error bound (Algorithm 1, Eq. 6).
+//!
+//! The sampler draws claim patterns `s ∈ {0,1}^n` from the model's
+//! marginal `P(s) = z·P(s|C=1) + (1-z)·P(s|C=0)` by resampling one
+//! source's claim at a time from its full conditional, maintaining the two
+//! joint log-likelihoods incrementally (refreshed periodically against
+//! drift).
+//!
+//! Two estimators turn samples into a bound estimate:
+//!
+//! * [`GibbsEstimator::SelfNormalized`] *(default)* — the standard
+//!   self-normalized importance estimator
+//!   `(1/T)·Σ_t min(w1_t, w0_t) / P(s_t)`, which is consistent for Eq. 3
+//!   because patterns arrive with frequency `∝ P(s)`.
+//! * [`GibbsEstimator::PaperRatio`] — Eq. 6 exactly as printed,
+//!   `Σ_t min_t / Σ_t (w1_t + w0_t)`. Taken literally this converges to
+//!   `E_P[min]/E_P[P]`, which is *not* Eq. 3 in general; it is provided
+//!   for fidelity and so the discrepancy can be demonstrated (see
+//!   `DESIGN.md` §4 and the crate tests).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use socsense_matrix::logprob::{log_sum_exp2, safe_ln, safe_ln_1m};
+use socsense_matrix::FixedBitSet;
+
+use crate::bound::BoundResult;
+use crate::error::SenseError;
+
+/// Which sample-averaging rule [`gibbs_bound`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GibbsEstimator {
+    /// Consistent self-normalized importance estimator (default).
+    #[default]
+    SelfNormalized,
+    /// The paper's Eq. 6 ratio, implemented verbatim.
+    PaperRatio,
+}
+
+/// Configuration for [`gibbs_bound`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GibbsConfig {
+    /// Sweeps discarded before sampling starts.
+    pub burn_in: usize,
+    /// Sweeps between retained samples.
+    pub thin: usize,
+    /// Minimum retained samples before convergence may stop the chain.
+    pub min_samples: usize,
+    /// Hard cap on retained samples.
+    pub max_samples: usize,
+    /// Convergence is checked every this many retained samples.
+    pub check_every: usize,
+    /// Chain stops once successive checks differ by less than this.
+    pub tol: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Averaging rule.
+    pub estimator: GibbsEstimator,
+}
+
+impl Default for GibbsConfig {
+    fn default() -> Self {
+        Self {
+            burn_in: 100,
+            thin: 2,
+            min_samples: 400,
+            max_samples: 20_000,
+            check_every: 200,
+            tol: 5e-4,
+            seed: 0,
+            estimator: GibbsEstimator::SelfNormalized,
+        }
+    }
+}
+
+/// Result of one [`gibbs_bound`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GibbsOutcome {
+    /// Approximate bound with FP/FN split.
+    pub result: BoundResult,
+    /// Retained samples.
+    pub samples: usize,
+    /// Whether the convergence criterion (rather than `max_samples`)
+    /// stopped the chain.
+    pub converged: bool,
+}
+
+/// Approximates the Bayes-risk bound for one assertion by Gibbs sampling.
+///
+/// Inputs are as in [`crate::bound::exact_bound`]: per-source claim
+/// probabilities under both hypotheses, and the prior `z`.
+///
+/// # Errors
+///
+/// * [`SenseError::EmptyData`] — no sources.
+/// * [`SenseError::InvalidProbability`] — an input outside `[0, 1]`.
+/// * [`SenseError::BadConfig`] — a zero `thin`, `check_every`, or
+///   `max_samples`.
+///
+/// # Example
+///
+/// ```
+/// use socsense_core::{exact_bound, gibbs_bound, GibbsConfig};
+///
+/// let probs = vec![(0.8, 0.3), (0.6, 0.2), (0.7, 0.4)];
+/// let exact = exact_bound(&probs, 0.5)?;
+/// let approx = gibbs_bound(&probs, 0.5, &GibbsConfig::default())?;
+/// assert!((approx.result.error - exact.error).abs() < 0.03);
+/// # Ok::<(), socsense_core::SenseError>(())
+/// ```
+pub fn gibbs_bound(
+    probs: &[(f64, f64)],
+    z: f64,
+    config: &GibbsConfig,
+) -> Result<GibbsOutcome, SenseError> {
+    let n = probs.len();
+    if n == 0 {
+        return Err(SenseError::EmptyData);
+    }
+    if !(0.0..=1.0).contains(&z) || !z.is_finite() {
+        return Err(SenseError::InvalidProbability { name: "z", value: z });
+    }
+    for &(p1, p0) in probs {
+        for (name, v) in [("p1", p1), ("p0", p0)] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(SenseError::InvalidProbability { name, value: v });
+            }
+        }
+    }
+    if config.thin == 0 || config.check_every == 0 || config.max_samples == 0 {
+        return Err(SenseError::BadConfig {
+            what: "thin, check_every, and max_samples must be positive",
+        });
+    }
+
+    let mut chain = Chain::new(probs, z, config.seed);
+    for _ in 0..config.burn_in {
+        chain.sweep();
+    }
+
+    let mut acc = match config.estimator {
+        GibbsEstimator::SelfNormalized => EstimatorState::SelfNormalized {
+            fp_sum: 0.0,
+            fn_sum: 0.0,
+        },
+        GibbsEstimator::PaperRatio => EstimatorState::PaperRatio {
+            ln_fp: f64::NEG_INFINITY,
+            ln_fn: f64::NEG_INFINITY,
+            ln_total: f64::NEG_INFINITY,
+        },
+    };
+
+    let mut samples = 0usize;
+    let mut last_estimate = f64::NAN;
+    let mut converged = false;
+    while samples < config.max_samples {
+        for _ in 0..config.thin {
+            chain.sweep();
+        }
+        acc.absorb(chain.ln_joint1(), chain.ln_joint0());
+        samples += 1;
+        if samples.is_multiple_of(config.check_every) {
+            let est = acc.result(samples).error;
+            if samples >= config.min_samples && (est - last_estimate).abs() < config.tol {
+                converged = true;
+                break;
+            }
+            last_estimate = est;
+        }
+    }
+
+    Ok(GibbsOutcome {
+        result: acc.result(samples),
+        samples,
+        converged,
+    })
+}
+
+/// The Markov chain over claim patterns.
+struct Chain {
+    n: usize,
+    ln_z: f64,
+    ln_1z: f64,
+    /// `[ln p, ln(1-p)]` per source under C=1 / C=0.
+    ln_p1: Vec<[f64; 2]>,
+    ln_p0: Vec<[f64; 2]>,
+    state: FixedBitSet,
+    ln_prod1: f64,
+    ln_prod0: f64,
+    rng: StdRng,
+    sweeps: usize,
+}
+
+impl Chain {
+    fn new(probs: &[(f64, f64)], z: f64, seed: u64) -> Self {
+        let n = probs.len();
+        let ln_p1: Vec<[f64; 2]> = probs
+            .iter()
+            .map(|&(p1, _)| [safe_ln(p1), safe_ln_1m(p1)])
+            .collect();
+        let ln_p0: Vec<[f64; 2]> = probs
+            .iter()
+            .map(|&(_, p0)| [safe_ln(p0), safe_ln_1m(p0)])
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = FixedBitSet::new(n);
+        for (i, &(p1, p0)) in probs.iter().enumerate() {
+            let marginal = z * p1 + (1.0 - z) * p0;
+            state.set(i, rng.gen_bool(marginal.clamp(0.0, 1.0)));
+        }
+        let mut chain = Self {
+            n,
+            ln_z: safe_ln(z),
+            ln_1z: safe_ln_1m(z),
+            ln_p1,
+            ln_p0,
+            state,
+            ln_prod1: 0.0,
+            ln_prod0: 0.0,
+            rng,
+            sweeps: 0,
+        };
+        chain.refresh_products();
+        chain
+    }
+
+    fn refresh_products(&mut self) {
+        self.ln_prod1 = 0.0;
+        self.ln_prod0 = 0.0;
+        for i in 0..self.n {
+            let idx = usize::from(!self.state.get(i));
+            self.ln_prod1 += self.ln_p1[i][idx];
+            self.ln_prod0 += self.ln_p0[i][idx];
+        }
+    }
+
+    /// One full-conditional resampling pass over all sources.
+    fn sweep(&mut self) {
+        for i in 0..self.n {
+            let cur = usize::from(!self.state.get(i));
+            let rest1 = self.ln_prod1 - self.ln_p1[i][cur];
+            let rest0 = self.ln_prod0 - self.ln_p0[i][cur];
+            // Joint weights of (s_i = 1, rest) and (s_i = 0, rest).
+            let ln_w1 = log_sum_exp2(
+                self.ln_z + rest1 + self.ln_p1[i][0],
+                self.ln_1z + rest0 + self.ln_p0[i][0],
+            );
+            let ln_w0 = log_sum_exp2(
+                self.ln_z + rest1 + self.ln_p1[i][1],
+                self.ln_1z + rest0 + self.ln_p0[i][1],
+            );
+            let p_claim = (ln_w1 - log_sum_exp2(ln_w1, ln_w0)).exp();
+            let claim = self.rng.gen_bool(p_claim.clamp(0.0, 1.0));
+            self.state.set(i, claim);
+            let idx = usize::from(!claim);
+            self.ln_prod1 = rest1 + self.ln_p1[i][idx];
+            self.ln_prod0 = rest0 + self.ln_p0[i][idx];
+        }
+        self.sweeps += 1;
+        // Periodic full recomputation bounds floating-point drift.
+        if self.sweeps.is_multiple_of(64) {
+            self.refresh_products();
+        }
+    }
+
+    /// `ln( z · P(s | C=1) )` of the current state.
+    fn ln_joint1(&self) -> f64 {
+        self.ln_z + self.ln_prod1
+    }
+
+    /// `ln( (1-z) · P(s | C=0) )` of the current state.
+    fn ln_joint0(&self) -> f64 {
+        self.ln_1z + self.ln_prod0
+    }
+}
+
+enum EstimatorState {
+    SelfNormalized { fp_sum: f64, fn_sum: f64 },
+    PaperRatio { ln_fp: f64, ln_fn: f64, ln_total: f64 },
+}
+
+impl EstimatorState {
+    fn absorb(&mut self, ln_j1: f64, ln_j0: f64) {
+        let ln_p = log_sum_exp2(ln_j1, ln_j0);
+        match self {
+            EstimatorState::SelfNormalized { fp_sum, fn_sum } => {
+                // min / P(s): the losing hypothesis' posterior share.
+                if ln_j1 > ln_j0 {
+                    *fp_sum += (ln_j0 - ln_p).exp();
+                } else {
+                    *fn_sum += (ln_j1 - ln_p).exp();
+                }
+            }
+            EstimatorState::PaperRatio {
+                ln_fp,
+                ln_fn,
+                ln_total,
+            } => {
+                if ln_j1 > ln_j0 {
+                    *ln_fp = log_sum_exp2(*ln_fp, ln_j0);
+                } else {
+                    *ln_fn = log_sum_exp2(*ln_fn, ln_j1);
+                }
+                *ln_total = log_sum_exp2(*ln_total, ln_p);
+            }
+        }
+    }
+
+    fn result(&self, samples: usize) -> BoundResult {
+        match self {
+            EstimatorState::SelfNormalized { fp_sum, fn_sum } => {
+                let t = samples.max(1) as f64;
+                BoundResult {
+                    error: (fp_sum + fn_sum) / t,
+                    false_positive: fp_sum / t,
+                    false_negative: fn_sum / t,
+                }
+            }
+            EstimatorState::PaperRatio {
+                ln_fp,
+                ln_fn,
+                ln_total,
+            } => {
+                if *ln_total == f64::NEG_INFINITY {
+                    return BoundResult::default();
+                }
+                BoundResult {
+                    error: (log_sum_exp2(*ln_fp, *ln_fn) - ln_total).exp(),
+                    false_positive: (ln_fp - ln_total).exp(),
+                    false_negative: (ln_fn - ln_total).exp(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::exact::exact_bound;
+
+    fn informative() -> Vec<(f64, f64)> {
+        vec![
+            (0.75, 0.30),
+            (0.55, 0.25),
+            (0.65, 0.45),
+            (0.80, 0.20),
+            (0.50, 0.35),
+        ]
+    }
+
+    #[test]
+    fn self_normalized_tracks_exact() {
+        let probs = informative();
+        let exact = exact_bound(&probs, 0.6).unwrap();
+        let cfg = GibbsConfig {
+            min_samples: 4000,
+            max_samples: 40_000,
+            tol: 1e-4,
+            seed: 42,
+            ..GibbsConfig::default()
+        };
+        let approx = gibbs_bound(&probs, 0.6, &cfg).unwrap();
+        assert!(
+            (approx.result.error - exact.error).abs() < 0.015,
+            "approx {} vs exact {}",
+            approx.result.error,
+            exact.error
+        );
+        // FP/FN split is also close.
+        assert!((approx.result.false_positive - exact.false_positive).abs() < 0.02);
+        assert!((approx.result.false_negative - exact.false_negative).abs() < 0.02);
+    }
+
+    #[test]
+    fn split_sums_to_total() {
+        let cfg = GibbsConfig {
+            seed: 3,
+            ..GibbsConfig::default()
+        };
+        let out = gibbs_bound(&informative(), 0.5, &cfg).unwrap();
+        let r = out.result;
+        assert!((r.false_positive + r.false_negative - r.error).abs() < 1e-12);
+        assert!(out.samples > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GibbsConfig {
+            seed: 11,
+            ..GibbsConfig::default()
+        };
+        let a = gibbs_bound(&informative(), 0.5, &cfg).unwrap();
+        let b = gibbs_bound(&informative(), 0.5, &cfg).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn paper_ratio_runs_and_differs_in_general() {
+        // With heterogeneous pattern probabilities the literal Eq. 6
+        // estimator is biased toward probable patterns; on this input the
+        // two estimators disagree measurably while SelfNormalized matches
+        // the exact bound.
+        let probs = vec![(0.95, 0.05), (0.9, 0.1), (0.6, 0.55), (0.52, 0.5)];
+        let exact = exact_bound(&probs, 0.5).unwrap();
+        let mk = |estimator| GibbsConfig {
+            estimator,
+            min_samples: 6000,
+            max_samples: 60_000,
+            tol: 5e-5,
+            seed: 17,
+            ..GibbsConfig::default()
+        };
+        let sn = gibbs_bound(&probs, 0.5, &mk(GibbsEstimator::SelfNormalized)).unwrap();
+        let pr = gibbs_bound(&probs, 0.5, &mk(GibbsEstimator::PaperRatio)).unwrap();
+        assert!((sn.result.error - exact.error).abs() < 0.01);
+        // The ratio estimator yields *a* number in [0, 0.5]; we only pin
+        // down that it ran and stayed in range (its bias is input-specific).
+        assert!(pr.result.error >= 0.0 && pr.result.error <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn uninformative_sources_approach_prior() {
+        let probs = vec![(0.4, 0.4); 10];
+        let cfg = GibbsConfig {
+            min_samples: 2000,
+            seed: 8,
+            ..GibbsConfig::default()
+        };
+        let out = gibbs_bound(&probs, 0.3, &cfg).unwrap();
+        assert!((out.result.error - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            gibbs_bound(&[], 0.5, &GibbsConfig::default()),
+            Err(SenseError::EmptyData)
+        ));
+        assert!(gibbs_bound(&[(1.2, 0.5)], 0.5, &GibbsConfig::default()).is_err());
+        let bad = GibbsConfig {
+            thin: 0,
+            ..GibbsConfig::default()
+        };
+        assert!(matches!(
+            gibbs_bound(&[(0.5, 0.5)], 0.5, &bad),
+            Err(SenseError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn scales_to_hundreds_of_sources() {
+        let probs: Vec<(f64, f64)> = (0..300)
+            .map(|i| (0.5 + 0.3 * ((i % 7) as f64 / 7.0), 0.4 - 0.2 * ((i % 5) as f64 / 5.0)))
+            .collect();
+        let cfg = GibbsConfig {
+            min_samples: 200,
+            max_samples: 1000,
+            seed: 2,
+            ..GibbsConfig::default()
+        };
+        let out = gibbs_bound(&probs, 0.5, &cfg).unwrap();
+        assert!(out.result.error.is_finite());
+        assert!(out.result.error >= 0.0 && out.result.error <= 0.5 + 1e-9);
+    }
+}

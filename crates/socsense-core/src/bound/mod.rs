@@ -1,0 +1,247 @@
+//! Fundamental error bounds on assertion misclassification (Sec. III).
+//!
+//! The bound is the Bayes risk of the *optimal* detector for one
+//! assertion: knowing `θ` and the assertion's dependency column exactly,
+//! no estimator can average a lower error than
+//!
+//! ```text
+//! E^opt(error) = Σ_{sc ∈ {0,1}^n} min( z·P(sc|C=1),  (1-z)·P(sc|C=0) )     (Eq. 3)
+//! ```
+//!
+//! [`exact_bound`] evaluates the sum exactly with a decision-pruned
+//! depth-first enumeration; [`gibbs_bound`] approximates it by Gibbs
+//! sampling (Algorithm 1). Both report the split into *false-positive*
+//! mass (false assertions the optimal detector would label true) and
+//! *false-negative* mass, which the paper plots in Figs. 3–5 and 7–10.
+
+mod exact;
+mod gibbs;
+mod importance;
+mod mismatch;
+
+use serde::{Deserialize, Serialize};
+
+pub use exact::{exact_bound, exact_bound_from_table, MAX_EXACT_SOURCES};
+pub use gibbs::{gibbs_bound, GibbsConfig, GibbsEstimator, GibbsOutcome};
+pub use importance::{importance_bound, ImportanceConfig, ImportanceOutcome};
+pub use mismatch::mismatched_decision_error;
+
+use crate::data::ClaimData;
+use crate::error::SenseError;
+use crate::model::Theta;
+
+/// A Bayes-risk bound with its false-positive / false-negative split.
+///
+/// Invariant: `error = false_positive + false_negative` (up to floating
+/// point rounding).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BoundResult {
+    /// Total expected misclassification probability.
+    pub error: f64,
+    /// Portion from labelling false assertions true.
+    pub false_positive: f64,
+    /// Portion from labelling true assertions false.
+    pub false_negative: f64,
+}
+
+impl BoundResult {
+    /// The paper's "Optimal" accuracy curve: `1 - error`.
+    pub fn optimal_accuracy(&self) -> f64 {
+        1.0 - self.error
+    }
+
+    fn mean_of(results: &[BoundResult]) -> BoundResult {
+        let k = results.len().max(1) as f64;
+        BoundResult {
+            error: results.iter().map(|r| r.error).sum::<f64>() / k,
+            false_positive: results.iter().map(|r| r.false_positive).sum::<f64>() / k,
+            false_negative: results.iter().map(|r| r.false_negative).sum::<f64>() / k,
+        }
+    }
+}
+
+/// How [`bound_for_data`] evaluates each per-assertion bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BoundMethod {
+    /// Exact enumeration (Eq. 3); errors out beyond
+    /// [`MAX_EXACT_SOURCES`] sources.
+    Exact,
+    /// Gibbs-sampling approximation (Algorithm 1).
+    Gibbs(GibbsConfig),
+    /// Exact up to `exact_max_sources`, Gibbs beyond.
+    Auto {
+        /// Largest `n` still enumerated exactly.
+        exact_max_sources: usize,
+        /// Sampler settings used past that point.
+        gibbs: GibbsConfig,
+    },
+}
+
+impl Default for BoundMethod {
+    fn default() -> Self {
+        BoundMethod::Auto {
+            exact_max_sources: 20,
+            gibbs: GibbsConfig::default(),
+        }
+    }
+}
+
+/// Per-source claim probabilities `(P(claim | C=1), P(claim | C=0))` for
+/// assertion `j`: `(a_i, b_i)` on independent cells, `(f_i, g_i)` on
+/// dependent ones.
+pub(crate) fn assertion_probs(data: &ClaimData, theta: &Theta, j: u32) -> Vec<(f64, f64)> {
+    let mut probs: Vec<(f64, f64)> = theta.sources().iter().map(|s| (s.a, s.b)).collect();
+    for &i in data.d().col(j) {
+        let s = theta.source(i as usize);
+        probs[i as usize] = (s.f, s.g);
+    }
+    probs
+}
+
+/// Mean Bayes-risk bound over a chosen subset of assertions.
+///
+/// Each assertion has its own dependency column and therefore its own
+/// bound; the paper reports the average. Use this to subsample large
+/// datasets; [`bound_for_data`] covers every assertion.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches and [`SenseError::TooManySources`]
+/// from the exact path; returns [`SenseError::EmptyData`] when
+/// `assertions` is empty.
+pub fn bound_for_assertions(
+    data: &ClaimData,
+    theta: &Theta,
+    method: &BoundMethod,
+    assertions: &[u32],
+) -> Result<BoundResult, SenseError> {
+    if assertions.is_empty() {
+        return Err(SenseError::EmptyData);
+    }
+    if data.source_count() != theta.source_count() {
+        return Err(SenseError::DimensionMismatch {
+            what: "theta source count vs data",
+            expected: data.source_count(),
+            actual: theta.source_count(),
+        });
+    }
+    let n = data.source_count();
+    let mut per = Vec::with_capacity(assertions.len());
+    for &j in assertions {
+        if j as usize >= data.assertion_count() {
+            return Err(SenseError::DimensionMismatch {
+                what: "assertion index vs data",
+                expected: data.assertion_count(),
+                actual: j as usize,
+            });
+        }
+        let probs = assertion_probs(data, theta, j);
+        let r = match method {
+            BoundMethod::Exact => exact_bound(&probs, theta.z())?,
+            BoundMethod::Gibbs(cfg) => gibbs_bound(&probs, theta.z(), cfg)?.result,
+            BoundMethod::Auto {
+                exact_max_sources,
+                gibbs,
+            } => {
+                if n <= *exact_max_sources {
+                    exact_bound(&probs, theta.z())?
+                } else {
+                    gibbs_bound(&probs, theta.z(), gibbs)?.result
+                }
+            }
+        };
+        per.push(r);
+    }
+    Ok(BoundResult::mean_of(&per))
+}
+
+/// Mean Bayes-risk bound over *all* assertions in `data`.
+///
+/// # Errors
+///
+/// See [`bound_for_assertions`].
+pub fn bound_for_data(
+    data: &ClaimData,
+    theta: &Theta,
+    method: &BoundMethod,
+) -> Result<BoundResult, SenseError> {
+    let all: Vec<u32> = (0..data.assertion_count() as u32).collect();
+    bound_for_assertions(data, theta, method, &all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceParams;
+    use socsense_matrix::SparseBinaryMatrix;
+
+    fn tiny() -> (ClaimData, Theta) {
+        let sc = SparseBinaryMatrix::from_entries(3, 2, [(0, 0), (1, 0), (2, 1)]);
+        let d = SparseBinaryMatrix::from_entries(3, 2, [(1, 0)]);
+        let theta = Theta::new(
+            vec![
+                SourceParams::new(0.7, 0.2, 0.6, 0.3).unwrap(),
+                SourceParams::new(0.6, 0.3, 0.8, 0.4).unwrap(),
+                SourceParams::new(0.9, 0.1, 0.5, 0.5).unwrap(),
+            ],
+            0.6,
+        )
+        .unwrap();
+        (ClaimData::new(sc, d).unwrap(), theta)
+    }
+
+    #[test]
+    fn assertion_probs_respects_dependency_column() {
+        let (data, theta) = tiny();
+        let p0 = assertion_probs(&data, &theta, 0);
+        // Source 1 is dependent on assertion 0 -> (f, g).
+        assert_eq!(p0[1], (0.8, 0.4));
+        assert_eq!(p0[0], (0.7, 0.2));
+        let p1 = assertion_probs(&data, &theta, 1);
+        assert_eq!(p1[1], (0.6, 0.3));
+    }
+
+    #[test]
+    fn bound_for_data_averages_and_splits() {
+        let (data, theta) = tiny();
+        let r = bound_for_data(&data, &theta, &BoundMethod::Exact).unwrap();
+        assert!(r.error > 0.0 && r.error < 0.5);
+        assert!((r.false_positive + r.false_negative - r.error).abs() < 1e-12);
+        assert!((r.optimal_accuracy() - (1.0 - r.error)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn auto_switches_to_gibbs_for_many_sources() {
+        let (data, theta) = tiny();
+        let method = BoundMethod::Auto {
+            exact_max_sources: 1, // force Gibbs even here
+            gibbs: GibbsConfig {
+                seed: 7,
+                ..GibbsConfig::default()
+            },
+        };
+        let approx = bound_for_data(&data, &theta, &method).unwrap();
+        let exact = bound_for_data(&data, &theta, &BoundMethod::Exact).unwrap();
+        assert!(
+            (approx.error - exact.error).abs() < 0.05,
+            "gibbs {} vs exact {}",
+            approx.error,
+            exact.error
+        );
+    }
+
+    #[test]
+    fn empty_assertion_list_rejected() {
+        let (data, theta) = tiny();
+        assert!(matches!(
+            bound_for_assertions(&data, &theta, &BoundMethod::Exact, &[]),
+            Err(SenseError::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_assertion_rejected() {
+        let (data, theta) = tiny();
+        assert!(bound_for_assertions(&data, &theta, &BoundMethod::Exact, &[9]).is_err());
+    }
+}

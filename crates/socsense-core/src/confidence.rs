@@ -1,0 +1,290 @@
+//! Confidence intervals on the estimated source parameters.
+//!
+//! The paper's related work (Wang et al., SECON 2012) quantifies how much
+//! to trust the *estimates themselves* via Cramér–Rao-style bounds. This
+//! module provides the practical equivalent for the dependency-aware
+//! model: each rate in `θ̂` is a posterior-weighted Bernoulli frequency
+//! `num / den`, so its asymptotic standard error is
+//! `sqrt(p̂(1-p̂) / den)` — `den` playing the role of the effective sample
+//! size for that parameter. Wald intervals built from these match the
+//! CRLB for a Bernoulli rate and make the per-source uncertainty visible:
+//! a source with three observed claims gets an appropriately enormous
+//! interval around its `â`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::ClaimData;
+use crate::error::SenseError;
+use crate::model::Theta;
+
+/// A symmetric Wald interval around one estimated rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Standard error `sqrt(p̂(1-p̂)/n_eff)`; infinite when the parameter
+    /// had no effective observations.
+    pub std_error: f64,
+    /// Effective sample size (posterior-weighted cell count).
+    pub effective_n: f64,
+    /// Interval lower bound, clamped to `[0, 1]`.
+    pub lo: f64,
+    /// Interval upper bound, clamped to `[0, 1]`.
+    pub hi: f64,
+}
+
+impl RateInterval {
+    fn new(estimate: f64, effective_n: f64, zcrit: f64) -> Self {
+        let std_error = if effective_n > 0.0 {
+            (estimate * (1.0 - estimate) / effective_n).sqrt()
+        } else {
+            f64::INFINITY
+        };
+        let half = zcrit * std_error;
+        Self {
+            estimate,
+            std_error,
+            effective_n,
+            lo: (estimate - half).clamp(0.0, 1.0),
+            hi: (estimate + half).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Whether the interval covers `value`.
+    pub fn covers(&self, value: f64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+
+    /// Interval width (`hi - lo`).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Per-source confidence intervals for all four rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceConfidence {
+    /// Interval for `a` (independent claims on true assertions).
+    pub a: RateInterval,
+    /// Interval for `b`.
+    pub b: RateInterval,
+    /// Interval for `f` (dependent claims on true assertions).
+    pub f: RateInterval,
+    /// Interval for `g`.
+    pub g: RateInterval,
+}
+
+/// Confidence report for a fitted model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceReport {
+    /// One entry per source, in source order.
+    pub sources: Vec<SourceConfidence>,
+    /// z critical value the intervals used (1.96 for 95%).
+    pub z_critical: f64,
+}
+
+/// Builds Wald intervals for every source parameter of a fitted `θ̂`.
+///
+/// `posterior` must be the truth posteriors the fit produced (its length
+/// defines the effective-sample weighting); `confidence` is the two-sided
+/// level, e.g. `0.95`.
+///
+/// # Errors
+///
+/// * [`SenseError::DimensionMismatch`] — `theta`/`posterior` do not match
+///   `data`.
+/// * [`SenseError::InvalidProbability`] — `confidence` outside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use socsense_core::{confidence_report, ClaimData, EmConfig, EmExt};
+/// use socsense_matrix::SparseBinaryMatrix;
+///
+/// let sc = SparseBinaryMatrix::from_entries(2, 4, [(0, 0), (0, 1), (1, 2)]);
+/// let data = ClaimData::new(sc, SparseBinaryMatrix::empty(2, 4))?;
+/// let fit = EmExt::new(EmConfig::default()).fit(&data)?;
+/// let report = confidence_report(&data, &fit.theta, &fit.posterior, 0.95)?;
+/// assert_eq!(report.sources.len(), 2);
+/// // Four assertions cannot pin a rate tightly: the interval is wide.
+/// assert!(report.sources[0].a.width() > 0.2);
+/// # Ok::<(), socsense_core::SenseError>(())
+/// ```
+pub fn confidence_report(
+    data: &ClaimData,
+    theta: &Theta,
+    posterior: &[f64],
+    confidence: f64,
+) -> Result<ConfidenceReport, SenseError> {
+    if theta.source_count() != data.source_count() {
+        return Err(SenseError::DimensionMismatch {
+            what: "theta source count vs data",
+            expected: data.source_count(),
+            actual: theta.source_count(),
+        });
+    }
+    if posterior.len() != data.assertion_count() {
+        return Err(SenseError::DimensionMismatch {
+            what: "posterior length vs assertion count",
+            expected: data.assertion_count(),
+            actual: posterior.len(),
+        });
+    }
+    if !(0.0 < confidence && confidence < 1.0) {
+        return Err(SenseError::InvalidProbability {
+            name: "confidence",
+            value: confidence,
+        });
+    }
+    let zcrit = z_critical(confidence);
+    let sum_z: f64 = posterior.iter().sum();
+    let sum_y = data.assertion_count() as f64 - sum_z;
+
+    let mut sources = Vec::with_capacity(data.source_count());
+    for i in 0..data.source_count() as u32 {
+        let mut dep_z = 0.0;
+        let mut dep_cells = 0usize;
+        for &j in data.d().row(i) {
+            dep_z += posterior[j as usize];
+            dep_cells += 1;
+        }
+        let dep_y = dep_cells as f64 - dep_z;
+        let s = theta.source(i as usize);
+        sources.push(SourceConfidence {
+            a: RateInterval::new(s.a, sum_z - dep_z, zcrit),
+            b: RateInterval::new(s.b, sum_y - dep_y, zcrit),
+            f: RateInterval::new(s.f, dep_z, zcrit),
+            g: RateInterval::new(s.g, dep_y, zcrit),
+        });
+    }
+    Ok(ConfidenceReport {
+        sources,
+        z_critical: zcrit,
+    })
+}
+
+/// Two-sided normal critical value via a rational approximation of the
+/// probit function (Beasley–Springer–Moro); accurate to ~1e-7 over the
+/// levels used in practice.
+fn z_critical(confidence: f64) -> f64 {
+    let p = 0.5 + confidence / 2.0;
+    probit(p)
+}
+
+fn probit(p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    // Beasley-Springer-Moro coefficients.
+    const A: [f64; 4] = [
+        2.50662823884,
+        -18.61500062529,
+        41.39119773534,
+        -25.44106049637,
+    ];
+    const B: [f64; 4] = [
+        -8.47351093090,
+        23.08336743743,
+        -21.06224101826,
+        3.13082909833,
+    ];
+    const C: [f64; 9] = [
+        0.3374754822726147,
+        0.9761690190917186,
+        0.1607979714918209,
+        0.0276438810333863,
+        0.0038405729373609,
+        0.0003951896511919,
+        0.0000321767881768,
+        0.0000002888167364,
+        0.0000003960315187,
+    ];
+    let y = p - 0.5;
+    if y.abs() < 0.42 {
+        let r = y * y;
+        let num = y * (((A[3] * r + A[2]) * r + A[1]) * r + A[0]);
+        let den = (((B[3] * r + B[2]) * r + B[1]) * r + B[0]) * r + 1.0;
+        return num / den;
+    }
+    let r = if y > 0.0 { 1.0 - p } else { p };
+    let s = (-(r.max(1e-300)).ln()).ln();
+    let mut x = C[0];
+    let mut pow = 1.0;
+    for &c in &C[1..] {
+        pow *= s;
+        x += c * pow;
+    }
+    if y < 0.0 {
+        -x
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::em::{EmConfig, EmExt};
+    use socsense_matrix::SparseBinaryMatrix;
+
+    #[test]
+    fn z_critical_matches_standard_table() {
+        assert!((z_critical(0.95) - 1.959964).abs() < 1e-3);
+        assert!((z_critical(0.90) - 1.644854).abs() < 1e-3);
+        assert!((z_critical(0.99) - 2.575829).abs() < 1e-3);
+    }
+
+    #[test]
+    fn more_data_tightens_intervals() {
+        // Same claim pattern replicated over 10 vs 100 assertions.
+        let build = |m: u32| {
+            let entries: Vec<(u32, u32)> = (0..m).filter(|j| j % 2 == 0).map(|j| (0u32, j)).collect();
+            let sc = SparseBinaryMatrix::from_entries(2, m, entries);
+            ClaimData::new(sc, SparseBinaryMatrix::empty(2, m)).unwrap()
+        };
+        let small = build(10);
+        let big = build(100);
+        let fit_s = EmExt::new(EmConfig::default()).fit(&small).unwrap();
+        let fit_b = EmExt::new(EmConfig::default()).fit(&big).unwrap();
+        let rep_s = confidence_report(&small, &fit_s.theta, &fit_s.posterior, 0.95).unwrap();
+        let rep_b = confidence_report(&big, &fit_b.theta, &fit_b.posterior, 0.95).unwrap();
+        assert!(
+            rep_b.sources[0].a.width() < rep_s.sources[0].a.width(),
+            "big-data width {:.3} should beat small-data width {:.3}",
+            rep_b.sources[0].a.width(),
+            rep_s.sources[0].a.width()
+        );
+    }
+
+    #[test]
+    fn unobserved_parameters_have_infinite_uncertainty() {
+        // No dependent cells at all: f and g are unconstrained.
+        let sc = SparseBinaryMatrix::from_entries(2, 5, [(0, 0), (1, 1)]);
+        let data = ClaimData::new(sc, SparseBinaryMatrix::empty(2, 5)).unwrap();
+        let fit = EmExt::new(EmConfig::default()).fit(&data).unwrap();
+        let rep = confidence_report(&data, &fit.theta, &fit.posterior, 0.95).unwrap();
+        for s in &rep.sources {
+            assert_eq!(s.f.effective_n, 0.0);
+            assert!(s.f.std_error.is_infinite());
+            assert_eq!((s.f.lo, s.f.hi), (0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn report_validates_inputs() {
+        let sc = SparseBinaryMatrix::from_entries(2, 3, [(0, 0)]);
+        let data = ClaimData::new(sc, SparseBinaryMatrix::empty(2, 3)).unwrap();
+        let fit = EmExt::new(EmConfig::default()).fit(&data).unwrap();
+        assert!(confidence_report(&data, &fit.theta, &fit.posterior, 1.5).is_err());
+        assert!(confidence_report(&data, &fit.theta, &[0.5], 0.95).is_err());
+        let wrong = Theta::neutral(5);
+        assert!(confidence_report(&data, &wrong, &fit.posterior, 0.95).is_err());
+    }
+
+    #[test]
+    fn covers_is_consistent_with_bounds() {
+        let iv = RateInterval::new(0.5, 100.0, 1.96);
+        assert!(iv.covers(0.5));
+        assert!(iv.covers(iv.lo) && iv.covers(iv.hi));
+        assert!(!iv.covers(iv.hi + 0.01));
+        assert!((iv.width() - 2.0 * 1.96 * iv.std_error).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! The estimator's input: the `SC` / `D` matrix pair.
+
+use serde::{Deserialize, Serialize};
+
+use socsense_graph::{build_matrices, FollowerGraph, TimedClaim};
+use socsense_matrix::SparseBinaryMatrix;
+
+use crate::error::SenseError;
+
+/// Input to every fact-finder in the workspace: the source-claim matrix
+/// `SC` and the dependency indicator matrix `D`, both `n × m`.
+///
+/// `SC[i, j] = 1` means source `i` asserted `C_j`; `D[i, j] = 1` means the
+/// (actual or would-be) claim of `i` on `C_j` is *dependent* — an ancestor
+/// of `i` asserted `C_j` first. See `socsense-graph` for how `D` is derived
+/// from a timestamped claim log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClaimData {
+    sc: SparseBinaryMatrix,
+    d: SparseBinaryMatrix,
+}
+
+impl ClaimData {
+    /// Wraps pre-built matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SenseError::DimensionMismatch`] when shapes differ and
+    /// [`SenseError::EmptyData`] when either dimension is zero.
+    pub fn new(sc: SparseBinaryMatrix, d: SparseBinaryMatrix) -> Result<Self, SenseError> {
+        if sc.nrows() != d.nrows() {
+            return Err(SenseError::DimensionMismatch {
+                what: "SC/D row count",
+                expected: sc.nrows() as usize,
+                actual: d.nrows() as usize,
+            });
+        }
+        if sc.ncols() != d.ncols() {
+            return Err(SenseError::DimensionMismatch {
+                what: "SC/D column count",
+                expected: sc.ncols() as usize,
+                actual: d.ncols() as usize,
+            });
+        }
+        if sc.nrows() == 0 || sc.ncols() == 0 {
+            return Err(SenseError::EmptyData);
+        }
+        Ok(Self { sc, d })
+    }
+
+    /// Builds `SC` and `D` from a timestamped claim log and the follow
+    /// relation (see [`socsense_graph::build_matrices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `m == 0`, or a claim is out of bounds.
+    pub fn from_claims(n: u32, m: u32, claims: &[TimedClaim], graph: &FollowerGraph) -> Self {
+        assert!(n > 0 && m > 0, "need at least one source and one assertion");
+        let (sc, d) = build_matrices(n, m, claims, graph);
+        Self { sc, d }
+    }
+
+    /// Number of sources `n`.
+    pub fn source_count(&self) -> usize {
+        self.sc.nrows() as usize
+    }
+
+    /// Number of assertions `m`.
+    pub fn assertion_count(&self) -> usize {
+        self.sc.ncols() as usize
+    }
+
+    /// The source-claim matrix.
+    pub fn sc(&self) -> &SparseBinaryMatrix {
+        &self.sc
+    }
+
+    /// The dependency indicator matrix.
+    pub fn d(&self) -> &SparseBinaryMatrix {
+        &self.d
+    }
+
+    /// Whether source `i` claimed assertion `j`.
+    #[inline]
+    pub fn claimed(&self, i: u32, j: u32) -> bool {
+        self.sc.contains(i, j)
+    }
+
+    /// Whether cell `(i, j)` is dependent.
+    #[inline]
+    pub fn dependent(&self, i: u32, j: u32) -> bool {
+        self.d.contains(i, j)
+    }
+
+    /// Total number of claims.
+    pub fn claim_count(&self) -> usize {
+        self.sc.nnz()
+    }
+
+    /// Number of claims that are dependent (`SC ∧ D`).
+    pub fn dependent_claim_count(&self) -> usize {
+        self.sc
+            .entries()
+            .filter(|&(i, j)| self.d.contains(i, j))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socsense_graph::FollowerGraph;
+
+    #[test]
+    fn new_validates_shapes() {
+        let sc = SparseBinaryMatrix::empty(2, 3);
+        let d = SparseBinaryMatrix::empty(2, 2);
+        assert!(matches!(
+            ClaimData::new(sc, d),
+            Err(SenseError::DimensionMismatch { .. })
+        ));
+        let sc = SparseBinaryMatrix::empty(0, 3);
+        let d = SparseBinaryMatrix::empty(0, 3);
+        assert!(matches!(ClaimData::new(sc, d), Err(SenseError::EmptyData)));
+    }
+
+    #[test]
+    fn from_claims_round_trips_counts() {
+        let mut g = FollowerGraph::new(3);
+        g.add_follow(0, 1);
+        let claims = vec![
+            TimedClaim::new(1, 0, 1),
+            TimedClaim::new(0, 0, 2),
+            TimedClaim::new(2, 1, 3),
+        ];
+        let data = ClaimData::from_claims(3, 2, &claims, &g);
+        assert_eq!(data.source_count(), 3);
+        assert_eq!(data.assertion_count(), 2);
+        assert_eq!(data.claim_count(), 3);
+        assert_eq!(data.dependent_claim_count(), 1);
+        assert!(data.claimed(0, 0) && data.dependent(0, 0));
+        assert!(data.claimed(2, 1) && !data.dependent(2, 1));
+    }
+}

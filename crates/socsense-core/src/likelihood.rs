@@ -1,0 +1,322 @@
+//! Log-likelihood kernels (Eqs. 4, 5, and 9 of the paper).
+//!
+//! The naive evaluation of `P(SC_j | C_j; D, θ)` multiplies one Bernoulli
+//! factor per source per assertion — `O(n·m)` per EM iteration, which is
+//! prohibitive at Twitter scale. The kernels here instead precompute, for
+//! each hypothesis `C_j ∈ {0, 1}`, the log-probability of the *all-silent,
+//! all-independent* pattern and then apply sparse corrections:
+//!
+//! 1. for every dependent cell (column of `D`), switch the silent factor
+//!    from `1 - a_i` to `1 - f_i` (resp. `1 - b_i` → `1 - g_i`);
+//! 2. for every claim (column of `SC`), switch the silent factor to the
+//!    claiming one (`a_i`, `f_i`, `b_i`, or `g_i` according to `D`).
+//!
+//! Total cost per iteration is `O(nnz(SC) + nnz(D))`.
+
+use socsense_matrix::logprob::{log_sum_exp2, normalize_log_pair, safe_ln, safe_ln_1m};
+
+use crate::data::ClaimData;
+use crate::error::SenseError;
+use crate::model::Theta;
+
+/// Precomputed per-source log-probability tables for one `θ`.
+///
+/// Rebuild after every M-step; construction is `O(n)`.
+#[derive(Debug, Clone)]
+pub struct LikelihoodTables {
+    /// `ln a_i`, `ln (1-a_i)`, ... laid out per source.
+    ln_a: Vec<f64>,
+    ln_1a: Vec<f64>,
+    ln_b: Vec<f64>,
+    ln_1b: Vec<f64>,
+    ln_f: Vec<f64>,
+    ln_1f: Vec<f64>,
+    ln_g: Vec<f64>,
+    ln_1g: Vec<f64>,
+    /// `Σ_i ln(1-a_i)` — all-silent all-independent pattern under `C = 1`.
+    base1: f64,
+    /// `Σ_i ln(1-b_i)` — same under `C = 0`.
+    base0: f64,
+    ln_z: f64,
+    ln_1z: f64,
+}
+
+impl LikelihoodTables {
+    /// Builds the tables for `theta`.
+    pub fn new(theta: &Theta) -> Self {
+        let n = theta.source_count();
+        let mut t = Self {
+            ln_a: Vec::with_capacity(n),
+            ln_1a: Vec::with_capacity(n),
+            ln_b: Vec::with_capacity(n),
+            ln_1b: Vec::with_capacity(n),
+            ln_f: Vec::with_capacity(n),
+            ln_1f: Vec::with_capacity(n),
+            ln_g: Vec::with_capacity(n),
+            ln_1g: Vec::with_capacity(n),
+            base1: 0.0,
+            base0: 0.0,
+            ln_z: safe_ln(theta.z()),
+            ln_1z: safe_ln_1m(theta.z()),
+        };
+        for s in theta.sources() {
+            t.ln_a.push(safe_ln(s.a));
+            t.ln_1a.push(safe_ln_1m(s.a));
+            t.ln_b.push(safe_ln(s.b));
+            t.ln_1b.push(safe_ln_1m(s.b));
+            t.ln_f.push(safe_ln(s.f));
+            t.ln_1f.push(safe_ln_1m(s.f));
+            t.ln_g.push(safe_ln(s.g));
+            t.ln_1g.push(safe_ln_1m(s.g));
+            t.base1 += *t.ln_1a.last().expect("just pushed");
+            t.base0 += *t.ln_1b.last().expect("just pushed");
+        }
+        t
+    }
+
+    /// Number of sources the tables cover.
+    pub fn source_count(&self) -> usize {
+        self.ln_a.len()
+    }
+
+    /// `(ln P(SC_j | C_j = 1), ln P(SC_j | C_j = 0))` for column `j`,
+    /// computed with the sparse-correction scheme.
+    ///
+    /// `claimants` must be the sorted rows of `SC[:, j]` and `dep_rows` the
+    /// sorted rows of `D[:, j]`.
+    pub fn column_log_likelihood(&self, claimants: &[u32], dep_rows: &[u32]) -> (f64, f64) {
+        let mut ln1 = self.base1;
+        let mut ln0 = self.base0;
+        // Correction 1: dependent cells flip the silent factor.
+        for &i in dep_rows {
+            let i = i as usize;
+            ln1 += self.ln_1f[i] - self.ln_1a[i];
+            ln0 += self.ln_1g[i] - self.ln_1b[i];
+        }
+        // Correction 2: claims flip silent -> claiming, split by D via a
+        // linear merge of the two sorted row lists.
+        let mut dep_iter = dep_rows.iter().peekable();
+        for &i in claimants {
+            while dep_iter.peek().is_some_and(|&&d| d < i) {
+                dep_iter.next();
+            }
+            let is_dep = dep_iter.peek() == Some(&&i);
+            let iu = i as usize;
+            if is_dep {
+                ln1 += self.ln_f[iu] - self.ln_1f[iu];
+                ln0 += self.ln_g[iu] - self.ln_1g[iu];
+            } else {
+                ln1 += self.ln_a[iu] - self.ln_1a[iu];
+                ln0 += self.ln_b[iu] - self.ln_1b[iu];
+            }
+        }
+        (ln1, ln0)
+    }
+
+    /// Posterior `P(C_j = 1 | SC_j; D, θ)` (Eq. 9) for one column.
+    pub fn column_posterior(&self, claimants: &[u32], dep_rows: &[u32]) -> f64 {
+        let (ln1, ln0) = self.column_log_likelihood(claimants, dep_rows);
+        normalize_log_pair(ln1 + self.ln_z, ln0 + self.ln_1z).0
+    }
+
+    /// Posterior log-odds `ln P(C_j=1|·) − ln P(C_j=0|·)` for one column.
+    ///
+    /// Monotone in [`column_posterior`](Self::column_posterior) but never
+    /// saturates, so it remains a usable *ranking* key when posteriors
+    /// round to exactly 0.0 or 1.0 in `f64`.
+    pub fn column_log_odds(&self, claimants: &[u32], dep_rows: &[u32]) -> f64 {
+        let (ln1, ln0) = self.column_log_likelihood(claimants, dep_rows);
+        (ln1 + self.ln_z) - (ln0 + self.ln_1z)
+    }
+}
+
+fn check_dims(data: &ClaimData, theta: &Theta) -> Result<(), SenseError> {
+    if data.source_count() != theta.source_count() {
+        return Err(SenseError::DimensionMismatch {
+            what: "theta source count vs data",
+            expected: data.source_count(),
+            actual: theta.source_count(),
+        });
+    }
+    Ok(())
+}
+
+/// `(ln P(SC_j | C_j = 1), ln P(SC_j | C_j = 0))` for every assertion `j`
+/// (Eqs. 4–5).
+///
+/// # Errors
+///
+/// Returns [`SenseError::DimensionMismatch`] if `theta` covers a different
+/// number of sources than `data`.
+pub fn assertion_log_likelihoods(
+    data: &ClaimData,
+    theta: &Theta,
+) -> Result<Vec<(f64, f64)>, SenseError> {
+    check_dims(data, theta)?;
+    let tables = LikelihoodTables::new(theta);
+    Ok((0..data.assertion_count() as u32)
+        .map(|j| tables.column_log_likelihood(data.sc().col(j), data.d().col(j)))
+        .collect())
+}
+
+/// Posterior truth probabilities `P(C_j = 1 | SC_j; D, θ)` for all
+/// assertions (Eq. 9).
+///
+/// # Errors
+///
+/// Returns [`SenseError::DimensionMismatch`] on inconsistent shapes.
+pub fn assertion_posteriors(data: &ClaimData, theta: &Theta) -> Result<Vec<f64>, SenseError> {
+    check_dims(data, theta)?;
+    let tables = LikelihoodTables::new(theta);
+    Ok((0..data.assertion_count() as u32)
+        .map(|j| tables.column_posterior(data.sc().col(j), data.d().col(j)))
+        .collect())
+}
+
+/// The observed-data log-likelihood `ln P(SC; D, θ)` (Eq. 7):
+/// `Σ_j ln( z·P(SC_j|C_j=1) + (1-z)·P(SC_j|C_j=0) )`.
+///
+/// # Errors
+///
+/// Returns [`SenseError::DimensionMismatch`] on inconsistent shapes.
+pub fn data_log_likelihood(data: &ClaimData, theta: &Theta) -> Result<f64, SenseError> {
+    check_dims(data, theta)?;
+    let tables = LikelihoodTables::new(theta);
+    let mut total = 0.0;
+    for j in 0..data.assertion_count() as u32 {
+        let (ln1, ln0) = tables.column_log_likelihood(data.sc().col(j), data.d().col(j));
+        total += log_sum_exp2(ln1 + tables.ln_z, ln0 + tables.ln_1z);
+    }
+    Ok(total)
+}
+
+/// Reference `O(n)` per-column evaluation used to validate the sparse
+/// kernel in tests.
+#[cfg(test)]
+pub(crate) fn column_log_likelihood_naive(
+    data: &ClaimData,
+    theta: &Theta,
+    j: u32,
+    c: bool,
+) -> f64 {
+    let mut ln = 0.0;
+    for i in 0..data.source_count() as u32 {
+        let p = theta.source(i as usize).claim_prob(
+            c,
+            data.dependent(i, j),
+            data.claimed(i, j),
+        );
+        ln += safe_ln(p);
+    }
+    ln
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceParams;
+    use socsense_matrix::SparseBinaryMatrix;
+
+    fn small_data() -> ClaimData {
+        // 4 sources, 3 assertions.
+        let sc = SparseBinaryMatrix::from_entries(4, 3, [(0, 0), (1, 0), (2, 1), (3, 2), (0, 2)]);
+        let d = SparseBinaryMatrix::from_entries(4, 3, [(1, 0), (3, 2), (2, 2)]);
+        ClaimData::new(sc, d).unwrap()
+    }
+
+    fn theta4() -> Theta {
+        Theta::new(
+            vec![
+                SourceParams::new(0.7, 0.2, 0.6, 0.5).unwrap(),
+                SourceParams::new(0.5, 0.4, 0.9, 0.1).unwrap(),
+                SourceParams::new(0.3, 0.3, 0.2, 0.8).unwrap(),
+                SourceParams::new(0.8, 0.1, 0.7, 0.6).unwrap(),
+            ],
+            0.6,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sparse_kernel_matches_naive_product() {
+        let data = small_data();
+        let theta = theta4();
+        let fast = assertion_log_likelihoods(&data, &theta).unwrap();
+        for j in 0..3u32 {
+            let naive1 = column_log_likelihood_naive(&data, &theta, j, true);
+            let naive0 = column_log_likelihood_naive(&data, &theta, j, false);
+            assert!(
+                (fast[j as usize].0 - naive1).abs() < 1e-10,
+                "j={j}: {} vs {naive1}",
+                fast[j as usize].0
+            );
+            assert!((fast[j as usize].1 - naive0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn posteriors_are_probabilities_and_match_bayes() {
+        let data = small_data();
+        let theta = theta4();
+        let post = assertion_posteriors(&data, &theta).unwrap();
+        for (j, &p) in post.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&p));
+            let ln1 = column_log_likelihood_naive(&data, &theta, j as u32, true);
+            let ln0 = column_log_likelihood_naive(&data, &theta, j as u32, false);
+            let expected = (ln1.exp() * 0.6) / (ln1.exp() * 0.6 + ln0.exp() * 0.4);
+            assert!((p - expected).abs() < 1e-10, "j={j}");
+        }
+    }
+
+    #[test]
+    fn log_likelihood_is_sum_of_marginals() {
+        let data = small_data();
+        let theta = theta4();
+        let ll = data_log_likelihood(&data, &theta).unwrap();
+        let mut expected = 0.0;
+        for j in 0..3u32 {
+            let p1 = column_log_likelihood_naive(&data, &theta, j, true).exp();
+            let p0 = column_log_likelihood_naive(&data, &theta, j, false).exp();
+            expected += (0.6 * p1 + 0.4 * p0).ln();
+        }
+        assert!((ll - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let data = small_data();
+        let theta = Theta::neutral(7);
+        assert!(matches!(
+            assertion_posteriors(&data, &theta),
+            Err(SenseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn neutral_theta_gives_prior_posterior() {
+        let data = small_data();
+        let theta = Theta::neutral(4);
+        let post = assertion_posteriors(&data, &theta).unwrap();
+        for &p in &post {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn many_sources_do_not_underflow() {
+        // 2000 silent unreliable sources would underflow linear space.
+        let n = 2000u32;
+        let sc = SparseBinaryMatrix::from_entries(n, 1, [(0u32, 0u32)]);
+        let d = SparseBinaryMatrix::empty(n, 1);
+        let data = ClaimData::new(sc, d).unwrap();
+        let theta = Theta::new(
+            vec![SourceParams::new(0.4, 0.35, 0.5, 0.5).unwrap(); n as usize],
+            0.5,
+        )
+        .unwrap();
+        let ll = data_log_likelihood(&data, &theta).unwrap();
+        assert!(ll.is_finite());
+        let post = assertion_posteriors(&data, &theta).unwrap();
+        assert!(post[0].is_finite() && (0.0..=1.0).contains(&post[0]));
+    }
+}

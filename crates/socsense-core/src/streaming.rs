@@ -1,0 +1,369 @@
+//! Streaming (recursive) truth estimation over a growing claim log.
+//!
+//! The paper's related work points to recursive estimators for social
+//! *data streams* (Yao et al., IPSN 2016): during a live event claims
+//! arrive continuously, and refitting EM from scratch on every batch
+//! wastes work because the parameter estimate moves slowly once enough
+//! data has accumulated. [`StreamingEstimator`] keeps the claim log, the
+//! follow relation, and the last `θ̂`; each [`estimate`] call rebuilds the
+//! (cheap, sparse) `SC`/`D` matrices and **warm-starts** EM from the
+//! previous parameters via [`EmExt::fit_warm`], typically converging in a
+//! handful of iterations.
+//!
+//! [`estimate`]: StreamingEstimator::estimate
+
+use serde::{Deserialize, Serialize};
+
+use socsense_graph::{FollowerGraph, TimedClaim};
+
+use crate::data::ClaimData;
+use crate::em::{EmConfig, EmExt, EmFit};
+use crate::error::SenseError;
+use crate::model::Theta;
+
+/// Incremental fact-finder over a growing claim stream.
+///
+/// # Example
+///
+/// ```
+/// use socsense_core::{EmConfig, StreamingEstimator};
+/// use socsense_graph::{FollowerGraph, TimedClaim};
+///
+/// let mut g = FollowerGraph::new(3);
+/// g.add_follow(2, 0);
+/// let mut est = StreamingEstimator::new(3, 2, g, EmConfig::default())?;
+///
+/// est.ingest(&[TimedClaim::new(0, 0, 1), TimedClaim::new(1, 0, 2)])?;
+/// let first = est.estimate()?;
+///
+/// est.ingest(&[TimedClaim::new(2, 0, 3)])?; // a dependent repeat arrives
+/// let second = est.estimate()?;
+/// assert_eq!(second.posterior.len(), 2);
+/// # let _ = first;
+/// # Ok::<(), socsense_core::SenseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingEstimator {
+    n: u32,
+    m: u32,
+    graph: FollowerGraph,
+    config: EmConfig,
+    claims: Vec<TimedClaim>,
+    last_theta: Option<Theta>,
+    /// Claims ingested since the last [`estimate`](Self::estimate).
+    pending: usize,
+    warm_blend: f64,
+}
+
+/// Statistics about one incremental refit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefitStats {
+    /// EM iterations this refit used.
+    pub iterations: usize,
+    /// Whether the refit was warm-started from a previous `θ̂`.
+    pub warm: bool,
+    /// Total claims in the log after the refit.
+    pub total_claims: usize,
+}
+
+impl StreamingEstimator {
+    /// Creates an estimator over `n` sources and `m` assertions with the
+    /// given follow relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SenseError::EmptyData`] when `n == 0` or `m == 0`, and
+    /// [`SenseError::DimensionMismatch`] when the graph covers a
+    /// different number of sources.
+    pub fn new(
+        n: u32,
+        m: u32,
+        graph: FollowerGraph,
+        config: EmConfig,
+    ) -> Result<Self, SenseError> {
+        if n == 0 || m == 0 {
+            return Err(SenseError::EmptyData);
+        }
+        if graph.node_count() != n {
+            return Err(SenseError::DimensionMismatch {
+                what: "follower graph node count vs n",
+                expected: n as usize,
+                actual: graph.node_count() as usize,
+            });
+        }
+        Ok(Self {
+            n,
+            m,
+            graph,
+            config,
+            claims: Vec::new(),
+            last_theta: None,
+            pending: 0,
+            warm_blend: 0.5,
+        })
+    }
+
+    /// Sets how strongly refits lean on the previous `θ̂`.
+    ///
+    /// The warm start used by [`estimate`](Self::estimate) is the convex
+    /// blend `warm_blend · θ̂_prev + (1 - warm_blend) · anchor`, where the
+    /// anchor is the deterministic data-driven initialisation on the
+    /// *current* log ([`EmExt::data_driven_start`]). `1.0` is a pure warm
+    /// start (fastest, but an unlucky basin from a thin early prefix can
+    /// lock in — streams often deliver biased prefixes); `0.0` refits
+    /// cold every time. The default `0.5` keeps most of the iteration
+    /// saving while letting the anchor pull the fit back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SenseError::BadConfig`] when outside `[0, 1]`.
+    pub fn set_warm_blend(&mut self, warm_blend: f64) -> Result<(), SenseError> {
+        if !(0.0..=1.0).contains(&warm_blend) || !warm_blend.is_finite() {
+            return Err(SenseError::BadConfig {
+                what: "warm_blend must be within [0, 1]",
+            });
+        }
+        self.warm_blend = warm_blend;
+        Ok(())
+    }
+
+    /// Appends a batch of claims to the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SenseError::DimensionMismatch`] if a claim references an
+    /// out-of-range source or assertion; the batch is then rejected
+    /// atomically.
+    pub fn ingest(&mut self, batch: &[TimedClaim]) -> Result<(), SenseError> {
+        for c in batch {
+            if c.source >= self.n {
+                return Err(SenseError::DimensionMismatch {
+                    what: "claim source id vs n",
+                    expected: self.n as usize,
+                    actual: c.source as usize,
+                });
+            }
+            if c.assertion >= self.m {
+                return Err(SenseError::DimensionMismatch {
+                    what: "claim assertion id vs m",
+                    expected: self.m as usize,
+                    actual: c.assertion as usize,
+                });
+            }
+        }
+        self.claims.extend_from_slice(batch);
+        self.pending += batch.len();
+        Ok(())
+    }
+
+    /// Number of claims ingested so far.
+    pub fn claim_count(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Claims ingested since the last [`estimate`](Self::estimate).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The current `SC`/`D` snapshot.
+    pub fn snapshot(&self) -> ClaimData {
+        ClaimData::from_claims(self.n, self.m, &self.claims, &self.graph)
+    }
+
+    /// Refits on everything ingested so far, warm-starting from the
+    /// previous estimate when one exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors.
+    pub fn estimate(&mut self) -> Result<EmFit, SenseError> {
+        let (fit, _) = self.estimate_with_stats()?;
+        Ok(fit)
+    }
+
+    /// As [`estimate`](Self::estimate), also reporting refit statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors.
+    pub fn estimate_with_stats(&mut self) -> Result<(EmFit, RefitStats), SenseError> {
+        let data = self.snapshot();
+        let em = EmExt::new(self.config);
+        let (fit, warm) = match self.last_theta.take() {
+            Some(prev) => {
+                let anchor = em.data_driven_start(&data);
+                let start = blend_theta(&prev, &anchor, self.warm_blend);
+                (em.fit_warm(&data, start)?, true)
+            }
+            None => (em.fit(&data)?, false),
+        };
+        self.last_theta = Some(fit.theta.clone());
+        self.pending = 0;
+        let stats = RefitStats {
+            iterations: fit.iterations,
+            warm,
+            total_claims: self.claims.len(),
+        };
+        Ok((fit, stats))
+    }
+
+    /// Drops the warm-start state, forcing the next refit to start cold
+    /// (useful after a suspected regime change in the stream).
+    pub fn reset_warm_start(&mut self) {
+        self.last_theta = None;
+    }
+}
+
+/// Per-parameter convex combination `w·prev + (1-w)·anchor`.
+fn blend_theta(prev: &Theta, anchor: &Theta, w: f64) -> Theta {
+    let mut out = anchor.clone();
+    let mix = |a: f64, b: f64| w * a + (1.0 - w) * b;
+    for i in 0..prev.source_count() {
+        let p = prev.source(i);
+        let q = anchor.source(i);
+        out.set_source(
+            i,
+            crate::model::SourceParams {
+                a: mix(p.a, q.a),
+                b: mix(p.b, q.b),
+                f: mix(p.f, q.f),
+                g: mix(p.g, q.g),
+            },
+        );
+    }
+    out.set_z(mix(prev.z(), anchor.z()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A reliable/unreliable two-camp world streamed in batches.
+    fn stream_batches(batches: usize, per_batch: usize) -> (FollowerGraph, Vec<Vec<TimedClaim>>, Vec<bool>) {
+        let n = 10u32;
+        let m = 20u32;
+        let truth: Vec<bool> = (0..m).map(|j| j < 12).collect();
+        let mut rng = StdRng::seed_from_u64(31);
+        let graph = FollowerGraph::new(n);
+        let mut t = 0u64;
+        let out = (0..batches)
+            .map(|_| {
+                (0..per_batch)
+                    .map(|_| {
+                        let s = rng.gen_range(0..n);
+                        // Sources 0..7 honest, 8..9 liars.
+                        let honest = s < 8;
+                        let j = loop {
+                            let j = rng.gen_range(0..m);
+                            if truth[j as usize] == honest {
+                                break j;
+                            }
+                        };
+                        t += 1;
+                        TimedClaim::new(s, j, t)
+                    })
+                    .collect()
+            })
+            .collect();
+        (graph, out, truth)
+    }
+
+    #[test]
+    fn warm_start_converges_faster_than_cold() {
+        let (graph, batches, _) = stream_batches(4, 40);
+        let mut est = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
+        let mut warm_iters = Vec::new();
+        let mut all: Vec<TimedClaim> = Vec::new();
+        let mut cold_iters = Vec::new();
+        for batch in &batches {
+            est.ingest(batch).unwrap();
+            let (_, stats) = est.estimate_with_stats().unwrap();
+            warm_iters.push(stats.iterations);
+            // Cold baseline on the same prefix.
+            all.extend_from_slice(batch);
+            let data = ClaimData::from_claims(10, 20, &all, &graph);
+            let cold = EmExt::new(EmConfig::default()).fit(&data).unwrap();
+            cold_iters.push(cold.iterations);
+        }
+        // After the first batch, warm refits use (weakly) fewer iterations.
+        let warm_total: usize = warm_iters[1..].iter().sum();
+        let cold_total: usize = cold_iters[1..].iter().sum();
+        assert!(
+            warm_total <= cold_total,
+            "warm {warm_iters:?} vs cold {cold_iters:?}"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_batch_posterior_at_the_end() {
+        let (graph, batches, truth) = stream_batches(3, 60);
+        let mut est = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
+        let mut all = Vec::new();
+        for batch in &batches {
+            est.ingest(batch).unwrap();
+            all.extend_from_slice(batch);
+        }
+        let streamed = est.estimate().unwrap();
+        let data = ClaimData::from_claims(10, 20, &all, &graph);
+        let batch_fit = EmExt::new(EmConfig::default()).fit(&data).unwrap();
+        // Same data, both converged: labels agree with ground truth and
+        // with each other.
+        let lab_s: Vec<bool> = streamed.posterior.iter().map(|&p| p > 0.5).collect();
+        let lab_b: Vec<bool> = batch_fit.posterior.iter().map(|&p| p > 0.5).collect();
+        assert_eq!(lab_s, lab_b);
+        assert_eq!(lab_s, truth);
+    }
+
+    #[test]
+    fn ingest_validates_ids_atomically() {
+        let mut est =
+            StreamingEstimator::new(3, 2, FollowerGraph::new(3), EmConfig::default()).unwrap();
+        let bad = [TimedClaim::new(0, 0, 1), TimedClaim::new(9, 0, 2)];
+        assert!(est.ingest(&bad).is_err());
+        assert_eq!(est.claim_count(), 0, "batch must be rejected atomically");
+        assert!(est.ingest(&[TimedClaim::new(0, 1, 1)]).is_ok());
+        assert_eq!(est.pending(), 1);
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(matches!(
+            StreamingEstimator::new(0, 5, FollowerGraph::new(0), EmConfig::default()),
+            Err(SenseError::EmptyData)
+        ));
+        assert!(matches!(
+            StreamingEstimator::new(3, 5, FollowerGraph::new(4), EmConfig::default()),
+            Err(SenseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_forces_cold_refit() {
+        let (graph, batches, _) = stream_batches(2, 30);
+        let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        est.ingest(&batches[0]).unwrap();
+        let (_, s1) = est.estimate_with_stats().unwrap();
+        assert!(!s1.warm);
+        est.ingest(&batches[1]).unwrap();
+        est.reset_warm_start();
+        let (_, s2) = est.estimate_with_stats().unwrap();
+        assert!(!s2.warm, "reset should force a cold start");
+    }
+
+    #[test]
+    fn dependent_repeats_are_tracked_across_batches() {
+        let mut g = FollowerGraph::new(2);
+        g.add_follow(1, 0);
+        let mut est = StreamingEstimator::new(2, 1, g, EmConfig::default()).unwrap();
+        est.ingest(&[TimedClaim::new(0, 0, 1)]).unwrap();
+        assert_eq!(est.snapshot().dependent_claim_count(), 0);
+        est.ingest(&[TimedClaim::new(1, 0, 2)]).unwrap();
+        let snap = est.snapshot();
+        assert!(snap.dependent(1, 0), "cross-batch repeat must be dependent");
+        assert_eq!(snap.dependent_claim_count(), 1);
+    }
+}

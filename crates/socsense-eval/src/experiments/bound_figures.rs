@@ -1,0 +1,189 @@
+//! Figures 3–5 — exact vs Gibbs-approximated error bound.
+//!
+//! All three figures share the same machinery: sweep one knob of the
+//! Sec. V-A generator, and at every point run `bound_reps` independent
+//! experiments; each experiment generates a dataset, measures the true
+//! `θ` via [`socsense_synth::empirical_theta`], and evaluates the mean
+//! per-assertion bound twice — exactly (Eq. 3) and by Gibbs sampling
+//! (Algorithm 1). Reported curves: total / false-positive /
+//! false-negative bound for both methods.
+
+use socsense_core::{bound_for_assertions, BoundMethod, BoundResult};
+use socsense_matrix::logprob::odds_to_prob;
+use socsense_synth::{empirical_theta, GeneratorConfig, IntInterval, Interval, SyntheticDataset};
+
+use crate::experiments::{strided_assertions, Budget};
+use crate::figure::FigureResult;
+use crate::metrics::MeanStd;
+use crate::runner::run_repeated;
+
+/// Both bounds for one generated dataset.
+#[derive(Debug, Clone, Copy)]
+struct PointSample {
+    exact: BoundResult,
+    approx: BoundResult,
+}
+
+fn bound_pair(cfg: &GeneratorConfig, budget: &Budget, seed: u64) -> PointSample {
+    let ds = SyntheticDataset::generate(cfg, seed).expect("validated config");
+    let theta = empirical_theta(&ds);
+    let cols = strided_assertions(ds.assertion_count(), budget.bound_assertions);
+    let exact = bound_for_assertions(&ds.data, &theta, &BoundMethod::Exact, &cols)
+        .expect("exact bound applies: n <= 25 in Figs. 3-5");
+    let mut gibbs = budget.gibbs;
+    gibbs.seed = seed ^ 0x9e37_79b9;
+    let approx = bound_for_assertions(&ds.data, &theta, &BoundMethod::Gibbs(gibbs), &cols)
+        .expect("gibbs bound always applies");
+    PointSample { exact, approx }
+}
+
+fn sweep(
+    id: &str,
+    title: &str,
+    xlabel: &str,
+    xs: Vec<f64>,
+    budget: &Budget,
+    make_config: impl Fn(f64) -> GeneratorConfig,
+) -> FigureResult {
+    let mut fig = FigureResult::new(id, title, xlabel, xs.clone());
+    let mut cols: Vec<[MeanStd; 6]> = Vec::with_capacity(xs.len());
+    for (pi, &x) in xs.iter().enumerate() {
+        let cfg = make_config(x);
+        let samples = run_repeated(budget.bound_reps, budget.seed_for(id, pi), |seed| {
+            bound_pair(&cfg, budget, seed)
+        });
+        let mut acc: [MeanStd; 6] = Default::default();
+        for s in samples {
+            acc[0].push(s.exact.error);
+            acc[1].push(s.approx.error);
+            acc[2].push(s.exact.false_positive);
+            acc[3].push(s.approx.false_positive);
+            acc[4].push(s.exact.false_negative);
+            acc[5].push(s.approx.false_negative);
+        }
+        cols.push(acc);
+    }
+    let labels = [
+        "exact bound",
+        "approx bound",
+        "exact FP bound",
+        "approx FP bound",
+        "exact FN bound",
+        "approx FN bound",
+    ];
+    for (k, label) in labels.iter().enumerate() {
+        fig.push_series(label, cols.iter().map(|c| c[k].mean()).collect());
+    }
+    fig
+}
+
+/// Fig. 3 — bound precision vs the number of sources `n ∈ {5,10,...,25}`.
+pub fn fig3(budget: &Budget) -> FigureResult {
+    sweep(
+        "fig3",
+        "exact vs approximate error bound, varying sources n",
+        "n",
+        (1..=5).map(|k| (5 * k) as f64).collect(),
+        budget,
+        |n| GeneratorConfig {
+            n: n as u32,
+            ..GeneratorConfig::paper_defaults()
+        },
+    )
+}
+
+/// Fig. 4 — bound precision vs the number of dependency trees
+/// `τ ∈ 1..=11` (`n = 20`).
+pub fn fig4(budget: &Budget) -> FigureResult {
+    sweep(
+        "fig4",
+        "exact vs approximate error bound, varying dependency trees tau",
+        "tau",
+        (1..=11).map(|t| t as f64).collect(),
+        budget,
+        |tau| GeneratorConfig {
+            tau: IntInterval::fixed(tau as u32),
+            ..GeneratorConfig::paper_defaults()
+        },
+    )
+}
+
+/// Fig. 5 — bound precision vs the dependent-claim odds
+/// `p_depT/(1-p_depT) ∈ 1.1..=2.0`, with independent odds pinned at 2.
+pub fn fig5(budget: &Budget) -> FigureResult {
+    sweep(
+        "fig5",
+        "exact vs approximate error bound, varying dependent-claim odds",
+        "depT odds",
+        (0..10).map(|k| 1.1 + 0.1 * k as f64).collect(),
+        budget,
+        |odds| GeneratorConfig {
+            p_indep_t: Interval::fixed(odds_to_prob(2.0)),
+            p_dep_t: Interval::fixed(odds_to_prob(odds)),
+            ..GeneratorConfig::paper_defaults()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_budget() -> Budget {
+        let mut b = Budget::fast();
+        b.bound_reps = 3;
+        b.bound_assertions = 6;
+        b.gibbs.min_samples = 200;
+        b.gibbs.max_samples = 400;
+        b
+    }
+
+    #[test]
+    fn fig3_shapes_match_paper() {
+        let fig = fig3(&tiny_budget());
+        assert_eq!(fig.x, vec![5.0, 10.0, 15.0, 20.0, 25.0]);
+        assert_eq!(fig.series.len(), 6);
+        let exact = &fig.series("exact bound").unwrap().y;
+        let approx = &fig.series("approx bound").unwrap().y;
+        for (e, a) in exact.iter().zip(approx) {
+            assert!(
+                (e - a).abs() < 0.05,
+                "approx {a:.4} strays from exact {e:.4}"
+            );
+            assert!((0.0..=0.5).contains(e));
+        }
+        // FP + FN = total for the exact curves.
+        let fp = &fig.series("exact FP bound").unwrap().y;
+        let fnb = &fig.series("exact FN bound").unwrap().y;
+        for i in 0..fig.x.len() {
+            assert!((fp[i] + fnb[i] - exact[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig4_covers_full_tau_range() {
+        let mut b = tiny_budget();
+        b.bound_reps = 2;
+        let fig = fig4(&b);
+        assert_eq!(fig.x.len(), 11);
+        for s in &fig.series {
+            assert!(s.y.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn fig5_bound_shrinks_with_informative_dependent_claims() {
+        let mut b = tiny_budget();
+        b.bound_reps = 6;
+        let fig = fig5(&b);
+        let exact = &fig.series("exact bound").unwrap().y;
+        // Higher dependent-claim odds = more information = smaller bound;
+        // compare the sweep endpoints with slack for sampling noise.
+        assert!(
+            exact[0] + 0.01 >= exact[exact.len() - 1],
+            "bound should not grow: {:.4} -> {:.4}",
+            exact[0],
+            exact[exact.len() - 1]
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 11 — top-100 accuracy of seven fact-finders on the five
+//! (simulated) Twitter datasets.
+//!
+//! Protocol, mirroring the paper: run every algorithm through the Apollo
+//! pipeline, take its top-100 assertions by estimated credibility, and
+//! score `#True / (#True + #False + #Opinion)` — with the simulator's
+//! ground truth standing in for the paper's blinded human graders (see
+//! `DESIGN.md` §5).
+
+use socsense_apollo::{Apollo, ApolloConfig};
+use socsense_baselines::all_finders;
+use socsense_twitter::{ScenarioConfig, TwitterDataset};
+
+use crate::experiments::Budget;
+use crate::figure::FigureResult;
+use crate::metrics::MeanStd;
+use crate::runner::run_repeated;
+
+/// How many top-ranked assertions each algorithm is graded on at full
+/// scale (the paper's 100).
+pub const TOP_K: usize = 100;
+
+/// Grading depth for a given scenario scale. At full scale this is the
+/// paper's top-100 — about the top 3% of each dataset's assertions.
+/// When the harness shrinks the scenarios, the depth shrinks with them
+/// (floor 10) so the metric keeps measuring the *elite* of the ranking
+/// rather than most of the world.
+pub fn effective_top_k(scale: f64) -> usize {
+    ((TOP_K as f64 * scale).round() as usize).max(10)
+}
+
+/// Runs the five-scenario, seven-algorithm comparison. Each scenario is
+/// re-simulated `reps` times (paper-equivalent: different crawl windows)
+/// and accuracies are averaged.
+pub fn fig11(budget: &Budget, reps: usize) -> FigureResult {
+    let presets = ScenarioConfig::all_presets();
+    let algo_names: Vec<&'static str> = all_finders().iter().map(|f| f.name()).collect();
+    let top_k = effective_top_k(budget.twitter_scale);
+
+    let mut fig = FigureResult::new(
+        "fig11",
+        &format!(
+            "top-{top_k} accuracy per algorithm and dataset (scale {:.2})",
+            budget.twitter_scale
+        ),
+        "dataset",
+        (1..=presets.len()).map(|i| i as f64).collect(),
+    );
+    fig.set_xticks(presets.iter().map(|p| p.name.clone()).collect());
+
+    // accs[algo][scenario]
+    let mut accs: Vec<Vec<MeanStd>> =
+        vec![vec![MeanStd::new(); presets.len()]; algo_names.len()];
+    for (si, preset) in presets.iter().enumerate() {
+        let cfg = preset.scaled(budget.twitter_scale);
+        let results = run_repeated(
+            reps.max(1),
+            budget.seed_for("fig11", si),
+            |seed| -> Vec<f64> {
+                let ds = TwitterDataset::simulate(&cfg, seed).expect("preset validates");
+                let apollo = Apollo::new(ApolloConfig {
+                    top_k,
+                    ..ApolloConfig::default()
+                });
+                all_finders()
+                    .iter()
+                    .map(|finder| {
+                        apollo
+                            .run(&ds, finder.as_ref())
+                            .expect("pipeline runs")
+                            .top_k_accuracy(top_k)
+                    })
+                    .collect()
+            },
+        );
+        for rep in results {
+            for (ai, acc) in rep.into_iter().enumerate() {
+                accs[ai][si].push(acc);
+            }
+        }
+    }
+    for (ai, name) in algo_names.iter().enumerate() {
+        fig.push_series(name, accs[ai].iter().map(|m| m.mean()).collect());
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_seven_curves_over_five_datasets() {
+        let mut b = Budget::fast();
+        b.twitter_scale = 0.01;
+        let fig = fig11(&b, 1);
+        assert_eq!(fig.x.len(), 5);
+        assert_eq!(fig.series.len(), 7);
+        assert_eq!(fig.xticks.len(), 5);
+        for s in &fig.series {
+            for &v in &s.y {
+                assert!((0.0..=1.0).contains(&v), "{}: {v}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn em_ext_beats_voting_on_average() {
+        let mut b = Budget::fast();
+        b.twitter_scale = 0.03;
+        let fig = fig11(&b, 2);
+        let mean = |label: &str| -> f64 {
+            let y = &fig.series(label).unwrap().y;
+            y.iter().sum::<f64>() / y.len() as f64
+        };
+        assert!(
+            mean("EM-Ext") > mean("Voting") - 0.02,
+            "EM-Ext {:.3} vs Voting {:.3}",
+            mean("EM-Ext"),
+            mean("Voting")
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Gap decomposition: how much of the distance between a practical
+//! estimator and the fundamental bound is *θ-estimation* error?
+//!
+//! Not a paper figure, but the natural follow-up to its Figs. 7–10: the
+//! bound assumes the detector knows `θ`; EM does not. For each generated
+//! dataset we evaluate, exactly and under the true `θ`:
+//!
+//! 1. the **bound** — the matched detector (`θ̂ = θ*`);
+//! 2. the **EM-Ext plug-in detector** — decisions with the fitted `θ̂`,
+//!    error measured under `θ*` (via
+//!    [`socsense_core::bound::mismatched_decision_error`]);
+//! 3. the **EM plug-in detector** — the same with the
+//!    independence-assuming fit, whose decision rule also ignores `D`;
+//! 4. EM-Ext's **empirical error** on the very dataset it was fitted on
+//!    (one-sample noise around curve 2).
+//!
+//! Ordering 1 ≤ 2 ≤ 3 quantifies, in expectation, what perfect knowledge
+//! of `θ` would buy and what dependency-awareness buys.
+
+use socsense_baselines::{EmExtFinder, FactFinder};
+use socsense_core::{
+    bound::mismatched_decision_error, exact_bound, ClaimData, EmConfig, EmExt, InitStrategy,
+    SourceParams, Theta,
+};
+use socsense_matrix::SparseBinaryMatrix;
+use socsense_synth::{empirical_theta, GeneratorConfig, SyntheticDataset};
+
+use crate::experiments::{strided_assertions, Budget};
+use crate::figure::FigureResult;
+use crate::metrics::{Confusion, MeanStd};
+use crate::runner::run_repeated;
+
+/// Per-source `(P(claim|C=1), P(claim|C=0))` for assertion `j` under a
+/// given θ, honouring the dependency column.
+fn assertion_probs(data: &ClaimData, theta: &Theta, j: u32) -> Vec<(f64, f64)> {
+    let mut probs: Vec<(f64, f64)> = theta.sources().iter().map(|s| (s.a, s.b)).collect();
+    for &i in data.d().col(j) {
+        let s = theta.source(i as usize);
+        probs[i as usize] = (s.f, s.g);
+    }
+    probs
+}
+
+/// `(bound, em_ext_plugin, em_plugin, em_ext_empirical)` for one dataset;
+/// the three exact evaluations run on a strided assertion subsample.
+fn one_experiment(cfg: &GeneratorConfig, budget: &Budget, seed: u64) -> [f64; 4] {
+    let ds = SyntheticDataset::generate(cfg, seed).expect("validated config");
+    let star = empirical_theta(&ds);
+
+    let em_cfg = EmConfig {
+        init: InitStrategy::DepBiased,
+        ..EmConfig::default()
+    };
+    let ext_fit = EmExt::new(em_cfg).fit(&ds.data).expect("fit succeeds");
+    // The EM (independent) fit: D discarded both in fitting and deciding.
+    let blind = ClaimData::new(
+        ds.data.sc().clone(),
+        SparseBinaryMatrix::empty(ds.data.sc().nrows(), ds.data.sc().ncols()),
+    )
+    .expect("shapes match");
+    let em_fit = EmExt::new(em_cfg).fit(&blind).expect("fit succeeds");
+
+    let cols = strided_assertions(ds.assertion_count(), budget.bound_assertions);
+    let (mut bound, mut ext_plugin, mut em_plugin) = (0.0, 0.0, 0.0);
+    for &j in &cols {
+        let truth_probs = assertion_probs(&ds.data, &star, j);
+        bound += exact_bound(&truth_probs, star.z()).expect("n <= 30").error;
+        let ext_probs = assertion_probs(&ds.data, &ext_fit.theta, j);
+        ext_plugin += mismatched_decision_error(&truth_probs, star.z(), &ext_probs, ext_fit.theta.z())
+            .expect("n <= 30")
+            .error;
+        // EM's decision rule sees no dependency: (a, b) everywhere.
+        let em_probs: Vec<(f64, f64)> = em_fit
+            .theta
+            .sources()
+            .iter()
+            .map(|s: &SourceParams| (s.a, s.b))
+            .collect();
+        em_plugin += mismatched_decision_error(&truth_probs, star.z(), &em_probs, em_fit.theta.z())
+            .expect("n <= 30")
+            .error;
+    }
+    let labels = EmExtFinder::new(em_cfg).classify(&ds.data).expect("fits");
+    let empirical = 1.0 - Confusion::from_labels(&labels, &ds.truth).accuracy();
+    let mf = cols.len() as f64;
+    [bound / mf, ext_plugin / mf, em_plugin / mf, empirical]
+}
+
+/// Sweeps the source count and reports the four expected-error curves.
+pub fn mismatch(budget: &Budget) -> FigureResult {
+    let xs: Vec<f64> = [10u32, 15, 20, 25].iter().map(|&n| n as f64).collect();
+    let mut fig = FigureResult::new(
+        "mismatch",
+        "expected error: bound vs plug-in detectors (true θ measured from ground truth)",
+        "n",
+        xs.clone(),
+    );
+    let mut cols: Vec<[MeanStd; 4]> = Vec::with_capacity(xs.len());
+    for (pi, &x) in xs.iter().enumerate() {
+        let cfg = GeneratorConfig {
+            n: x as u32,
+            ..GeneratorConfig::paper_defaults()
+        };
+        let samples = run_repeated(
+            budget.estimator_reps,
+            budget.seed_for("mismatch", pi),
+            |seed| one_experiment(&cfg, budget, seed),
+        );
+        let mut acc: [MeanStd; 4] = Default::default();
+        for s in samples {
+            for (k, v) in s.into_iter().enumerate() {
+                acc[k].push(v);
+            }
+        }
+        cols.push(acc);
+    }
+    for (k, label) in [
+        "bound (matched)",
+        "EM-Ext plug-in",
+        "EM plug-in",
+        "EM-Ext empirical",
+    ]
+    .iter()
+    .enumerate()
+    {
+        fig.push_series(label, cols.iter().map(|c| c[k].mean()).collect());
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_decomposition_is_ordered() {
+        let mut b = Budget::fast();
+        b.estimator_reps = 5;
+        b.bound_assertions = 10;
+        let fig = mismatch(&b);
+        let bound = &fig.series("bound (matched)").unwrap().y;
+        let ext = &fig.series("EM-Ext plug-in").unwrap().y;
+        let em = &fig.series("EM plug-in").unwrap().y;
+        for i in 0..fig.x.len() {
+            assert!(
+                bound[i] <= ext[i] + 1e-9,
+                "bound {} above EM-Ext plug-in {} at n={}",
+                bound[i],
+                ext[i],
+                fig.x[i]
+            );
+            // Dependency-aware decisions beat dependency-blind ones on
+            // average (slack for estimation noise at 6 reps).
+            assert!(
+                ext[i] <= em[i] + 0.05,
+                "EM-Ext plug-in {} above EM plug-in {} at n={}",
+                ext[i],
+                em[i],
+                fig.x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_error_tracks_the_plugin_expectation() {
+        let mut b = Budget::fast();
+        b.estimator_reps = 6;
+        b.bound_assertions = 10;
+        let fig = mismatch(&b);
+        let ext = &fig.series("EM-Ext plug-in").unwrap().y;
+        let emp = &fig.series("EM-Ext empirical").unwrap().y;
+        for i in 0..fig.x.len() {
+            assert!(
+                (ext[i] - emp[i]).abs() < 0.12,
+                "plug-in {} vs empirical {} at n={}",
+                ext[i],
+                emp[i],
+                fig.x[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! One regenerator per table / figure of the paper's evaluation section.
+//!
+//! Every experiment takes a [`Budget`] controlling repetitions and
+//! sampler effort. [`Budget::fast`] (the default) is sized for a laptop
+//! core and preserves every qualitative shape; [`Budget::paper`] matches
+//! the paper's repetition counts (20 for the bound figures, 300 for the
+//! estimator figures) and is what `EXPERIMENTS.md` numbers should cite
+//! when regenerating on bigger hardware.
+
+pub mod ablations;
+pub mod bound_figures;
+pub mod estimator_figures;
+pub mod fig11;
+pub mod fig6;
+pub mod mismatch;
+pub mod streaming;
+pub mod table1;
+pub mod table3;
+
+use serde::{Deserialize, Serialize};
+use socsense_core::GibbsConfig;
+
+/// Effort knobs shared by every experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Independent repetitions per sweep point (bound figures).
+    pub bound_reps: usize,
+    /// Independent repetitions per sweep point (estimator figures).
+    pub estimator_reps: usize,
+    /// Gibbs sampler settings for approximate bounds.
+    pub gibbs: GibbsConfig,
+    /// At most this many assertion columns enter each per-dataset bound
+    /// average (evenly strided); `usize::MAX` disables subsampling.
+    pub bound_assertions: usize,
+    /// Scenario scale factor for the Twitter experiments (1.0 = the full
+    /// Table III sizes).
+    pub twitter_scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Budget {
+    /// Laptop-sized budget preserving all qualitative shapes.
+    pub fn fast() -> Self {
+        Self {
+            bound_reps: 10,
+            estimator_reps: 20,
+            gibbs: GibbsConfig {
+                burn_in: 60,
+                thin: 1,
+                min_samples: 300,
+                max_samples: 1500,
+                check_every: 150,
+                tol: 2e-3,
+                seed: 0,
+                ..GibbsConfig::default()
+            },
+            bound_assertions: 16,
+            twitter_scale: 0.05,
+            seed: 7,
+        }
+    }
+
+    /// The paper's repetition counts (20 bound / 300 estimator runs,
+    /// full-scale Twitter scenarios). Expect hours on one core.
+    pub fn paper() -> Self {
+        Self {
+            bound_reps: 20,
+            estimator_reps: 300,
+            gibbs: GibbsConfig::default(),
+            bound_assertions: usize::MAX,
+            twitter_scale: 1.0,
+            seed: 7,
+        }
+    }
+
+    /// Derives a per-experiment seed so sweeps do not share RNG streams.
+    pub(crate) fn seed_for(&self, experiment: &str, point: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in experiment.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ ((point as u64) << 32)
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+/// Evenly strided subsample of `0..m`, at most `k` items, always
+/// non-empty for `m >= 1`.
+pub(crate) fn strided_assertions(m: usize, k: usize) -> Vec<u32> {
+    if m == 0 {
+        return Vec::new();
+    }
+    let take = k.clamp(1, m);
+    (0..take)
+        .map(|i| ((i * m) / take) as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_differ_in_effort() {
+        let fast = Budget::fast();
+        let paper = Budget::paper();
+        assert!(fast.estimator_reps < paper.estimator_reps);
+        assert!(fast.twitter_scale < paper.twitter_scale);
+    }
+
+    #[test]
+    fn seeds_differ_per_experiment_and_point() {
+        let b = Budget::fast();
+        assert_ne!(b.seed_for("fig3", 0), b.seed_for("fig4", 0));
+        assert_ne!(b.seed_for("fig3", 0), b.seed_for("fig3", 1));
+        assert_eq!(b.seed_for("fig3", 2), b.seed_for("fig3", 2));
+    }
+
+    #[test]
+    fn strided_subsample_covers_range() {
+        assert_eq!(strided_assertions(10, 100), (0..10).collect::<Vec<u32>>());
+        let s = strided_assertions(100, 4);
+        assert_eq!(s, vec![0, 25, 50, 75]);
+        assert_eq!(strided_assertions(5, 0), vec![0]);
+        assert!(strided_assertions(0, 4).is_empty());
+    }
+}

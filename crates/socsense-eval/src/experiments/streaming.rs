@@ -1,0 +1,111 @@
+//! Streaming-estimator characterisation: what warm-starting buys.
+//!
+//! Replays generated claim logs in batches through
+//! [`socsense_core::StreamingEstimator`] and, per batch index, reports
+//! the mean classification accuracy so far, the EM iterations the warm
+//! refit needed, and the iterations a cold refit on the same prefix would
+//! have needed. The accuracy curve shows estimation firming up as the
+//! stream lengthens; the iteration curves quantify the recursive
+//! estimator's saving.
+
+use socsense_core::{classify, ClaimData, EmConfig, EmExt, StreamingEstimator};
+use socsense_synth::{GeneratorConfig, SyntheticDataset};
+
+use crate::experiments::Budget;
+use crate::figure::FigureResult;
+use crate::metrics::{Confusion, MeanStd};
+use crate::runner::run_repeated;
+
+/// Batches each replayed stream is split into.
+pub const BATCHES: usize = 6;
+
+/// Runs the replay over `estimator_reps` generated streams.
+pub fn streaming(budget: &Budget) -> FigureResult {
+    let cfg = GeneratorConfig::estimator_defaults();
+    let xs: Vec<f64> = (1..=BATCHES).map(|b| b as f64).collect();
+    let mut fig = FigureResult::new(
+        "streaming",
+        "recursive estimation over a claim stream (warm vs cold refits)",
+        "batch",
+        xs,
+    );
+
+    // Per repetition: per batch (accuracy, warm iters, cold iters).
+    let samples = run_repeated(
+        budget.estimator_reps,
+        budget.seed_for("streaming", 0),
+        |seed| -> Vec<[f64; 3]> {
+            let ds = SyntheticDataset::generate(&cfg, seed).expect("validated config");
+            let mut est = StreamingEstimator::new(
+                cfg.n,
+                cfg.m,
+                ds.graph.clone(),
+                EmConfig::default(),
+            )
+            .expect("valid shape");
+            let chunk = ds.claims.len().div_ceil(BATCHES).max(1);
+            let mut out = Vec::with_capacity(BATCHES);
+            let mut prefix = Vec::new();
+            for batch in ds.claims.chunks(chunk) {
+                est.ingest(batch).expect("ids in range");
+                let (fit, stats) = est.estimate_with_stats().expect("refit succeeds");
+                let labels = classify(&fit.posterior);
+                let acc = Confusion::from_labels(&labels, &ds.truth).accuracy();
+                // Cold baseline on the same prefix.
+                prefix.extend_from_slice(batch);
+                let data = ClaimData::from_claims(cfg.n, cfg.m, &prefix, &ds.graph);
+                let cold = EmExt::new(EmConfig::default())
+                    .fit(&data)
+                    .expect("fit succeeds");
+                out.push([acc, stats.iterations as f64, cold.iterations as f64]);
+            }
+            while out.len() < BATCHES {
+                let last = *out.last().expect("at least one batch");
+                out.push(last);
+            }
+            out
+        },
+    );
+
+    let mut acc: Vec<[MeanStd; 3]> = vec![Default::default(); BATCHES];
+    for rep in samples {
+        for (b, vals) in rep.into_iter().enumerate() {
+            for (k, v) in vals.into_iter().enumerate() {
+                acc[b][k].push(v);
+            }
+        }
+    }
+    fig.push_series("accuracy", acc.iter().map(|a| a[0].mean()).collect());
+    fig.push_series("warm iterations", acc.iter().map(|a| a[1].mean()).collect());
+    fig.push_series("cold iterations", acc.iter().map(|a| a[2].mean()).collect());
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_refits_save_iterations_and_accuracy_firms_up() {
+        let mut b = Budget::fast();
+        b.estimator_reps = 6;
+        let fig = streaming(&b);
+        assert_eq!(fig.x.len(), BATCHES);
+        let warm = &fig.series("warm iterations").unwrap().y;
+        let cold = &fig.series("cold iterations").unwrap().y;
+        // From the second batch on, warm refits are (weakly) cheaper on
+        // average.
+        let warm_tail: f64 = warm[1..].iter().sum();
+        let cold_tail: f64 = cold[1..].iter().sum();
+        assert!(
+            warm_tail <= cold_tail + 1e-9,
+            "warm {warm:?} vs cold {cold:?}"
+        );
+        // Accuracy does not collapse as the stream accumulates.
+        let accs = &fig.series("accuracy").unwrap().y;
+        assert!(
+            accs.last().unwrap() >= &(accs[0] - 0.05),
+            "accuracy trace {accs:?}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! A figure as data: labelled series over a shared x-axis, with text
+//! rendering in the shape the paper's plots report.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One plotted curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. `"EM-Ext"` or `"false positive bound"`).
+    pub label: String,
+    /// y value per x-axis point (`NaN` marks a skipped point).
+    pub y: Vec<f64>,
+}
+
+/// A full figure: axis, points, curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Identifier matching the paper (`"fig3"`, `"table3"`, ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// x-axis label.
+    pub xlabel: String,
+    /// Shared x coordinates.
+    pub x: Vec<f64>,
+    /// Optional categorical tick labels (one per x value); used by
+    /// Fig. 11 / Table III where the x axis is the dataset name.
+    pub xticks: Vec<String>,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// Creates an empty figure shell.
+    pub fn new(id: &str, title: &str, xlabel: &str, x: Vec<f64>) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            xlabel: xlabel.to_owned(),
+            x,
+            xticks: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets categorical tick labels for the x axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count does not match the x-axis length.
+    pub fn set_xticks(&mut self, ticks: Vec<String>) {
+        assert_eq!(ticks.len(), self.x.len(), "one tick label per x value");
+        self.xticks = ticks;
+    }
+
+    /// Appends a curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` does not match the x-axis length.
+    pub fn push_series(&mut self, label: &str, y: Vec<f64>) {
+        assert_eq!(
+            y.len(),
+            self.x.len(),
+            "series {label} has {} points for {} x values",
+            y.len(),
+            self.x.len()
+        );
+        self.series.push(Series {
+            label: label.to_owned(),
+            y,
+        });
+    }
+
+    /// Looks up a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+impl fmt::Display for FigureResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        write!(f, "{:>12}", self.xlabel)?;
+        for s in &self.series {
+            write!(f, "  {:>22}", s.label)?;
+        }
+        writeln!(f)?;
+        for (i, x) in self.x.iter().enumerate() {
+            if let Some(tick) = self.xticks.get(i) {
+                write!(f, "{tick:>12}")?;
+            } else {
+                write!(f, "{x:>12.4}")?;
+            }
+            for s in &self.series {
+                let v = s.y[i];
+                if v.is_nan() {
+                    write!(f, "  {:>22}", "-")?;
+                } else {
+                    write!(f, "  {v:>22.4}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_includes_all_points_and_labels() {
+        let mut fig = FigureResult::new("figX", "demo", "n", vec![1.0, 2.0]);
+        fig.push_series("alpha", vec![0.5, 0.25]);
+        fig.push_series("beta", vec![f64::NAN, 1.0]);
+        let text = fig.to_string();
+        assert!(text.contains("figX"));
+        assert!(text.contains("alpha") && text.contains("beta"));
+        assert!(text.contains("0.5000"));
+        assert!(text.lines().count() == 4);
+        assert_eq!(fig.series("alpha").unwrap().y[1], 0.25);
+        assert!(fig.series("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "points for")]
+    fn mismatched_series_length_panics() {
+        let mut fig = FigureResult::new("f", "t", "x", vec![1.0]);
+        fig.push_series("bad", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut fig = FigureResult::new("f", "t", "x", vec![1.0]);
+        fig.push_series("s", vec![0.1]);
+        let json = serde_json::to_string(&fig).unwrap();
+        let back: FigureResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(fig, back);
+    }
+}

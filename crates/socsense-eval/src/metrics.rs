@@ -1,0 +1,290 @@
+//! Classification metrics and streaming aggregation.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix over assertions.
+///
+/// The paper's per-figure metrics map to:
+/// * *estimation accuracy* — [`accuracy`](Self::accuracy);
+/// * *false positive rate* — false assertions labelled true, over all
+///   false assertions ([`false_positive_rate`](Self::false_positive_rate));
+/// * *false negative rate* — true assertions labelled false, over all
+///   true assertions ([`false_negative_rate`](Self::false_negative_rate)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True assertions labelled true.
+    pub tp: usize,
+    /// False assertions labelled true.
+    pub fp: usize,
+    /// False assertions labelled false.
+    pub tn: usize,
+    /// True assertions labelled false.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_labels(predicted: &[bool], truth: &[bool]) -> Self {
+        assert_eq!(
+            predicted.len(),
+            truth.len(),
+            "prediction/truth length mismatch"
+        );
+        let mut c = Confusion::default();
+        for (&p, &t) in predicted.iter().zip(truth) {
+            match (p, t) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total assertions tallied.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction classified correctly; `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// `fp / (fp + tn)`; `0.0` when there are no false assertions.
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fp as f64 / denom as f64
+        }
+    }
+
+    /// `fn / (fn + tp)`; `0.0` when there are no true assertions.
+    pub fn false_negative_rate(&self) -> f64 {
+        let denom = self.fn_ + self.tp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / denom as f64
+        }
+    }
+}
+
+/// Streaming mean / standard deviation (Welford's algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MeanStd {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanStd {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (n-1 denominator); `0.0` below two
+    /// observations.
+    pub fn std(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+}
+
+impl Extend<f64> for MeanStd {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// One bin of a reliability (calibration) diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationBin {
+    /// Mean predicted probability of the assertions in the bin.
+    pub mean_predicted: f64,
+    /// Fraction of them that are actually true.
+    pub fraction_true: f64,
+    /// Number of assertions in the bin.
+    pub count: usize,
+}
+
+/// A binned reliability diagram for probabilistic truth estimates.
+///
+/// A *calibrated* fact-finder's posteriors mean what they say: of the
+/// assertions it scores around 0.8, about 80 % are true. The diagram
+/// bins predictions uniformly on `[0, 1]` and compares each bin's mean
+/// prediction with its empirical truth rate;
+/// [`expected_calibration_error`](Self::expected_calibration_error)
+/// summarises the gap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationCurve {
+    /// Non-empty bins in ascending prediction order.
+    pub bins: Vec<CalibrationBin>,
+    /// Total assertions graded.
+    pub total: usize,
+}
+
+impl CalibrationCurve {
+    /// Bins `posteriors` against `truth` into `bins` uniform buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or `bins == 0`.
+    pub fn from_posteriors(posteriors: &[f64], truth: &[bool], bins: usize) -> Self {
+        assert_eq!(posteriors.len(), truth.len(), "posterior/truth mismatch");
+        assert!(bins > 0, "need at least one bin");
+        let mut sums = vec![(0.0f64, 0usize, 0usize); bins]; // (Σp, #true, count)
+        for (&p, &t) in posteriors.iter().zip(truth) {
+            let b = ((p.clamp(0.0, 1.0) * bins as f64) as usize).min(bins - 1);
+            sums[b].0 += p;
+            sums[b].1 += usize::from(t);
+            sums[b].2 += 1;
+        }
+        let out = sums
+            .into_iter()
+            .filter(|&(_, _, c)| c > 0)
+            .map(|(sp, st, c)| CalibrationBin {
+                mean_predicted: sp / c as f64,
+                fraction_true: st as f64 / c as f64,
+                count: c,
+            })
+            .collect();
+        Self {
+            bins: out,
+            total: posteriors.len(),
+        }
+    }
+
+    /// Expected calibration error: the count-weighted mean of
+    /// `|mean_predicted - fraction_true|` over the bins. `0` is perfectly
+    /// calibrated.
+    pub fn expected_calibration_error(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.bins
+            .iter()
+            .map(|b| b.count as f64 * (b.mean_predicted - b.fraction_true).abs())
+            .sum::<f64>()
+            / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_all_quadrants() {
+        let pred = [true, true, false, false, true];
+        let truth = [true, false, false, true, true];
+        let c = Confusion::from_labels(&pred, &truth);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 1));
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.false_positive_rate() - 0.5).abs() < 1e-12);
+        assert!((c.false_negative_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_empty_is_safe() {
+        let c = Confusion::from_labels(&[], &[]);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.false_positive_rate(), 0.0);
+        assert_eq!(c.false_negative_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn confusion_rejects_mismatched_lengths() {
+        Confusion::from_labels(&[true], &[]);
+    }
+
+    #[test]
+    fn mean_std_matches_direct_formula() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = MeanStd::new();
+        acc.extend(xs.iter().copied());
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        let direct_var = xs.iter().map(|x| (x - 5.0) * (x - 5.0)).sum::<f64>() / 7.0;
+        assert!((acc.std() - direct_var.sqrt()).abs() < 1e-12);
+        assert_eq!(acc.count(), 8);
+    }
+
+    #[test]
+    fn mean_std_single_observation() {
+        let mut acc = MeanStd::new();
+        acc.push(3.5);
+        assert_eq!(acc.mean(), 3.5);
+        assert_eq!(acc.std(), 0.0);
+    }
+
+    #[test]
+    fn perfectly_calibrated_predictions_have_zero_ece() {
+        // Two groups: predicted 0.25 with 1/4 true, predicted 0.75 with 3/4 true.
+        let posteriors = [0.25, 0.25, 0.25, 0.25, 0.75, 0.75, 0.75, 0.75];
+        let truth = [true, false, false, false, true, true, true, false];
+        let curve = CalibrationCurve::from_posteriors(&posteriors, &truth, 4);
+        assert!(curve.expected_calibration_error() < 1e-12);
+        assert_eq!(curve.total, 8);
+        assert_eq!(curve.bins.len(), 2);
+    }
+
+    #[test]
+    fn overconfident_predictions_show_up_in_ece() {
+        // Everything predicted 0.95 but only half true.
+        let posteriors = [0.95; 10];
+        let truth = [true, false, true, false, true, false, true, false, true, false];
+        let curve = CalibrationCurve::from_posteriors(&posteriors, &truth, 10);
+        assert!((curve.expected_calibration_error() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_predictions_land_in_end_bins() {
+        let curve = CalibrationCurve::from_posteriors(&[0.0, 1.0], &[false, true], 5);
+        assert_eq!(curve.bins.len(), 2);
+        assert_eq!(curve.bins[0].count, 1);
+        assert_eq!(curve.bins[1].count, 1);
+        assert!(curve.expected_calibration_error() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn calibration_rejects_mismatched_lengths() {
+        CalibrationCurve::from_posteriors(&[0.5], &[], 4);
+    }
+}

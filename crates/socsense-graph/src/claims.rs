@@ -1,0 +1,236 @@
+//! Timestamped claims and the construction of the `SC` and `D` matrices.
+//!
+//! The paper's estimator consumes two `n × m` binary matrices:
+//!
+//! * `SC[i, j] = 1` — source `i` asserted `C_j` (at least once);
+//! * `D[i, j] = 1` — the *(potential)* claim of `i` on `C_j` is dependent.
+//!
+//! For a cell where `i` actually claimed `j`, the paper's rule applies
+//! directly: the claim is dependent iff an ancestor of `i` asserted `C_j`
+//! strictly earlier. The paper leaves `D` undefined on non-claim cells, yet
+//! the EM M-step (Eqs. 10–13) partitions *non-claims* by `D` as well; we
+//! complete the definition in the natural way — a non-claim cell is
+//! dependent iff an ancestor asserted `C_j` at any time (had `i` spoken, it
+//! would have spoken after hearing its ancestor). This choice is recorded
+//! in `DESIGN.md` §4.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use socsense_matrix::{SparseBinaryMatrix, SparseBinaryMatrixBuilder};
+
+use crate::follow::FollowerGraph;
+
+/// One act of sensing: `source` asserted `assertion` at `time`.
+///
+/// Times are opaque monotone ticks; only their relative order matters.
+/// Repeated claims by the same source on the same assertion collapse to
+/// the earliest occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TimedClaim {
+    /// Claiming source id.
+    pub source: u32,
+    /// Asserted statement id.
+    pub assertion: u32,
+    /// Claim timestamp (monotone tick).
+    pub time: u64,
+}
+
+impl TimedClaim {
+    /// Creates a claim record.
+    pub fn new(source: u32, assertion: u32, time: u64) -> Self {
+        Self {
+            source,
+            assertion,
+            time,
+        }
+    }
+}
+
+/// Builds the source-claim matrix `SC` and dependency matrix `D` from a
+/// timestamped claim log and the follow relation.
+///
+/// Returns `(sc, d)`, both `n × m`. The dependency rule is described in
+/// the module docs; ties in time do **not** create dependencies (a claim
+/// is dependent only on *strictly earlier* ancestor claims, matching the
+/// paper's walk-through where simultaneous tweets stay independent).
+///
+/// # Panics
+///
+/// Panics if a claim references `source >= n` or `assertion >= m`.
+pub fn build_matrices(
+    n: u32,
+    m: u32,
+    claims: &[TimedClaim],
+    graph: &FollowerGraph,
+) -> (SparseBinaryMatrix, SparseBinaryMatrix) {
+    // Earliest claim time per (source, assertion).
+    let mut first_claim: HashMap<(u32, u32), u64> = HashMap::with_capacity(claims.len());
+    for c in claims {
+        assert!(
+            c.source < n && c.assertion < m,
+            "claim ({}, {}) out of bounds for {}x{}",
+            c.source,
+            c.assertion,
+            n,
+            m
+        );
+        first_claim
+            .entry((c.source, c.assertion))
+            .and_modify(|t| *t = (*t).min(c.time))
+            .or_insert(c.time);
+    }
+
+    let mut sc_builder = SparseBinaryMatrixBuilder::with_capacity(n, m, first_claim.len());
+    for &(s, a) in first_claim.keys() {
+        sc_builder.insert(s, a);
+    }
+    let sc = sc_builder.build();
+
+    // Earliest ancestor claim time per (follower, assertion).
+    let mut anc_time: HashMap<(u32, u32), u64> = HashMap::new();
+    for (&(s, a), &t) in &first_claim {
+        for &f in graph.followers(s) {
+            anc_time
+                .entry((f, a))
+                .and_modify(|tt| *tt = (*tt).min(t))
+                .or_insert(t);
+        }
+    }
+
+    let mut d_builder = SparseBinaryMatrixBuilder::with_capacity(n, m, anc_time.len());
+    for (&(f, a), &t_anc) in &anc_time {
+        match first_claim.get(&(f, a)) {
+            // Claim cell: dependent only if an ancestor spoke strictly first.
+            Some(&t_own) if t_anc >= t_own => {}
+            _ => d_builder.insert(f, a),
+        }
+    }
+    (sc, d_builder.build())
+}
+
+/// The sorted set of assertions claimed by any ancestor of `source`.
+///
+/// This is the "Dependent Assertion" candidate set of the paper's Sec. V-A
+/// generator, and also `D`'s support restricted to row `source` before the
+/// who-spoke-first refinement.
+pub fn dependent_assertions(
+    source: u32,
+    claims: &[TimedClaim],
+    graph: &FollowerGraph,
+) -> Vec<u32> {
+    let mut out: Vec<u32> = claims
+        .iter()
+        .filter(|c| graph.follows(source, c.source))
+        .map(|c| c.assertion)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1: John(0) follows Sally(1); Heather(2) independent.
+    fn fig1() -> (FollowerGraph, Vec<TimedClaim>) {
+        let mut g = FollowerGraph::new(3);
+        g.add_follow(0, 1);
+        let claims = vec![
+            TimedClaim::new(1, 0, 1), // Sally -> C1 @ t1
+            TimedClaim::new(2, 1, 1), // Heather -> C2 @ t1
+            TimedClaim::new(0, 0, 2), // John -> C1 @ t2 (dependent)
+            TimedClaim::new(0, 1, 3), // John -> C2 @ t3 (independent)
+        ];
+        (g, claims)
+    }
+
+    #[test]
+    fn fig1_walkthrough_matches_paper() {
+        let (g, claims) = fig1();
+        let (sc, d) = build_matrices(3, 2, &claims, &g);
+        // SC: John claims both, Sally C1, Heather C2.
+        assert!(sc.contains(0, 0) && sc.contains(0, 1));
+        assert!(sc.contains(1, 0) && !sc.contains(1, 1));
+        assert!(!sc.contains(2, 0) && sc.contains(2, 1));
+        // D: only John's repeat of Sally's claim is dependent.
+        assert!(d.contains(0, 0));
+        assert!(!d.contains(0, 1));
+        assert!(!d.contains(1, 0));
+        assert!(!d.contains(2, 1));
+    }
+
+    #[test]
+    fn simultaneous_claims_stay_independent() {
+        let mut g = FollowerGraph::new(2);
+        g.add_follow(0, 1);
+        let claims = vec![TimedClaim::new(1, 0, 5), TimedClaim::new(0, 0, 5)];
+        let (_, d) = build_matrices(2, 1, &claims, &g);
+        assert!(!d.contains(0, 0), "tie in time must not be dependent");
+    }
+
+    #[test]
+    fn non_claim_cell_is_dependent_when_ancestor_spoke() {
+        let mut g = FollowerGraph::new(2);
+        g.add_follow(0, 1);
+        let claims = vec![TimedClaim::new(1, 0, 1)]; // only the ancestor speaks
+        let (sc, d) = build_matrices(2, 1, &claims, &g);
+        assert!(!sc.contains(0, 0));
+        assert!(d.contains(0, 0), "silent follower cell is a dependent cell");
+    }
+
+    #[test]
+    fn repeated_claims_collapse_to_earliest() {
+        let mut g = FollowerGraph::new(2);
+        g.add_follow(0, 1);
+        // Follower speaks at t=1 then again at t=10; ancestor at t=5.
+        let claims = vec![
+            TimedClaim::new(0, 0, 10),
+            TimedClaim::new(0, 0, 1),
+            TimedClaim::new(1, 0, 5),
+        ];
+        let (sc, d) = build_matrices(2, 1, &claims, &g);
+        assert_eq!(sc.nnz(), 2);
+        // Earliest own claim (t=1) precedes the ancestor's (t=5): independent.
+        assert!(!d.contains(0, 0));
+    }
+
+    #[test]
+    fn multiple_ancestors_earliest_wins() {
+        let mut g = FollowerGraph::new(3);
+        g.add_follow(0, 1);
+        g.add_follow(0, 2);
+        let claims = vec![
+            TimedClaim::new(1, 0, 8),
+            TimedClaim::new(2, 0, 2),
+            TimedClaim::new(0, 0, 5),
+        ];
+        let (_, d) = build_matrices(3, 1, &claims, &g);
+        // Ancestor 2 spoke at t=2 < 5, so dependent even though ancestor 1 was later.
+        assert!(d.contains(0, 0));
+    }
+
+    #[test]
+    fn dependent_assertions_lists_ancestor_claims() {
+        let (g, claims) = fig1();
+        assert_eq!(dependent_assertions(0, &claims, &g), vec![0]);
+        assert!(dependent_assertions(1, &claims, &g).is_empty());
+        assert!(dependent_assertions(2, &claims, &g).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_claim_panics() {
+        let g = FollowerGraph::new(1);
+        build_matrices(1, 1, &[TimedClaim::new(0, 7, 0)], &g);
+    }
+
+    #[test]
+    fn empty_claim_log_yields_empty_matrices() {
+        let g = FollowerGraph::new(3);
+        let (sc, d) = build_matrices(3, 2, &[], &g);
+        assert_eq!(sc.nnz(), 0);
+        assert_eq!(d.nnz(), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id was `>= n`.
+    NodeOutOfRange {
+        /// Offending node id.
+        node: u32,
+        /// Declared node count.
+        n: u32,
+    },
+    /// A source attempted to follow itself.
+    SelfFollow {
+        /// The offending node.
+        node: u32,
+    },
+    /// An invalid forest shape was requested (`tau == 0` or `tau > n`).
+    BadForest {
+        /// Source count.
+        n: u32,
+        /// Requested tree count.
+        tau: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph of {n} sources")
+            }
+            GraphError::SelfFollow { node } => write!(f, "source {node} cannot follow itself"),
+            GraphError::BadForest { n, tau } => {
+                write!(f, "invalid forest: tau={tau} must satisfy 1 <= tau <= n={n}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(GraphError::SelfFollow { node: 2 }.to_string().contains("follow itself"));
+        assert!(GraphError::BadForest { n: 3, tau: 9 }.to_string().contains("tau=9"));
+        assert!(GraphError::NodeOutOfRange { node: 8, n: 4 }.to_string().contains("node 8"));
+    }
+}

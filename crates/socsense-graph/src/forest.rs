@@ -1,0 +1,205 @@
+//! The paper's synthetic dependency structure: a forest of two-level trees.
+//!
+//! Sec. V-A generates "source dependency graphs as a forest of τ level-two
+//! trees, where each source appears only once". Each tree has one **root**
+//! (an independent source) and zero or more **leaves** that follow the
+//! root. Varying τ from 1 to `n` interpolates between "one source followed
+//! by everyone" and "all sources independent".
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::follow::FollowerGraph;
+
+/// A forest of τ two-level dependency trees over `n` sources.
+///
+/// # Example
+///
+/// ```
+/// use socsense_graph::DependencyForest;
+///
+/// let f = DependencyForest::balanced(10, 3).unwrap();
+/// assert_eq!(f.tree_count(), 3);
+/// assert_eq!(f.roots().len(), 3);
+/// // Every non-root has exactly one root ancestor.
+/// for s in 0..10 {
+///     if !f.is_root(s) {
+///         assert!(f.roots().contains(&f.root_of(s)));
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependencyForest {
+    n: u32,
+    /// root_of[i] = the root of i's tree (roots map to themselves).
+    root_of: Vec<u32>,
+    roots: Vec<u32>,
+}
+
+impl DependencyForest {
+    /// Builds a forest where leaves are spread as evenly as possible over
+    /// the τ trees; roots are sources `0..tau` in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BadForest`] unless `1 <= tau <= n`.
+    pub fn balanced(n: u32, tau: u32) -> Result<Self, GraphError> {
+        Self::check(n, tau)?;
+        let mut root_of: Vec<u32> = (0..n).collect();
+        for leaf in tau..n {
+            root_of[leaf as usize] = (leaf - tau) % tau;
+        }
+        Ok(Self {
+            n,
+            root_of,
+            roots: (0..tau).collect(),
+        })
+    }
+
+    /// Builds a forest with uniformly random root selection and random
+    /// leaf-to-tree assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BadForest`] unless `1 <= tau <= n`.
+    pub fn random<R: Rng + ?Sized>(n: u32, tau: u32, rng: &mut R) -> Result<Self, GraphError> {
+        Self::check(n, tau)?;
+        let mut order: Vec<u32> = (0..n).collect();
+        order.shuffle(rng);
+        let roots: Vec<u32> = order[..tau as usize].to_vec();
+        let mut root_of: Vec<u32> = (0..n).collect();
+        for &leaf in &order[tau as usize..] {
+            root_of[leaf as usize] = roots[rng.gen_range(0..tau as usize)];
+        }
+        let mut sorted_roots = roots;
+        sorted_roots.sort_unstable();
+        Ok(Self {
+            n,
+            root_of,
+            roots: sorted_roots,
+        })
+    }
+
+    fn check(n: u32, tau: u32) -> Result<(), GraphError> {
+        if tau == 0 || tau > n {
+            return Err(GraphError::BadForest { n, tau });
+        }
+        Ok(())
+    }
+
+    /// Number of sources.
+    pub fn node_count(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of trees (τ).
+    pub fn tree_count(&self) -> u32 {
+        self.roots.len() as u32
+    }
+
+    /// Sorted root sources.
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Whether `source` is a tree root (an independent source).
+    pub fn is_root(&self, source: u32) -> bool {
+        self.root_of[source as usize] == source
+    }
+
+    /// The root of `source`'s tree; a root maps to itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= n`.
+    pub fn root_of(&self, source: u32) -> u32 {
+        self.root_of[source as usize]
+    }
+
+    /// All leaf sources (non-roots), sorted.
+    pub fn leaves(&self) -> Vec<u32> {
+        (0..self.n).filter(|&s| !self.is_root(s)).collect()
+    }
+
+    /// The follower graph induced by the forest: each leaf follows its root.
+    pub fn to_follower_graph(&self) -> FollowerGraph {
+        let mut g = FollowerGraph::new(self.n);
+        for s in 0..self.n {
+            if !self.is_root(s) {
+                g.add_follow(s, self.root_of(s));
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn balanced_covers_every_source_once() {
+        let f = DependencyForest::balanced(11, 4).unwrap();
+        assert_eq!(f.roots(), &[0, 1, 2, 3]);
+        assert_eq!(f.leaves().len(), 7);
+        for s in 0..11 {
+            let r = f.root_of(s);
+            assert!(f.is_root(r));
+        }
+    }
+
+    #[test]
+    fn tau_equals_n_means_all_independent() {
+        let f = DependencyForest::balanced(5, 5).unwrap();
+        assert!(f.leaves().is_empty());
+        assert_eq!(f.to_follower_graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn tau_one_means_single_hub() {
+        let f = DependencyForest::balanced(5, 1).unwrap();
+        assert_eq!(f.roots(), &[0]);
+        let g = f.to_follower_graph();
+        assert_eq!(g.follower_count(0), 4);
+    }
+
+    #[test]
+    fn invalid_tau_rejected() {
+        assert!(DependencyForest::balanced(5, 0).is_err());
+        assert!(DependencyForest::balanced(5, 6).is_err());
+    }
+
+    #[test]
+    fn random_forest_is_valid_partition() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = DependencyForest::random(20, 6, &mut rng).unwrap();
+        assert_eq!(f.tree_count(), 6);
+        assert_eq!(f.roots().len(), 6);
+        for s in 0..20 {
+            assert!(f.is_root(f.root_of(s)));
+        }
+        // Leaves + roots = all sources.
+        assert_eq!(f.leaves().len() + f.roots().len(), 20);
+    }
+
+    #[test]
+    fn random_forest_is_deterministic_per_seed() {
+        let a = DependencyForest::random(15, 4, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = DependencyForest::random(15, 4, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn follower_graph_edges_match_leaf_count() {
+        let f = DependencyForest::balanced(9, 2).unwrap();
+        let g = f.to_follower_graph();
+        assert_eq!(g.edge_count(), 7);
+        for leaf in f.leaves() {
+            assert!(g.follows(leaf, f.root_of(leaf)));
+        }
+    }
+}

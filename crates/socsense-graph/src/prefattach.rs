@@ -1,0 +1,125 @@
+//! Preferential-attachment follower graph generation.
+//!
+//! Real follower graphs are heavy-tailed: a few hub accounts collect most
+//! followers. The simulated Twitter substrate uses this generator so that
+//! retweet cascades concentrate around hubs, reproducing the correlated
+//! error structure the paper's estimator is designed to exploit.
+
+use rand::Rng;
+
+use crate::follow::FollowerGraph;
+
+/// Generates a follower graph over `n` sources by preferential attachment.
+///
+/// Sources join in id order. Each joining source `i >= 1` picks
+/// `min(k, i)` distinct followees among the earlier sources, each drawn
+/// with probability proportional to `followers + 1` (the `+1` smoothing
+/// lets zero-follower sources be picked at all).
+///
+/// The expected in-degree distribution is heavy-tailed; source `0` is the
+/// most likely hub.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (every joining source must follow someone for the
+/// graph to be connected enough to cascade).
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socsense_graph::preferential_attachment;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = preferential_attachment(100, 3, &mut rng);
+/// assert_eq!(g.node_count(), 100);
+/// // Everyone but source 0 follows somebody.
+/// assert!((1..100).all(|s| g.followee_count(s) >= 1));
+/// ```
+pub fn preferential_attachment<R: Rng + ?Sized>(n: u32, k: u32, rng: &mut R) -> FollowerGraph {
+    assert!(k > 0, "attachment degree k must be positive");
+    let mut g = FollowerGraph::new(n);
+    // repeated-nodes trick: each edge endpoint is pushed once, so sampling
+    // uniformly from `targets` is sampling proportional to (in-degree + 1).
+    let mut targets: Vec<u32> = Vec::with_capacity((n as usize) * (k as usize + 1));
+    for i in 0..n {
+        let want = (k.min(i)) as usize;
+        let mut picked: Vec<u32> = Vec::with_capacity(want);
+        let mut guard = 0usize;
+        while picked.len() < want && guard < want * 50 {
+            guard += 1;
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != i && !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        // Fallback for pathological rejection streaks: fill with the
+        // lowest-id sources not yet picked.
+        let mut next = 0u32;
+        while picked.len() < want {
+            if next != i && !picked.contains(&next) {
+                picked.push(next);
+            }
+            next += 1;
+        }
+        for &t in &picked {
+            g.add_follow(i, t);
+            targets.push(t);
+        }
+        targets.push(i); // the joiner itself becomes a future target
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_late_source_follows_k_accounts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = preferential_attachment(50, 2, &mut rng);
+        for s in 2..50 {
+            assert_eq!(g.followee_count(s), 2, "source {s}");
+        }
+        assert_eq!(g.followee_count(0), 0);
+        assert_eq!(g.followee_count(1), 1);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = preferential_attachment(500, 2, &mut rng);
+        let mut degrees: Vec<usize> = (0..500).map(|s| g.follower_count(s)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // The top decile should hold well over its proportional share.
+        let top: usize = degrees[..50].iter().sum();
+        let total: usize = degrees.iter().sum();
+        assert!(
+            top as f64 > 0.3 * total as f64,
+            "expected heavy tail, top-decile share {}",
+            top as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = preferential_attachment(60, 3, &mut StdRng::seed_from_u64(11));
+        let b = preferential_attachment(60, 3, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        preferential_attachment(10, 0, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn single_node_graph_is_empty() {
+        let g = preferential_attachment(1, 3, &mut StdRng::seed_from_u64(0));
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use socsense_graph::{
+    build_matrices, dependent_assertions, preferential_attachment, DependencyForest,
+    FollowerGraph, TimedClaim,
+};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arbitrary_graph() -> impl Strategy<Value = FollowerGraph> {
+    (2u32..20).prop_flat_map(|n| {
+        vec((0..n, 0..n), 0..60).prop_map(move |edges| {
+            let mut g = FollowerGraph::new(n);
+            for (a, b) in edges {
+                if a != b {
+                    g.add_follow(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forward and reverse adjacency are mirror images.
+    #[test]
+    fn follower_graph_indexes_agree(g in arbitrary_graph()) {
+        let n = g.node_count();
+        let mut edge_count = 0;
+        for i in 0..n {
+            for &k in g.ancestors(i) {
+                prop_assert!(g.followers(k).contains(&i));
+                prop_assert!(g.follows(i, k));
+                edge_count += 1;
+            }
+        }
+        prop_assert_eq!(edge_count, g.edge_count());
+        // Reconstruction through from_edges is lossless.
+        let rebuilt = FollowerGraph::from_edges(n, g.edges()).unwrap();
+        prop_assert_eq!(rebuilt, g);
+    }
+
+    /// D is always a sub-relation of "some ancestor asserted this", and
+    /// every dependent *claim* has a strictly earlier ancestor claim.
+    #[test]
+    fn dependency_matrix_is_sound(
+        g in arbitrary_graph(),
+        raw_claims in vec((0u32..20, 0u32..10, 0u64..50), 1..60),
+    ) {
+        let n = g.node_count();
+        let m = 10u32;
+        let claims: Vec<TimedClaim> = raw_claims
+            .into_iter()
+            .map(|(s, a, t)| TimedClaim::new(s % n, a, t))
+            .collect();
+        let (sc, d) = build_matrices(n, m, &claims, &g);
+        // Every claim in the log appears in SC.
+        for c in &claims {
+            prop_assert!(sc.contains(c.source, c.assertion));
+        }
+        for (i, j) in d.entries() {
+            // Dependent cell ⇒ some ancestor claimed j.
+            let anc_claims: Vec<&TimedClaim> = claims
+                .iter()
+                .filter(|c| c.assertion == j && g.follows(i, c.source))
+                .collect();
+            prop_assert!(!anc_claims.is_empty(), "dep cell without ancestor claim");
+            prop_assert!(dependent_assertions(i, &claims, &g).contains(&j));
+            if sc.contains(i, j) {
+                // Dependent claim ⇒ strictly earlier ancestor claim than
+                // i's own earliest.
+                let own = claims
+                    .iter()
+                    .filter(|c| c.source == i && c.assertion == j)
+                    .map(|c| c.time)
+                    .min()
+                    .expect("claimed");
+                prop_assert!(anc_claims.iter().any(|c| c.time < own));
+            }
+        }
+        // Converse for claims: independent claim ⇒ no strictly earlier
+        // ancestor claim.
+        for (i, j) in sc.entries() {
+            if !d.contains(i, j) {
+                let own = claims
+                    .iter()
+                    .filter(|c| c.source == i && c.assertion == j)
+                    .map(|c| c.time)
+                    .min()
+                    .expect("claimed");
+                let earlier = claims
+                    .iter()
+                    .any(|c| c.assertion == j && g.follows(i, c.source) && c.time < own);
+                prop_assert!(!earlier, "independent claim with earlier ancestor claim");
+            }
+        }
+    }
+
+    /// Forests partition sources for every valid (n, τ).
+    #[test]
+    fn forest_partitions_sources(n in 1u32..40, tau_raw in 1u32..40, seed in 0u64..100) {
+        let tau = tau_raw.min(n);
+        let f = DependencyForest::random(n, tau, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(f.tree_count(), tau);
+        prop_assert_eq!(f.roots().len() + f.leaves().len(), n as usize);
+        for s in 0..n {
+            prop_assert!(f.is_root(f.root_of(s)));
+            prop_assert_eq!(f.is_root(s), f.root_of(s) == s);
+        }
+        let g = f.to_follower_graph();
+        prop_assert_eq!(g.edge_count(), (n - tau) as usize);
+    }
+
+    /// Preferential attachment yields the promised out-degrees.
+    #[test]
+    fn preferential_attachment_degrees(n in 2u32..60, k in 1u32..5, seed in 0u64..100) {
+        let g = preferential_attachment(n, k, &mut StdRng::seed_from_u64(seed));
+        for i in 0..n {
+            prop_assert_eq!(g.followee_count(i), k.min(i) as usize, "node {}", i);
+        }
+    }
+}

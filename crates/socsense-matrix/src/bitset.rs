@@ -1,0 +1,172 @@
+//! A fixed-capacity bit set.
+//!
+//! Backs the claim-pattern state of the exact-bound enumerator and the
+//! Gibbs sampler in `socsense-core`: a pattern over `n` sources is a point
+//! in `{0,1}^n`, flipped one coordinate at a time.
+
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A bit set over a fixed universe `0..len`.
+///
+/// # Example
+///
+/// ```
+/// use socsense_matrix::FixedBitSet;
+///
+/// let mut s = FixedBitSet::new(70);
+/// s.set(3, true);
+/// s.set(68, true);
+/// assert!(s.get(3));
+/// assert_eq!(s.count_ones(), 2);
+/// assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![3, 68]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FixedBitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl FixedBitSet {
+    /// An all-zero bit set over `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Builds a set from the indices yielded by `iter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is `>= len`.
+    pub fn from_indices(len: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(len);
+        for i in iter {
+            s.set(i, true);
+        }
+        s
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the universe is empty (`len == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether bit `i` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range 0..{}", self.len);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range 0..{}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`, returning its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) -> bool {
+        let v = !self.get(i);
+        self.set(i, v);
+        v
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over set bit indices in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * WORD_BITS + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_flip_across_word_boundary() {
+        let mut s = FixedBitSet::new(130);
+        for &i in &[0usize, 63, 64, 127, 129] {
+            assert!(!s.get(i));
+            s.set(i, true);
+            assert!(s.get(i));
+        }
+        assert_eq!(s.count_ones(), 5);
+        assert!(!s.flip(63));
+        assert_eq!(s.count_ones(), 4);
+    }
+
+    #[test]
+    fn iter_ones_is_sorted_and_complete() {
+        let s = FixedBitSet::from_indices(100, [7, 3, 99, 64]);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![3, 7, 64, 99]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = FixedBitSet::from_indices(10, 0..10);
+        assert_eq!(s.count_ones(), 10);
+        s.clear();
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        FixedBitSet::new(4).get(4);
+    }
+
+    #[test]
+    fn zero_len_set_is_empty() {
+        let s = FixedBitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! A minimal row-major dense `f64` matrix.
+//!
+//! Used for per-source parameter tables and posterior snapshots where the
+//! data is genuinely dense. Deliberately small: the workspace needs
+//! indexing, row views, fills, and map/fold — not a linear-algebra library.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MatrixError;
+
+/// Row-major dense matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use socsense_matrix::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m.set(1, 2, 0.5);
+/// assert_eq!(m.get(1, 2), 0.5);
+/// assert_eq!(m.row(1), &[0.0, 0.0, 0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// An `nrows × ncols` matrix filled with `value`.
+    pub fn filled(nrows: usize, ncols: usize, value: f64) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![value; nrows * ncols],
+        }
+    }
+
+    /// Builds from a row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::BadBacking`] when `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self, MatrixError> {
+        if data.len() != nrows * ncols {
+            return Err(MatrixError::BadBacking {
+                expected: nrows * ncols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { nrows, ncols, data })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.nrows && col < self.ncols);
+        row * self.ncols + col
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[self.idx(row, col)]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        let i = self.idx(row, col);
+        self.data[i] = value;
+    }
+
+    /// Immutable view of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= nrows`.
+    pub fn row(&self, row: usize) -> &[f64] {
+        let start = row * self.ncols;
+        &self.data[start..start + self.ncols]
+    }
+
+    /// Mutable view of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= nrows`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        let start = row * self.ncols;
+        &mut self.data[start..start + self.ncols]
+    }
+
+    /// Overwrites every cell with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Applies `f` to every cell in place.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Sum of all cells.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest absolute difference to another matrix of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> Result<f64, MatrixError> {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return Err(MatrixError::DimensionMismatch {
+                expected: (self.nrows as u32, self.ncols as u32),
+                actual: (other.nrows as u32, other.ncols as u32),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// The backing row-major slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        assert_eq!(m.get(0, 1), 0.0);
+        m.set(0, 1, 3.5);
+        assert_eq!(m.get(0, 1), 3.5);
+        assert_eq!(m.sum(), 3.5);
+    }
+
+    #[test]
+    fn from_vec_validates_len() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_mut_edits_in_place() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.row(1), &[0.0; 3]);
+    }
+
+    #[test]
+    fn map_in_place_applies_everywhere() {
+        let mut m = DenseMatrix::filled(2, 2, 2.0);
+        m.map_in_place(|v| v * v);
+        assert_eq!(m.sum(), 16.0);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = DenseMatrix::filled(1, 2, 1.0);
+        let mut b = a.clone();
+        b.set(0, 1, 1.25);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.25);
+        let c = DenseMatrix::zeros(2, 2);
+        assert!(a.max_abs_diff(&c).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the matrix substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix constructors and cell-wise operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// An entry landed outside the declared matrix shape.
+    OutOfBounds {
+        /// Offending row index.
+        row: u32,
+        /// Offending column index.
+        col: u32,
+        /// Declared row count.
+        nrows: u32,
+        /// Declared column count.
+        ncols: u32,
+    },
+    /// Two operands of a cell-wise operation have different shapes.
+    DimensionMismatch {
+        /// Shape of the left operand.
+        expected: (u32, u32),
+        /// Shape of the right operand.
+        actual: (u32, u32),
+    },
+    /// A backing vector's length does not match the declared shape.
+    BadBacking {
+        /// `nrows * ncols` of the declared shape.
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::OutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(f, "entry ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"),
+            MatrixError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            MatrixError::BadBacking { expected, actual } => write!(
+                f,
+                "backing vector length {actual} does not match shape (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MatrixError::OutOfBounds {
+            row: 5,
+            col: 1,
+            nrows: 2,
+            ncols: 2,
+        };
+        assert!(e.to_string().contains("(5, 1)"));
+        let e = MatrixError::DimensionMismatch {
+            expected: (1, 2),
+            actual: (3, 4),
+        };
+        assert!(e.to_string().contains("1x2"));
+        let e = MatrixError::BadBacking {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+}

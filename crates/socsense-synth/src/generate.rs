@@ -1,0 +1,341 @@
+//! The claim-generation procedure of Sec. V-A.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use socsense_core::ClaimData;
+use socsense_graph::{DependencyForest, FollowerGraph, TimedClaim};
+
+use crate::config::{GeneratorConfig, SynthError};
+
+/// The per-source behavioural probabilities drawn from the configured
+/// intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceProfile {
+    /// Participation probability per opportunity.
+    pub p_on: f64,
+    /// Probability a leaf opportunity targets the dependent candidate set.
+    pub p_dep: f64,
+    /// `P(true pool | independent claim)`.
+    pub p_indep_t: f64,
+    /// `P(true pool | dependent claim)`.
+    pub p_dep_t: f64,
+}
+
+/// One generated dataset: claims, matrices, ground truth, and the
+/// structures that produced them.
+///
+/// Serialisable: persist a run with any serde format to replay an
+/// experiment on the identical data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticDataset {
+    /// The `SC`/`D` pair ready for any fact-finder.
+    pub data: ClaimData,
+    /// Ground truth per assertion (`true` = the assertion is true).
+    pub truth: Vec<bool>,
+    /// The raw timestamped claim log.
+    pub claims: Vec<TimedClaim>,
+    /// The dependency forest used.
+    pub forest: DependencyForest,
+    /// The induced follower graph (leaves follow their roots).
+    pub graph: FollowerGraph,
+    /// Per-source drawn probabilities.
+    pub profiles: Vec<SourceProfile>,
+    /// The τ drawn for this run.
+    pub tau: u32,
+    /// The true-assertion ratio drawn for this run.
+    pub d: f64,
+}
+
+impl SyntheticDataset {
+    /// Runs the Sec. V-A generator with the given seed.
+    ///
+    /// The procedure:
+    /// 1. draw `d` and assign true/false labels to the `m` assertions;
+    /// 2. draw `τ` and build a random forest of two-level trees;
+    /// 3. draw one [`SourceProfile`] per source;
+    /// 4. **roots** take `opportunities` rounds each: with probability
+    ///    `p_on`, draw a uniform candidate assertion and *claim it* with
+    ///    probability `p_indepT` if the candidate is true, `1 - p_indepT`
+    ///    if false — so each root's per-assertion claim odds `a/b` equal
+    ///    `p_indepT/(1 - p_indepT)` exactly;
+    /// 5. **leaves** do the same afterwards, but each used opportunity
+    ///    first picks the *dependent* candidate set (assertions its root
+    ///    already claimed, acceptance `p_depT`) with probability `p_dep`,
+    ///    else the independent remainder (acceptance `p_indepT`). An
+    ///    empty candidate set skips the opportunity.
+    ///
+    /// Roots claim at earlier ticks than leaves, so dependency labels from
+    /// [`socsense_graph::build_matrices`] match the generator's intent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError`] when the configuration fails validation.
+    pub fn generate(config: &GeneratorConfig, seed: u64) -> Result<Self, SynthError> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = config.n;
+        let m = config.m;
+
+        // 1. Ground truth.
+        let d = config.d.sample(&mut rng);
+        let m_true = ((d * m as f64).round() as u32).clamp(0, m);
+        let mut truth = vec![false; m as usize];
+        for t in truth.iter_mut().take(m_true as usize) {
+            *t = true;
+        }
+        truth.shuffle(&mut rng);
+
+        // 2. Dependency structure.
+        let tau = config.tau.sample(&mut rng).clamp(1, n);
+        let forest = DependencyForest::random(n, tau, &mut rng).expect("tau clamped to [1, n]");
+        let graph = forest.to_follower_graph();
+
+        // 3. Profiles.
+        let profiles: Vec<SourceProfile> = (0..n)
+            .map(|_| SourceProfile {
+                p_on: config.p_on.sample(&mut rng),
+                p_dep: config.p_dep.sample(&mut rng),
+                p_indep_t: config.p_indep_t.sample(&mut rng),
+                p_dep_t: config.p_dep_t.sample(&mut rng),
+            })
+            .collect();
+
+        // 4. Root phase. Each used opportunity draws a uniform candidate
+        // assertion and *accepts* it with the truth-matched reliability
+        // (`p_indepT` for true candidates, `1 - p_indepT` for false).
+        // Acceptance — rather than "choose the pool first, then a member"
+        // — keeps the per-assertion claim odds `a_i/b_i` equal to
+        // `p_indepT/(1-p_indepT)` regardless of pool sizes, which is the
+        // reading under which the paper's Figs. 5 and 10 knobs measure
+        // discriminative power (see DESIGN.md §4).
+        let mut claims: Vec<TimedClaim> = Vec::new();
+        let mut tick: u64 = 0;
+        let mut root_claimed: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+        let all_assertions: Vec<u32> = (0..m).collect();
+        for &root in forest.roots() {
+            let prof = &profiles[root as usize];
+            for _ in 0..config.opportunities {
+                if !rng.gen_bool(prof.p_on) {
+                    continue;
+                }
+                let &j = all_assertions.choose(&mut rng).expect("m >= 1");
+                let accept = if truth[j as usize] {
+                    prof.p_indep_t
+                } else {
+                    1.0 - prof.p_indep_t
+                };
+                if rng.gen_bool(accept) {
+                    claims.push(TimedClaim::new(root, j, tick));
+                    tick += 1;
+                    root_claimed[root as usize].push(j);
+                }
+            }
+            let rc = &mut root_claimed[root as usize];
+            rc.sort_unstable();
+            rc.dedup();
+        }
+        // 5. Leaf phase: same acceptance scheme, but each opportunity
+        // first chooses between the dependent candidate set (assertions
+        // the root already claimed, reliability `p_depT`) and the
+        // independent remainder (reliability `p_indepT`).
+        for leaf in forest.leaves() {
+            let prof = &profiles[leaf as usize];
+            let root = forest.root_of(leaf);
+            let dep_candidates = &root_claimed[root as usize];
+            let indep_candidates: Vec<u32> = (0..m)
+                .filter(|j| dep_candidates.binary_search(j).is_err())
+                .collect();
+            for _ in 0..config.opportunities {
+                if !rng.gen_bool(prof.p_on) {
+                    continue;
+                }
+                let dependent = rng.gen_bool(prof.p_dep);
+                let (candidates, p_true) = if dependent {
+                    (dep_candidates, prof.p_dep_t)
+                } else {
+                    (&indep_candidates, prof.p_indep_t)
+                };
+                let Some(&j) = candidates.choose(&mut rng) else {
+                    continue;
+                };
+                let accept = if truth[j as usize] {
+                    p_true
+                } else {
+                    1.0 - p_true
+                };
+                if rng.gen_bool(accept) {
+                    claims.push(TimedClaim::new(leaf, j, tick));
+                    tick += 1;
+                }
+            }
+        }
+
+        let data = ClaimData::from_claims(n, m, &claims, &graph);
+        Ok(Self {
+            data,
+            truth,
+            claims,
+            forest,
+            graph,
+            profiles,
+            tau,
+            d,
+        })
+    }
+
+    /// Number of sources.
+    pub fn source_count(&self) -> usize {
+        self.data.source_count()
+    }
+
+    /// Number of assertions.
+    pub fn assertion_count(&self) -> usize {
+        self.data.assertion_count()
+    }
+
+    /// Fraction of assertions that are true.
+    pub fn truth_ratio(&self) -> f64 {
+        self.truth.iter().filter(|&&t| t).count() as f64 / self.truth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{IntInterval, Interval};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeneratorConfig::paper_defaults();
+        let a = SyntheticDataset::generate(&cfg, 5).unwrap();
+        let b = SyntheticDataset::generate(&cfg, 5).unwrap();
+        assert_eq!(a.claims, b.claims);
+        assert_eq!(a.truth, b.truth);
+        let c = SyntheticDataset::generate(&cfg, 6).unwrap();
+        assert_ne!(a.claims, c.claims);
+    }
+
+    #[test]
+    fn truth_ratio_tracks_d() {
+        let mut cfg = GeneratorConfig::paper_defaults();
+        cfg.d = Interval::fixed(0.6);
+        cfg.m = 100;
+        let ds = SyntheticDataset::generate(&cfg, 3).unwrap();
+        assert!((ds.truth_ratio() - 0.6).abs() < 1e-9);
+        assert!((ds.d - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_controls_forest_width() {
+        let mut cfg = GeneratorConfig::paper_defaults();
+        cfg.tau = IntInterval::fixed(4);
+        let ds = SyntheticDataset::generate(&cfg, 1).unwrap();
+        assert_eq!(ds.tau, 4);
+        assert_eq!(ds.forest.tree_count(), 4);
+        assert_eq!(ds.graph.edge_count(), (cfg.n - 4) as usize);
+    }
+
+    #[test]
+    fn root_claims_are_never_dependent() {
+        let ds = SyntheticDataset::generate(&GeneratorConfig::paper_defaults(), 11).unwrap();
+        for &root in ds.forest.roots() {
+            for &j in ds.data.sc().row(root) {
+                assert!(
+                    !ds.data.dependent(root, j),
+                    "root {root} claim on {j} flagged dependent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dependent_labels_match_root_claims() {
+        let ds = SyntheticDataset::generate(&GeneratorConfig::paper_defaults(), 13).unwrap();
+        for leaf in ds.forest.leaves() {
+            let root = ds.forest.root_of(leaf);
+            for &j in ds.data.sc().row(leaf) {
+                let root_claimed = ds.data.claimed(root, j);
+                if ds.data.dependent(leaf, j) {
+                    assert!(root_claimed, "dependent claim without root claim");
+                }
+                // The converse (root claimed but leaf independent) is
+                // impossible here because all root ticks precede leaf ticks.
+                if root_claimed {
+                    assert!(ds.data.dependent(leaf, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_on_scales_claim_volume() {
+        let mut lo = GeneratorConfig::paper_defaults();
+        lo.p_on = Interval::fixed(0.1);
+        let mut hi = GeneratorConfig::paper_defaults();
+        hi.p_on = Interval::fixed(0.9);
+        let ds_lo = SyntheticDataset::generate(&lo, 21).unwrap();
+        let ds_hi = SyntheticDataset::generate(&hi, 21).unwrap();
+        assert!(
+            ds_hi.claims.len() > 3 * ds_lo.claims.len(),
+            "claims {} vs {}",
+            ds_hi.claims.len(),
+            ds_lo.claims.len()
+        );
+    }
+
+    #[test]
+    fn all_independent_when_tau_equals_n() {
+        let mut cfg = GeneratorConfig::paper_defaults();
+        cfg.tau = IntInterval::fixed(cfg.n);
+        let ds = SyntheticDataset::generate(&cfg, 2).unwrap();
+        assert_eq!(ds.data.d().nnz(), 0);
+        assert_eq!(ds.data.dependent_claim_count(), 0);
+    }
+
+    #[test]
+    fn reliable_sources_favor_true_assertions() {
+        let mut cfg = GeneratorConfig::paper_defaults();
+        cfg.p_indep_t = Interval::fixed(0.9);
+        cfg.d = Interval::fixed(0.5);
+        cfg.n = 10;
+        cfg.tau = IntInterval::fixed(10); // all roots
+        let ds = SyntheticDataset::generate(&cfg, 7).unwrap();
+        let (mut on_true, mut on_false) = (0usize, 0usize);
+        for c in &ds.claims {
+            if ds.truth[c.assertion as usize] {
+                on_true += 1;
+            } else {
+                on_false += 1;
+            }
+        }
+        assert!(
+            on_true as f64 > 3.0 * on_false as f64,
+            "true {on_true} vs false {on_false}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn dataset_round_trips_through_json() {
+        let ds = SyntheticDataset::generate(&GeneratorConfig::paper_defaults(), 4).unwrap();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: SyntheticDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds.data, back.data, "data");
+        assert_eq!(ds.truth, back.truth, "truth");
+        assert_eq!(ds.claims, back.claims, "claims");
+        assert_eq!(ds.forest, back.forest, "forest");
+        assert_eq!(ds.graph, back.graph, "graph");
+        assert_eq!(ds.tau, back.tau, "tau");
+        assert_eq!(ds.d.to_bits(), back.d.to_bits(), "d");
+        for (i, (a, b)) in ds.profiles.iter().zip(&back.profiles).enumerate() {
+            assert_eq!(a, b, "profile {i}");
+        }
+    }
+}

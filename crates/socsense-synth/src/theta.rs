@@ -1,0 +1,221 @@
+//! Mapping generator parameters to the model's `θ`.
+//!
+//! The error bound (Sec. III) is defined for the *true* `θ`. When data
+//! comes from the Sec. V-A generator there are two ways to obtain it:
+//!
+//! * [`empirical_theta`] — measure each rate as a smoothed frequency
+//!   against the generator's ground truth. This is what the figure
+//!   harnesses use: it is exact up to sampling noise and makes no
+//!   modelling assumption.
+//! * [`analytic_theta`] — closed-form approximation from the drawn
+//!   [`SourceProfile`](crate::SourceProfile)s, treating each of the `K`
+//!   claim opportunities as
+//!   an independent Bernoulli trial over a uniformly chosen pool member
+//!   and replacing the root's random claim set by its expected distinct
+//!   size. Documented here because the approximation degrades when pools
+//!   are small or `K·p_on` approaches the pool size.
+
+use socsense_core::{SourceParams, Theta};
+
+use crate::generate::SyntheticDataset;
+
+/// Laplace smoothing used by [`empirical_theta`].
+const SMOOTHING: f64 = 0.5;
+
+/// Frequency-estimates `θ` from a generated dataset and its ground truth.
+///
+/// For each source, every cell `(i, j)` is binned by `(D_ij, truth_j)`;
+/// the four rates are the smoothed claim frequencies per bin and `z` is
+/// the true-assertion share. Bins a source never visits (e.g. dependent
+/// cells of a root) fall back to `0.5`, which is inert because the
+/// likelihood never consults them.
+pub fn empirical_theta(ds: &SyntheticDataset) -> Theta {
+    let n = ds.source_count();
+    let m = ds.assertion_count();
+    let total_true = ds.truth.iter().filter(|&&t| t).count() as f64;
+    let total_false = m as f64 - total_true;
+
+    let mut sources = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        // Cells with D = 1, split by truth.
+        let (mut dep_true_cells, mut dep_false_cells) = (0.0, 0.0);
+        for &j in ds.data.d().row(i) {
+            if ds.truth[j as usize] {
+                dep_true_cells += 1.0;
+            } else {
+                dep_false_cells += 1.0;
+            }
+        }
+        let indep_true_cells = total_true - dep_true_cells;
+        let indep_false_cells = total_false - dep_false_cells;
+
+        // Claims, split by (D, truth).
+        let (mut ca, mut cb, mut cf, mut cg) = (0.0, 0.0, 0.0, 0.0);
+        for &j in ds.data.sc().row(i) {
+            let dep = ds.data.dependent(i, j);
+            match (ds.truth[j as usize], dep) {
+                (true, false) => ca += 1.0,
+                (false, false) => cb += 1.0,
+                (true, true) => cf += 1.0,
+                (false, true) => cg += 1.0,
+            }
+        }
+
+        let rate = |claims: f64, cells: f64| {
+            if cells <= 0.0 {
+                0.5
+            } else {
+                ((claims + SMOOTHING) / (cells + 2.0 * SMOOTHING)).clamp(0.0, 1.0)
+            }
+        };
+        sources.push(
+            SourceParams::new(
+                rate(ca, indep_true_cells),
+                rate(cb, indep_false_cells),
+                rate(cf, dep_true_cells),
+                rate(cg, dep_false_cells),
+            )
+            .expect("rates are clamped probabilities"),
+        );
+    }
+    let z = (total_true / m as f64).clamp(0.0, 1.0);
+    Theta::new(sources, z).expect("n >= 1 by construction")
+}
+
+/// Closed-form approximation of `θ` from the generator's drawn profiles.
+///
+/// Under the acceptance scheme (see
+/// [`SyntheticDataset::generate`]), a specific candidate assertion is
+/// claimed in one opportunity with probability
+/// `p_on · P(branch) · acceptance / |candidates|`; over `K` independent
+/// opportunities the claim rate is `1 - (1 - q)^K`. For a root,
+/// `|candidates| = m` and acceptance is `p_indepT` (true) or
+/// `1 - p_indepT` (false). Leaf rates split by `p_dep` and use the
+/// root's **expected distinct claim count** as the dependent candidate
+/// size — the one approximation here, exact only in expectation.
+pub fn analytic_theta(ds: &SyntheticDataset, opportunities: u32) -> Theta {
+    let m = ds.assertion_count() as f64;
+    let m_true = (ds.truth_ratio() * m).max(1.0);
+    let m_false = (m - m_true).max(1.0);
+    let k = opportunities as f64;
+    let hit = |q: f64| 1.0 - (1.0 - q.clamp(0.0, 1.0)).powf(k);
+
+    let n = ds.source_count();
+    let mut sources = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        let prof = &ds.profiles[i as usize];
+        let params = if ds.forest.is_root(i) {
+            SourceParams {
+                a: hit(prof.p_on * prof.p_indep_t / m),
+                b: hit(prof.p_on * (1.0 - prof.p_indep_t) / m),
+                f: 0.5,
+                g: 0.5,
+            }
+        } else {
+            let root = ds.forest.root_of(i);
+            let rp = &ds.profiles[root as usize];
+            // Expected distinct true/false assertions the root claims.
+            let rt = m_true * hit(rp.p_on * rp.p_indep_t / m);
+            let rf = m_false * hit(rp.p_on * (1.0 - rp.p_indep_t) / m);
+            let r = (rt + rf).max(1e-9);
+            let indep = (m - rt - rf).max(1e-9);
+            SourceParams {
+                a: hit(prof.p_on * (1.0 - prof.p_dep) * prof.p_indep_t / indep),
+                b: hit(prof.p_on * (1.0 - prof.p_dep) * (1.0 - prof.p_indep_t) / indep),
+                f: hit(prof.p_on * prof.p_dep * prof.p_dep_t / r),
+                g: hit(prof.p_on * prof.p_dep * (1.0 - prof.p_dep_t) / r),
+            }
+        };
+        sources.push(
+            SourceParams::new(
+                params.a.clamp(0.0, 1.0),
+                params.b.clamp(0.0, 1.0),
+                params.f.clamp(0.0, 1.0),
+                params.g.clamp(0.0, 1.0),
+            )
+            .expect("clamped"),
+        );
+    }
+    Theta::new(sources, ds.truth_ratio()).expect("n >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GeneratorConfig, IntInterval, Interval};
+    use crate::generate::SyntheticDataset;
+
+    fn big_run() -> SyntheticDataset {
+        let mut cfg = GeneratorConfig::paper_defaults();
+        cfg.m = 200;
+        cfg.opportunities = 200;
+        SyntheticDataset::generate(&cfg, 77).unwrap()
+    }
+
+    #[test]
+    fn empirical_theta_is_valid_and_matches_z() {
+        let ds = big_run();
+        let theta = empirical_theta(&ds);
+        assert_eq!(theta.source_count(), ds.source_count());
+        assert!((theta.z() - ds.truth_ratio()).abs() < 1e-12);
+        for s in theta.sources() {
+            for v in [s.a, s.b, s.f, s.g] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn reliable_sources_show_a_above_b() {
+        // p_indepT in the paper's default range exceeds 1/2, and the true
+        // pool is larger than the false pool, partially offsetting; pin d
+        // to 0.5 so a > b is clean.
+        let mut cfg = GeneratorConfig::paper_defaults();
+        cfg.d = Interval::fixed(0.5);
+        cfg.p_indep_t = Interval::fixed(0.75);
+        cfg.m = 100;
+        cfg.opportunities = 100;
+        let ds = SyntheticDataset::generate(&cfg, 8).unwrap();
+        let theta = empirical_theta(&ds);
+        let mut wins = 0;
+        for &r in ds.forest.roots() {
+            if theta.source(r as usize).a > theta.source(r as usize).b {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins * 10 >= ds.forest.roots().len() * 8,
+            "only {wins}/{} roots had a > b",
+            ds.forest.roots().len()
+        );
+    }
+
+    #[test]
+    fn analytic_tracks_empirical_for_roots() {
+        let mut cfg = GeneratorConfig::paper_defaults();
+        cfg.m = 100;
+        cfg.opportunities = 100;
+        cfg.tau = IntInterval::fixed(20); // all roots: cleanest regime
+        let ds = SyntheticDataset::generate(&cfg, 31).unwrap();
+        let emp = empirical_theta(&ds);
+        let ana = analytic_theta(&ds, cfg.opportunities);
+        let mut total_diff = 0.0;
+        for i in 0..ds.source_count() {
+            total_diff += (emp.source(i).a - ana.source(i).a).abs()
+                + (emp.source(i).b - ana.source(i).b).abs();
+        }
+        let mean = total_diff / (2.0 * ds.source_count() as f64);
+        assert!(mean < 0.1, "mean |emp - analytic| = {mean}");
+    }
+
+    #[test]
+    fn unused_bins_fall_back_to_half() {
+        // Roots never have dependent cells -> f = g = 0.5 exactly.
+        let ds = big_run();
+        let theta = empirical_theta(&ds);
+        for &r in ds.forest.roots() {
+            assert_eq!(theta.source(r as usize).f, 0.5);
+            assert_eq!(theta.source(r as usize).g, 0.5);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests: the generator must respect its own contract for
+//! every valid configuration.
+
+use proptest::prelude::*;
+use socsense_synth::{empirical_theta, GeneratorConfig, IntInterval, Interval, SyntheticDataset};
+
+fn arbitrary_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        3u32..25,          // n
+        4u32..40,          // m
+        1u32..6,           // tau lo
+        0.2f64..0.8,       // d
+        0.2f64..0.9,       // p_on
+        0.1f64..0.9,       // p_dep
+        0.3f64..0.9,       // p_indep_t
+        0.2f64..0.8,       // p_dep_t
+        5u32..60,          // opportunities
+    )
+        .prop_map(
+            |(n, m, tau_lo, d, p_on, p_dep, p_it, p_dt, opportunities)| GeneratorConfig {
+                n,
+                m,
+                tau: IntInterval {
+                    lo: tau_lo.min(n),
+                    hi: tau_lo.min(n),
+                },
+                d: Interval::fixed(d),
+                p_on: Interval::fixed(p_on),
+                p_dep: Interval::fixed(p_dep),
+                p_indep_t: Interval::fixed(p_it),
+                p_dep_t: Interval::fixed(p_dt),
+                opportunities,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated datasets are internally consistent for any valid config.
+    #[test]
+    fn generator_respects_its_contract(cfg in arbitrary_config(), seed in 0u64..500) {
+        let ds = SyntheticDataset::generate(&cfg, seed).unwrap();
+        // Shapes.
+        prop_assert_eq!(ds.source_count(), cfg.n as usize);
+        prop_assert_eq!(ds.assertion_count(), cfg.m as usize);
+        prop_assert_eq!(ds.profiles.len(), cfg.n as usize);
+        prop_assert_eq!(ds.forest.tree_count(), ds.tau);
+        // Truth ratio equals the (fixed) d up to rounding.
+        let expected_true = (ds.d * cfg.m as f64).round();
+        let actual_true = ds.truth.iter().filter(|&&t| t).count() as f64;
+        prop_assert!((expected_true - actual_true).abs() < 1.0 + 1e-9);
+        // Claim ids are in range and timestamps strictly increase.
+        for w in ds.claims.windows(2) {
+            prop_assert!(w[0].time < w[1].time);
+        }
+        for c in &ds.claims {
+            prop_assert!(c.source < cfg.n && c.assertion < cfg.m);
+        }
+        // Roots never make dependent claims; leaves' dependent claims
+        // match exactly "my root claimed this".
+        for &root in ds.forest.roots() {
+            for &j in ds.data.sc().row(root) {
+                prop_assert!(!ds.data.dependent(root, j));
+            }
+        }
+        for leaf in ds.forest.leaves() {
+            let root = ds.forest.root_of(leaf);
+            for &j in ds.data.sc().row(leaf) {
+                prop_assert_eq!(ds.data.dependent(leaf, j), ds.data.claimed(root, j));
+            }
+        }
+        // Profiles stay inside the configured (degenerate) intervals.
+        for p in &ds.profiles {
+            prop_assert!((p.p_on - cfg.p_on.lo).abs() < 1e-12);
+            prop_assert!((p.p_dep_t - cfg.p_dep_t.lo).abs() < 1e-12);
+        }
+    }
+
+    /// The measured θ is always a valid parameter set whose z equals the
+    /// truth ratio.
+    #[test]
+    fn empirical_theta_is_valid(cfg in arbitrary_config(), seed in 0u64..500) {
+        let ds = SyntheticDataset::generate(&cfg, seed).unwrap();
+        let theta = empirical_theta(&ds);
+        prop_assert_eq!(theta.source_count(), ds.source_count());
+        prop_assert!((theta.z() - ds.truth_ratio()).abs() < 1e-12);
+        for s in theta.sources() {
+            for v in [s.a, s.b, s.f, s.g] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    /// Same seed, same dataset — for any configuration.
+    #[test]
+    fn generation_is_deterministic(cfg in arbitrary_config(), seed in 0u64..500) {
+        let a = SyntheticDataset::generate(&cfg, seed).unwrap();
+        let b = SyntheticDataset::generate(&cfg, seed).unwrap();
+        prop_assert_eq!(a.claims, b.claims);
+        prop_assert_eq!(a.truth, b.truth);
+        prop_assert_eq!(a.data, b.data);
+    }
+}

@@ -1,0 +1,291 @@
+//! Scenario configuration and the five Table III presets.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Parameters of one simulated collection campaign.
+///
+/// The five constructors ([`ukraine`](Self::ukraine) etc.) are calibrated
+/// so that the *scale* of the generated [`DatasetSummary`](crate::DatasetSummary)
+/// matches the corresponding Table
+/// III row: source and assertion counts are taken verbatim, and
+/// `witness_mean` / `retweet_prob` are tuned to land near the paper's
+/// original-to-total claim ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Scenario label (Table III row name).
+    pub name: String,
+    /// Accounts in the crawl.
+    pub n_sources: u32,
+    /// Distinct assertions circulating during the campaign.
+    pub n_assertions: u32,
+    /// Fraction of *verifiable* assertions that are true events (the rest
+    /// are rumors).
+    pub true_frac: f64,
+    /// Fraction of all assertions that are opinions.
+    pub opinion_frac: f64,
+    /// Followees per joining account (preferential attachment degree).
+    pub attach_k: u32,
+    /// Mean independent witnesses (original tweeters) per assertion.
+    pub witness_mean: f64,
+    /// Base probability that an exposed follower retweets.
+    pub retweet_prob: f64,
+    /// Virality multiplier applied to rumors (false assertions spread
+    /// faster — the empirically observed asymmetry that makes dependency
+    /// modelling matter).
+    pub rumor_boost: f64,
+    /// Probability an exposed follower fact-checks before retweeting; a
+    /// verifier never passes on a rumor and always passes on a true event.
+    pub verify_prob: f64,
+    /// Cascade depth cap (retweets of retweets of ...).
+    pub max_cascade_depth: u32,
+    /// Witness-count multiplier for true events (real happenings have
+    /// more independent observers).
+    pub true_witness_boost: f64,
+    /// Witness-count multiplier for rumors (few originators, viral
+    /// spread) — together with `rumor_boost` this creates the
+    /// high-dependent-support signature of misinformation.
+    pub rumor_witness_damp: f64,
+}
+
+impl ScenarioConfig {
+    fn base(
+        name: &str,
+        n_sources: u32,
+        n_assertions: u32,
+        witness_mean: f64,
+        retweet_prob: f64,
+    ) -> Self {
+        Self {
+            name: name.to_owned(),
+            n_sources,
+            n_assertions,
+            true_frac: 0.6,
+            opinion_frac: 0.15,
+            attach_k: 3,
+            witness_mean,
+            retweet_prob,
+            rumor_boost: 1.1,
+            verify_prob: 0.40,
+            max_cascade_depth: 4,
+            true_witness_boost: 1.4,
+            rumor_witness_damp: 0.5,
+        }
+    }
+
+    /// Putin-disappearance rumors, March 2015 (Table III row 1):
+    /// 5403 sources, 3703 assertions, 59% original claims.
+    pub fn ukraine() -> Self {
+        Self::base("Ukraine", 5403, 3703, 1.15, 0.22)
+    }
+
+    /// Kurdish offensive around Kirkuk, March 2015 (row 2):
+    /// 4816 sources, 2795 assertions, 50% original claims.
+    pub fn kirkuk() -> Self {
+        Self::base("Kirkuk", 4816, 2795, 1.10, 0.34)
+    }
+
+    /// LA "superbug" infections, March 2015 (row 3):
+    /// 7764 sources, 2873 assertions, 62% original claims.
+    pub fn superbug() -> Self {
+        Self::base("Superbug", 7764, 2873, 2.03, 0.20)
+    }
+
+    /// 2015 Los Angeles Marathon (row 4):
+    /// 5174 sources, 3537 assertions, 61% original claims. An in-person
+    /// event: many direct witnesses, few rumors.
+    pub fn la_marathon() -> Self {
+        let mut c = Self::base("LA Marathon", 5174, 3537, 1.22, 0.175);
+        c.true_frac = 0.75;
+        c.rumor_boost = 1.05;
+        c
+    }
+
+    /// November 13 Paris attacks (row 5): 38844 sources, 23513
+    /// assertions, 94% original claims — a breaking catastrophe where
+    /// nearly everyone reports first-hand or from news rather than
+    /// retweeting within the crawl window.
+    pub fn paris_attack() -> Self {
+        let mut c = Self::base("Paris Attack", 38844, 23513, 1.65, 0.02);
+        c.true_frac = 0.55;
+        c.rumor_boost = 1.3;
+        c.max_cascade_depth = 2;
+        c
+    }
+
+    /// All five presets in Table III order.
+    pub fn all_presets() -> Vec<ScenarioConfig> {
+        vec![
+            Self::ukraine(),
+            Self::kirkuk(),
+            Self::superbug(),
+            Self::la_marathon(),
+            Self::paris_attack(),
+        ]
+    }
+
+    /// Returns a proportionally shrunk (or grown) copy: source and
+    /// assertion counts are multiplied by `factor` (minimum 2 sources /
+    /// 2 assertions). Cascade behaviour is unchanged. Use small factors
+    /// to keep unit tests fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive, got {factor}"
+        );
+        let mut c = self.clone();
+        c.n_sources = ((self.n_sources as f64 * factor).round() as u32).max(2);
+        c.n_assertions = ((self.n_assertions as f64 * factor).round() as u32).max(2);
+        c
+    }
+
+    /// Validates all probabilities and counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), TwitterError> {
+        if self.n_sources < 2 || self.n_assertions < 1 {
+            return Err(TwitterError::BadShape {
+                sources: self.n_sources,
+                assertions: self.n_assertions,
+            });
+        }
+        for (name, v) in [
+            ("true_frac", self.true_frac),
+            ("opinion_frac", self.opinion_frac),
+            ("retweet_prob", self.retweet_prob),
+            ("verify_prob", self.verify_prob),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(TwitterError::BadProbability { name, value: v });
+            }
+        }
+        if self.witness_mean <= 0.0 || !self.witness_mean.is_finite() {
+            return Err(TwitterError::BadParameter {
+                what: "witness_mean must be positive",
+            });
+        }
+        if self.rumor_boost < 0.0 || !self.rumor_boost.is_finite() {
+            return Err(TwitterError::BadParameter {
+                what: "rumor_boost must be non-negative",
+            });
+        }
+        for (what, v) in [
+            ("true_witness_boost must be positive", self.true_witness_boost),
+            ("rumor_witness_damp must be positive", self.rumor_witness_damp),
+        ] {
+            if v <= 0.0 || !v.is_finite() {
+                return Err(TwitterError::BadParameter { what });
+            }
+        }
+        if self.attach_k == 0 {
+            return Err(TwitterError::BadParameter {
+                what: "attach_k must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Errors from scenario configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TwitterError {
+    /// Too few sources or assertions.
+    BadShape {
+        /// Configured sources.
+        sources: u32,
+        /// Configured assertions.
+        assertions: u32,
+    },
+    /// A probability escaped `[0, 1]`.
+    BadProbability {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Some other parameter constraint was violated.
+    BadParameter {
+        /// Description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TwitterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwitterError::BadShape {
+                sources,
+                assertions,
+            } => write!(
+                f,
+                "scenario needs >= 2 sources and >= 1 assertion, got {sources}/{assertions}"
+            ),
+            TwitterError::BadProbability { name, value } => {
+                write!(f, "{name} = {value} is not a probability")
+            }
+            TwitterError::BadParameter { what } => write!(f, "{what}"),
+        }
+    }
+}
+
+impl Error for TwitterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_match_table_iii_scale() {
+        let presets = ScenarioConfig::all_presets();
+        assert_eq!(presets.len(), 5);
+        for p in &presets {
+            p.validate().unwrap();
+        }
+        assert_eq!(presets[0].n_sources, 5403);
+        assert_eq!(presets[4].n_assertions, 23513);
+    }
+
+    #[test]
+    fn scaling_shrinks_proportionally() {
+        let s = ScenarioConfig::ukraine().scaled(0.1);
+        assert_eq!(s.n_sources, 540);
+        assert_eq!(s.n_assertions, 370);
+        s.validate().unwrap();
+        // Tiny factors floor at 2.
+        let t = ScenarioConfig::ukraine().scaled(1e-9);
+        assert_eq!(t.n_sources, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        ScenarioConfig::ukraine().scaled(0.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = ScenarioConfig::ukraine();
+        c.retweet_prob = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(TwitterError::BadProbability { name: "retweet_prob", .. })
+        ));
+        let mut c = ScenarioConfig::ukraine();
+        c.witness_mean = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::ukraine();
+        c.n_sources = 1;
+        assert!(matches!(c.validate(), Err(TwitterError::BadShape { .. })));
+        let mut c = ScenarioConfig::ukraine();
+        c.attach_k = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Cross-crate integration: generator → matrices → estimators → metrics,
+//! and simulator → pipeline → ranking, through the `socsense` facade.
+
+use socsense::apollo::{Apollo, ApolloConfig};
+use socsense::baselines::{all_finders, EmExtFinder, EmIndependent, FactFinder};
+use socsense::core::{bound_for_data, BoundMethod, ClaimData, EmConfig, EmExt};
+use socsense::eval::Confusion;
+use socsense::graph::{build_matrices, FollowerGraph};
+use socsense::synth::{empirical_theta, GeneratorConfig, IntInterval, SyntheticDataset};
+use socsense::twitter::{ScenarioConfig, TruthValue, TwitterDataset};
+
+#[test]
+fn synthetic_world_round_trips_through_every_layer() {
+    let config = GeneratorConfig::paper_defaults();
+    let ds = SyntheticDataset::generate(&config, 11).unwrap();
+
+    // Claim log rebuilt through the graph layer matches the dataset's own
+    // matrices exactly.
+    let (sc, d) = build_matrices(
+        config.n,
+        config.m,
+        &ds.claims,
+        &ds.graph,
+    );
+    assert_eq!(&sc, ds.data.sc());
+    assert_eq!(&d, ds.data.d());
+    let rebuilt = ClaimData::new(sc, d).unwrap();
+
+    // Estimator runs on the rebuilt data and beats coin-flipping.
+    let fit = EmExt::new(EmConfig::default()).fit(&rebuilt).unwrap();
+    let labels: Vec<bool> = fit.posterior.iter().map(|&p| p > 0.5).collect();
+    let c = Confusion::from_labels(&labels, &ds.truth);
+    assert!(c.accuracy() > 0.5, "accuracy {}", c.accuracy());
+
+    // And the accuracy respects the fundamental bound (with slack for the
+    // bound's own estimation noise over one run).
+    let theta = empirical_theta(&ds);
+    let bound = bound_for_data(&ds.data, &theta, &BoundMethod::Exact).unwrap();
+    assert!(
+        c.accuracy() <= bound.optimal_accuracy() + 0.1,
+        "accuracy {} above optimal {}",
+        c.accuracy(),
+        bound.optimal_accuracy()
+    );
+}
+
+#[test]
+fn em_ext_dominates_em_when_dependencies_are_heavy() {
+    // τ = 1: every non-root source echoes a single hub. Averaged over
+    // seeds, dependency-aware estimation must not lose to the
+    // independence assumption.
+    let mut config = GeneratorConfig::estimator_defaults();
+    config.tau = IntInterval::fixed(1);
+    let reps = 12;
+    let (mut ext, mut indep) = (0.0, 0.0);
+    for seed in 0..reps {
+        let ds = SyntheticDataset::generate(&config, seed).unwrap();
+        let acc = |labels: Vec<bool>| Confusion::from_labels(&labels, &ds.truth).accuracy();
+        ext += acc(EmExtFinder::default().classify(&ds.data).unwrap());
+        indep += acc(EmIndependent::default().classify(&ds.data).unwrap());
+    }
+    assert!(
+        ext > indep,
+        "EM-Ext mean {:.3} should beat EM {:.3} under heavy dependency",
+        ext / reps as f64,
+        indep / reps as f64
+    );
+}
+
+#[test]
+fn twitter_campaign_flows_through_apollo_for_all_algorithms() {
+    let ds = TwitterDataset::simulate(&ScenarioConfig::kirkuk().scaled(0.03), 5).unwrap();
+    let apollo = Apollo::new(ApolloConfig {
+        top_k: 20,
+        ..ApolloConfig::default()
+    });
+    for finder in all_finders() {
+        let out = apollo.run(&ds, finder.as_ref()).unwrap();
+        assert_eq!(out.algorithm, finder.name());
+        assert!(!out.ranked.is_empty(), "{} ranked nothing", finder.name());
+        let acc = out.top_k_accuracy(20);
+        assert!((0.0..=1.0).contains(&acc));
+        // Ranked scores are non-increasing and supports are consistent
+        // with the claim matrix.
+        for w in out.ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for r in &out.ranked {
+            assert_eq!(r.support, out.claim_data.sc().col_nnz(r.assertion));
+        }
+    }
+}
+
+#[test]
+fn retweet_cascades_become_dependent_claims() {
+    let ds = TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(0.03), 9).unwrap();
+    let data = ds.claim_data();
+    let retweets = ds.tweets.iter().filter(|t| t.retweet_of.is_some()).count();
+    assert!(retweets > 0, "scenario produced no cascades");
+    // Dependent claims in the matrix correspond to real cascade events:
+    // at least half the retweets must surface as dependent cells (some
+    // collapse when a source both originated and retweeted).
+    assert!(
+        data.dependent_claim_count() * 2 >= retweets,
+        "{} dependent claims for {} retweets",
+        data.dependent_claim_count(),
+        retweets
+    );
+}
+
+#[test]
+fn top_k_agrees_with_pipeline_ranking() {
+    let ds = TwitterDataset::simulate(&ScenarioConfig::superbug().scaled(0.02), 3).unwrap();
+    let data = ds.claim_data();
+    let finder = EmExtFinder::default();
+    let direct = finder.top_k(&data, 10).unwrap();
+    let piped = Apollo::new(ApolloConfig {
+        top_k: 10,
+        ..ApolloConfig::default()
+    })
+    .run(&ds, &finder)
+    .unwrap();
+    let piped_ids: Vec<u32> = piped.ranked.iter().map(|r| r.assertion).collect();
+    assert_eq!(direct, piped_ids);
+}
+
+#[test]
+fn opinions_never_count_as_true() {
+    let mut cfg = ScenarioConfig::la_marathon().scaled(0.03);
+    cfg.opinion_frac = 1.0; // a world of pure opinion
+    let ds = TwitterDataset::simulate(&cfg, 1).unwrap();
+    for j in 0..ds.assertion_count() {
+        assert_eq!(ds.truth_value(j), TruthValue::Opinion);
+    }
+    let out = Apollo::new(ApolloConfig::default())
+        .run(&ds, &EmExtFinder::default())
+        .unwrap();
+    assert_eq!(out.top_k_accuracy(50), 0.0);
+}
+
+#[test]
+fn follower_graph_feeds_dependency_construction() {
+    // A hub tweets first; every follower who repeats is dependent.
+    let mut g = FollowerGraph::new(5);
+    for f in 1..5 {
+        g.add_follow(f, 0);
+    }
+    let claims: Vec<socsense::graph::TimedClaim> = (0..5)
+        .map(|s| socsense::graph::TimedClaim::new(s, 0, s as u64))
+        .collect();
+    let data = ClaimData::from_claims(5, 1, &claims, &g);
+    assert!(!data.dependent(0, 0));
+    for f in 1..5 {
+        assert!(data.dependent(f, 0), "follower {f}");
+    }
+    assert_eq!(data.dependent_claim_count(), 4);
+}
+
+#[test]
+fn em_ext_posteriors_are_roughly_calibrated() {
+    use socsense::eval::CalibrationCurve;
+    // Pool posteriors across repetitions for a stable reliability diagram.
+    let config = GeneratorConfig::estimator_defaults();
+    let mut posteriors = Vec::new();
+    let mut truth = Vec::new();
+    for seed in 0..10u64 {
+        let ds = SyntheticDataset::generate(&config, seed).unwrap();
+        let scores = EmExtFinder::default().scores(&ds.data).unwrap();
+        posteriors.extend(scores);
+        truth.extend(ds.truth.iter().copied());
+    }
+    let curve = CalibrationCurve::from_posteriors(&posteriors, &truth, 10);
+    let ece = curve.expected_calibration_error();
+    // EM posteriors are overconfident (the model treats its θ̂ as exact),
+    // but must stay far from pathological mis-calibration.
+    assert!(ece < 0.35, "expected calibration error {ece:.3}");
+    // Monotonicity: higher-prediction bins have (weakly) higher truth
+    // rates, allowing small-sample noise in adjacent bins.
+    let rates: Vec<f64> = curve.bins.iter().map(|b| b.fraction_true).collect();
+    let first = rates.first().copied().unwrap_or(0.0);
+    let last = rates.last().copied().unwrap_or(1.0);
+    assert!(last > first, "truth rate should rise with prediction: {rates:?}");
+}
