@@ -5,12 +5,16 @@
 //! # simulated scenario:
 //! apollo [--scenario ukraine|kirkuk|superbug|la-marathon|paris-attack]
 //!        [--scale F] [--seed N] [--algorithm em-ext|em-social|em|voting|sums|avg-log|truth-finder]
-//!        [--top K] [--cluster-text] [--json PATH]
+//!        [--top K] [--cluster-text] [--threads N] [--json PATH]
 //!
 //! # external corpus (tweets as JSON Lines, optional follower CSV):
 //! apollo --input tweets.jsonl [--follows follows.csv]
-//!        [--algorithm NAME] [--top K] [--json PATH]
+//!        [--algorithm NAME] [--top K] [--threads N] [--json PATH]
 //! ```
+//!
+//! `--threads N` pins the estimator worker count (`0` = one per core,
+//! the default). The ranking is bit-identical at every setting; the flag
+//! only trades wall-clock time.
 
 use std::process::ExitCode;
 
@@ -18,6 +22,7 @@ use socsense_apollo::{render_report, Apollo, ApolloConfig};
 use socsense_baselines::{
     AverageLog, EmExtFinder, EmIndependent, EmSocial, FactFinder, Sums, TruthFinder, Voting,
 };
+use socsense_core::{EmConfig, Parallelism};
 use socsense_twitter::{ScenarioConfig, TwitterDataset};
 
 struct Args {
@@ -27,6 +32,7 @@ struct Args {
     algorithm: String,
     top: usize,
     cluster_text: bool,
+    threads: Parallelism,
     json: Option<String>,
     input: Option<String>,
     follows: Option<String>,
@@ -40,16 +46,14 @@ fn parse_args() -> Result<Args, String> {
         algorithm: "em-ext".into(),
         top: 25,
         cluster_text: false,
+        threads: Parallelism::Auto,
         json: None,
         input: None,
         follows: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--scenario" => args.scenario = value("--scenario")?,
             "--scale" => {
@@ -69,12 +73,23 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --top: {e}"))?
             }
             "--cluster-text" => args.cluster_text = true,
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                args.threads = if n == 0 {
+                    Parallelism::Auto
+                } else {
+                    Parallelism::Threads(n)
+                };
+            }
             "--json" => args.json = Some(value("--json")?),
             "--input" => args.input = Some(value("--input")?),
             "--follows" => args.follows = Some(value("--follows")?),
             "--help" | "-h" => {
                 return Err("usage: apollo [--scenario NAME] [--scale F] [--seed N] \
-                     [--algorithm NAME] [--top K] [--cluster-text] [--json PATH] \
+                     [--algorithm NAME] [--top K] [--cluster-text] [--threads N] \
+                     [--json PATH] \
                      | apollo --input tweets.jsonl [--follows follows.csv]"
                     .into())
             }
@@ -95,11 +110,20 @@ fn scenario(name: &str) -> Result<ScenarioConfig, String> {
     })
 }
 
-fn finder(name: &str) -> Result<Box<dyn FactFinder>, String> {
+fn finder(name: &str, par: Parallelism) -> Result<Box<dyn FactFinder>, String> {
+    // The EM family takes the worker-count knob; the counting heuristics
+    // have no hot loop worth threading.
+    let em = EmConfig {
+        parallelism: par,
+        ..EmConfig::default()
+    };
     Ok(match name {
-        "em-ext" => Box::new(EmExtFinder::default()),
-        "em-social" => Box::new(EmSocial::default()),
-        "em" => Box::new(EmIndependent::default()),
+        "em-ext" => Box::new(EmExtFinder::new(em)),
+        "em-social" => Box::new(EmSocial {
+            config: em,
+            ..EmSocial::default()
+        }),
+        "em" => Box::new(EmIndependent::new(em)),
         "voting" => Box::new(Voting::default()),
         "sums" => Box::new(Sums::default()),
         "avg-log" => Box::new(AverageLog::default()),
@@ -109,7 +133,7 @@ fn finder(name: &str) -> Result<Box<dyn FactFinder>, String> {
 }
 
 fn run_external(args: &Args, input: &str) -> Result<(), String> {
-    let algo = finder(&args.algorithm)?;
+    let algo = finder(&args.algorithm, args.threads)?;
     let raw = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
     let tweets = socsense_apollo::parse_tweets_jsonl(&raw).map_err(|e| e.to_string())?;
     let follows = match &args.follows {
@@ -129,6 +153,7 @@ fn run_external(args: &Args, input: &str) -> Result<(), String> {
     );
     let out = Apollo::new(ApolloConfig {
         top_k: args.top.max(1),
+        parallelism: args.threads,
         ..ApolloConfig::default()
     })
     .run_corpus(&corpus, algo.as_ref())
@@ -170,7 +195,7 @@ fn run() -> Result<(), String> {
         return run_external(&args, &input);
     }
     let cfg = scenario(&args.scenario)?.scaled(args.scale);
-    let algo = finder(&args.algorithm)?;
+    let algo = finder(&args.algorithm, args.threads)?;
     eprintln!(
         "simulating {} at scale {} (seed {}) ...",
         cfg.name, args.scale, args.seed
@@ -188,6 +213,7 @@ fn run() -> Result<(), String> {
     let out = Apollo::new(ApolloConfig {
         cluster_text: args.cluster_text,
         top_k: args.top.max(1),
+        parallelism: args.threads,
         ..ApolloConfig::default()
     })
     .run(&dataset, algo.as_ref())

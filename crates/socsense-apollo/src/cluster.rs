@@ -162,9 +162,7 @@ pub fn cluster_texts(texts: &[String], config: &ClusterConfig) -> Clustering {
             if uf.find(rep) == uf.find(other) {
                 continue;
             }
-            if jaccard(&tokens[rep as usize], &tokens[other as usize])
-                >= config.jaccard_threshold
-            {
+            if jaccard(&tokens[rep as usize], &tokens[other as usize]) >= config.jaccard_threshold {
                 uf.union(rep, other);
             }
         }

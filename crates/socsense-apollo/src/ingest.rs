@@ -133,11 +133,10 @@ pub fn parse_tweets_jsonl(input: &str) -> Result<Vec<RawTweet>, IngestError> {
         if line.is_empty() {
             continue;
         }
-        let tweet: RawTweet =
-            serde_json::from_str(line).map_err(|e| IngestError::BadJson {
-                line: idx + 1,
-                message: e.to_string(),
-            })?;
+        let tweet: RawTweet = serde_json::from_str(line).map_err(|e| IngestError::BadJson {
+            line: idx + 1,
+            message: e.to_string(),
+        })?;
         out.push(tweet);
     }
     Ok(out)
@@ -261,7 +260,8 @@ mod tests {
     fn jsonl_reports_bad_lines() {
         let err = parse_tweets_jsonl("{\"user\": \"x\"}\n").unwrap_err();
         assert!(matches!(err, IngestError::BadJson { line: 1, .. }));
-        let err = parse_tweets_jsonl("{\"user\":\"x\",\"time\":1,\"text\":\"t\"}\nnot json").unwrap_err();
+        let err =
+            parse_tweets_jsonl("{\"user\":\"x\",\"time\":1,\"text\":\"t\"}\nnot json").unwrap_err();
         assert!(matches!(err, IngestError::BadJson { line: 2, .. }));
     }
 
@@ -312,7 +312,10 @@ mod tests {
 
     #[test]
     fn empty_corpus_is_an_error() {
-        assert!(matches!(assemble_corpus(vec![], &[]), Err(IngestError::Empty)));
+        assert!(matches!(
+            assemble_corpus(vec![], &[]),
+            Err(IngestError::Empty)
+        ));
     }
 
     #[test]

@@ -44,5 +44,7 @@ mod report;
 
 pub use cluster::{cluster_texts, ClusterConfig, Clustering};
 pub use ingest::{assemble_corpus, parse_follows_csv, parse_tweets_jsonl, Corpus, IngestError};
-pub use pipeline::{Apollo, ApolloConfig, ApolloOutput, CorpusOutput, CorpusRanked, RankedAssertion};
+pub use pipeline::{
+    Apollo, ApolloConfig, ApolloOutput, CorpusOutput, CorpusRanked, RankedAssertion,
+};
 pub use report::render_report;

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use socsense_baselines::FactFinder;
-use socsense_core::{ClaimData, SenseError};
+use socsense_core::{ClaimData, Parallelism, SenseError};
 use socsense_graph::TimedClaim;
 use socsense_twitter::{TruthValue, TwitterDataset};
 
@@ -22,6 +22,12 @@ pub struct ApolloConfig {
     /// How many ranked assertions to keep in the report (Apollo's
     /// top-100 by default).
     pub top_k: usize,
+    /// Worker threads for the estimation stage. The CLI forwards this to
+    /// the EM-family fact-finders it constructs (`--threads`); embedders
+    /// configuring their own [`FactFinder`] should thread it through
+    /// `EmConfig::parallelism` the same way. Never changes results —
+    /// only wall-clock time (see `socsense_matrix::parallel`).
+    pub parallelism: Parallelism,
 }
 
 impl Default for ApolloConfig {
@@ -30,6 +36,7 @@ impl Default for ApolloConfig {
             cluster_text: false,
             cluster: ClusterConfig::default(),
             top_k: 100,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -192,10 +199,7 @@ impl Apollo {
             .take(self.config.top_k)
             .map(|c| {
                 let cu = c as usize;
-                let truth_assertion = majority[cu]
-                    .iter()
-                    .max_by_key(|(_, &n)| n)
-                    .map(|(&a, _)| a);
+                let truth_assertion = majority[cu].iter().max_by_key(|(_, &n)| n).map(|(&a, _)| a);
                 RankedAssertion {
                     assertion: c,
                     score: scores[cu],
@@ -253,8 +257,7 @@ impl Apollo {
         );
         let scores = finder.ranking_scores(&data)?;
 
-        let mut sample_text: Vec<Option<&str>> =
-            vec![None; clustering.cluster_count as usize];
+        let mut sample_text: Vec<Option<&str>> = vec![None; clustering.cluster_count as usize];
         for (t, &c) in corpus.tweets.iter().zip(&clustering.assignment) {
             sample_text[c as usize].get_or_insert(&t.text);
         }
@@ -317,16 +320,15 @@ mod tests {
             ..ApolloConfig::default()
         };
         let out = Apollo::new(cfg).run(&ds, &Voting::default()).unwrap();
-        assert!(
-            out.cluster_purity > 0.9,
-            "purity {:.3}",
-            out.cluster_purity
-        );
+        assert!(out.cluster_purity > 0.9, "purity {:.3}", out.cluster_purity);
         // Cluster count lands near the number of *tweeted* assertions.
         let tweeted: std::collections::HashSet<u32> =
             ds.tweets.iter().map(|t| t.assertion).collect();
         let ratio = out.assertion_count as f64 / tweeted.len() as f64;
-        assert!((0.7..=1.4).contains(&ratio), "cluster/assertion ratio {ratio:.2}");
+        assert!(
+            (0.7..=1.4).contains(&ratio),
+            "cluster/assertion ratio {ratio:.2}"
+        );
     }
 
     #[test]
@@ -341,18 +343,12 @@ mod tests {
 
     #[test]
     fn em_ext_beats_chance_on_simulated_data() {
-        let ds =
-            TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(0.05), 21).unwrap();
+        let ds = TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(0.05), 21).unwrap();
         let out = Apollo::new(ApolloConfig::default())
             .run(&ds, &EmExtFinder::default())
             .unwrap();
         // Base rate: share of True among all assertions ≈ 0.51.
-        let base = ds
-            .truth
-            .iter()
-            .filter(|t| t.is_true())
-            .count() as f64
-            / ds.truth.len() as f64;
+        let base = ds.truth.iter().filter(|t| t.is_true()).count() as f64 / ds.truth.len() as f64;
         let acc = out.top_k_accuracy(30);
         assert!(
             acc > base + 0.1,

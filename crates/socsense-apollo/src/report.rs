@@ -55,8 +55,7 @@ mod tests {
 
     #[test]
     fn report_contains_header_rows_and_metric() {
-        let ds =
-            TwitterDataset::simulate(&ScenarioConfig::superbug().scaled(0.01), 4).unwrap();
+        let ds = TwitterDataset::simulate(&ScenarioConfig::superbug().scaled(0.01), 4).unwrap();
         let out = Apollo::new(ApolloConfig::default())
             .run(&ds, &Voting::default())
             .unwrap();

@@ -69,8 +69,8 @@ impl FactFinder for AverageLog {
                 *t = if row.is_empty() {
                     0.0
                 } else {
-                    let avg: f64 = row.iter().map(|&j| belief[j as usize]).sum::<f64>()
-                        / row.len() as f64;
+                    let avg: f64 =
+                        row.iter().map(|&j| belief[j as usize]).sum::<f64>() / row.len() as f64;
                     log_weight[i] * avg
                 };
             }

@@ -3,6 +3,7 @@
 
 use socsense_core::{ClaimData, EmConfig, EmExt, SenseError, SourceParams, Theta};
 use socsense_matrix::logprob::{normalize_log_pair, safe_ln, safe_ln_1m};
+use socsense_matrix::parallel::par_map_collect;
 use socsense_matrix::SparseBinaryMatrix;
 
 use crate::FactFinder;
@@ -125,6 +126,7 @@ impl EmSocial {
         }
         let n = data.source_count();
         let m = data.assertion_count();
+        let par = cfg.parallelism;
 
         // θ restricted to (a, b); the f/g slots stay at 0.5 and are inert.
         let mut theta = Theta::neutral(n);
@@ -138,7 +140,8 @@ impl EmSocial {
         let mut log_odds = vec![0.0_f64; m];
 
         for _ in 0..cfg.max_iters {
-            // E-step over independent cells only.
+            // E-step over independent cells only; one column per index,
+            // chunked deterministically (see socsense_matrix::parallel).
             let ln_a: Vec<f64> = theta.sources().iter().map(|s| safe_ln(s.a)).collect();
             let ln_1a: Vec<f64> = theta.sources().iter().map(|s| safe_ln_1m(s.a)).collect();
             let ln_b: Vec<f64> = theta.sources().iter().map(|s| safe_ln(s.b)).collect();
@@ -148,7 +151,8 @@ impl EmSocial {
             let ln_z = safe_ln(theta.z());
             let ln_1z = safe_ln_1m(theta.z());
 
-            for j in 0..m as u32 {
+            let pairs: Vec<(f64, f64)> = par_map_collect(par, m, |ju| {
+                let j = ju as u32;
                 let mut ln1 = base1;
                 let mut ln0 = base0;
                 // Dependent cells vanish from the product.
@@ -170,15 +174,22 @@ impl EmSocial {
                     ln1 += ln_a[iu] - ln_1a[iu];
                     ln0 += ln_b[iu] - ln_1b[iu];
                 }
-                posterior[j as usize] = normalize_log_pair(ln1 + ln_z, ln0 + ln_1z).0;
-                log_odds[j as usize] = (ln1 + ln_z) - (ln0 + ln_1z);
+                (
+                    normalize_log_pair(ln1 + ln_z, ln0 + ln_1z).0,
+                    (ln1 + ln_z) - (ln0 + ln_1z),
+                )
+            });
+            for (j, (p, lo)) in pairs.into_iter().enumerate() {
+                posterior[j] = p;
+                log_odds[j] = lo;
             }
 
-            // M-step over independent cells.
+            // M-step over independent cells, one source per index.
             let sum_z: f64 = posterior.iter().sum();
             let sum_y = m as f64 - sum_z;
             let mut next = theta.clone();
-            for i in 0..n as u32 {
+            let ab: Vec<(f64, f64)> = par_map_collect(par, n, |iu| {
+                let i = iu as u32;
                 let mut dep_z = 0.0;
                 for &j in data.d().row(i) {
                     dep_z += posterior[j as usize];
@@ -199,10 +210,13 @@ impl EmSocial {
                 }
                 let den_a = sum_z - dep_z;
                 let den_b = sum_y - dep_y;
-                let prev = *theta.source(i as usize);
+                let prev = *theta.source(iu);
                 let a = if den_a > 1e-12 { num_a / den_a } else { prev.a };
                 let b = if den_b > 1e-12 { num_b / den_b } else { prev.b };
-                set_ab(&mut next, i as usize, a, b);
+                (a, b)
+            });
+            for (i, (a, b)) in ab.into_iter().enumerate() {
+                set_ab(&mut next, i, a, b);
             }
             next.set_z(sum_z / m as f64);
             next.clamp_in_place(cfg.eps);
@@ -249,18 +263,14 @@ impl FactFinder for EmSocial {
     fn scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
         match self.drop_mode {
             DropMode::ExcludeCells => Ok(self.fit_excluding_cells(data)?.0),
-            DropMode::AsSilence => {
-                Ok(EmExt::new(self.config).fit(&self.cleaned(data)?)?.posterior)
-            }
+            DropMode::AsSilence => Ok(EmExt::new(self.config).fit(&self.cleaned(data)?)?.posterior),
         }
     }
 
     fn ranking_scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
         match self.drop_mode {
             DropMode::ExcludeCells => Ok(self.fit_excluding_cells(data)?.1),
-            DropMode::AsSilence => {
-                Ok(EmExt::new(self.config).fit(&self.cleaned(data)?)?.log_odds)
-            }
+            DropMode::AsSilence => Ok(EmExt::new(self.config).fit(&self.cleaned(data)?)?.log_odds),
         }
     }
 }
@@ -293,8 +303,9 @@ mod tests {
         let ext = EmExtFinder::default().scores(&data).unwrap();
         let indep = EmIndependent::default().scores(&data).unwrap();
         let social = EmSocial::default().scores(&data).unwrap();
-        let social_silence =
-            EmSocial::new(EmConfig::default(), DropMode::AsSilence).scores(&data).unwrap();
+        let social_silence = EmSocial::new(EmConfig::default(), DropMode::AsSilence)
+            .scores(&data)
+            .unwrap();
         for j in 0..10 {
             assert!((ext[j] - indep[j]).abs() < 1e-6, "EM j={j}");
             assert!((ext[j] - social[j]).abs() < 1e-3, "EM-Social j={j}");

@@ -94,11 +94,7 @@ mod tests {
         // Assertions 0 and 1 both have 1 claimant, but assertion 1's
         // claimant also makes the widely supported assertion 2 -> higher
         // trust -> higher belief for assertion 1.
-        let sc = SparseBinaryMatrix::from_entries(
-            4,
-            3,
-            [(0, 0), (1, 1), (1, 2), (2, 2), (3, 2)],
-        );
+        let sc = SparseBinaryMatrix::from_entries(4, 3, [(0, 0), (1, 1), (1, 2), (2, 2), (3, 2)]);
         let data = ClaimData::new(sc, SparseBinaryMatrix::empty(4, 3)).unwrap();
         let s = Sums::default().scores(&data).unwrap();
         assert!(s[1] > s[0], "{s:?}");

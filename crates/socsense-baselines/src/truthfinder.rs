@@ -67,10 +67,7 @@ impl FactFinder for TruthFinder {
         for _ in 0..self.max_iters {
             let prev = trust.clone();
             // τ(s) = -ln(1 - t(s)), kept finite by a tiny margin.
-            let tau: Vec<f64> = trust
-                .iter()
-                .map(|&t| -(1.0 - t).max(1e-12).ln())
-                .collect();
+            let tau: Vec<f64> = trust.iter().map(|&t| -(1.0 - t).max(1e-12).ln()).collect();
             for (j, c) in confidence.iter_mut().enumerate() {
                 let s: f64 = data
                     .sc()
@@ -83,8 +80,8 @@ impl FactFinder for TruthFinder {
             for (i, t) in trust.iter_mut().enumerate() {
                 let row = data.sc().row(i as u32);
                 if !row.is_empty() {
-                    *t = row.iter().map(|&j| confidence[j as usize]).sum::<f64>()
-                        / row.len() as f64;
+                    *t =
+                        row.iter().map(|&j| confidence[j as usize]).sum::<f64>() / row.len() as f64;
                 }
             }
             if l2_distance(&trust, &prev) < self.tol {
@@ -107,7 +104,7 @@ mod tests {
         let s = TruthFinder::default().scores(&data).unwrap();
         assert!(s[0] > s[1]);
         assert!(s[1] > s[2]); // one claimant beats zero
-        // Unclaimed assertion sits at the sigmoid midpoint.
+                              // Unclaimed assertion sits at the sigmoid midpoint.
         assert!((s[2] - 0.5).abs() < 1e-12);
     }
 
@@ -125,11 +122,7 @@ mod tests {
         // Source 0 co-claims the popular assertion 0, then alone claims 1.
         // Source 3 alone claims 2 and nothing else. Source 0 should earn
         // more trust, so assertion 1 > assertion 2.
-        let sc = SparseBinaryMatrix::from_entries(
-            4,
-            3,
-            [(0, 0), (1, 0), (2, 0), (0, 1), (3, 2)],
-        );
+        let sc = SparseBinaryMatrix::from_entries(4, 3, [(0, 0), (1, 0), (2, 0), (0, 1), (3, 2)]);
         let data = ClaimData::new(sc, SparseBinaryMatrix::empty(4, 3)).unwrap();
         let s = TruthFinder::default().scores(&data).unwrap();
         assert!(s[1] > s[2], "{s:?}");

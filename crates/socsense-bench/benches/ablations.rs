@@ -8,8 +8,7 @@ use std::time::Duration;
 
 use socsense_bench::{bound_fixture, synth_fixture};
 use socsense_core::{
-    bound_for_assertions, BoundMethod, EmConfig, EmExt, GibbsConfig, GibbsEstimator,
-    InitStrategy,
+    bound_for_assertions, BoundMethod, EmConfig, EmExt, GibbsConfig, GibbsEstimator, InitStrategy,
 };
 
 /// M-step shrinkage: the paper-exact update (`s = 0`) vs the hierarchical

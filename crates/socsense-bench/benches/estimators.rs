@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use socsense_bench::{synth_fixture, twitter_fixture};
 use socsense_baselines::{EmExtFinder, EmIndependent, EmSocial, FactFinder};
+use socsense_bench::{synth_fixture, twitter_fixture};
 
 fn bench_estimators(c: &mut Criterion) {
     let mut group = c.benchmark_group("estimators");
@@ -23,9 +23,11 @@ fn bench_estimators(c: &mut Criterion) {
     for n in [50u32, 100, 200] {
         let ds = synth_fixture(n, 11);
         for (name, finder) in &finders {
-            group.bench_with_input(BenchmarkId::new(*name, format!("synth-n{n}")), &n, |b, _| {
-                b.iter(|| finder.scores(&ds.data).expect("fit succeeds"))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("synth-n{n}")),
+                &n,
+                |b, _| b.iter(|| finder.scores(&ds.data).expect("fit succeeds")),
+            );
         }
     }
 
@@ -34,7 +36,10 @@ fn bench_estimators(c: &mut Criterion) {
     let data = tw.claim_data();
     for (name, finder) in &finders {
         group.bench_with_input(
-            BenchmarkId::new(*name, format!("twitter-{}x{}", data.source_count(), data.assertion_count())),
+            BenchmarkId::new(
+                *name,
+                format!("twitter-{}x{}", data.source_count(), data.assertion_count()),
+            ),
             &0,
             |b, _| b.iter(|| finder.scores(&data).expect("fit succeeds")),
         );

@@ -1,0 +1,79 @@
+//! Worker-count scaling of the deterministic parallel layer: EM-Ext fits
+//! and Gibbs bound sweeps at `Serial` vs 2/4/8 threads.
+//!
+//! Every configuration computes bit-identical numbers (that is the
+//! `socsense_matrix::parallel` contract, enforced by proptests in
+//! `socsense-core`), so these benchmarks measure pure wall-clock scaling.
+//! On a single-core host the threaded rows cost slightly *more* than
+//! serial (queue + spawn overhead) — see `BENCH_parallel.json` for the
+//! recorded environment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use socsense_bench::{bound_fixture, synth_fixture};
+use socsense_core::{
+    bound_for_assertions_with, BoundMethod, EmConfig, EmExt, GibbsConfig, Parallelism,
+};
+
+/// The ladder every group sweeps: the serial baseline plus 2/4/8 workers.
+const LEVELS: [(&str, Parallelism); 4] = [
+    ("serial", Parallelism::Serial),
+    ("t2", Parallelism::Threads(2)),
+    ("t4", Parallelism::Threads(4)),
+    ("t8", Parallelism::Threads(8)),
+];
+
+fn bench_em_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel-em");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for n in [100u32, 200] {
+        let ds = synth_fixture(n, 11);
+        for (name, par) in LEVELS {
+            let em = EmExt::new(EmConfig {
+                parallelism: par,
+                ..EmConfig::default()
+            });
+            group.bench_with_input(BenchmarkId::new(name, format!("synth-n{n}")), &n, |b, _| {
+                b.iter(|| em.fit(&ds.data).expect("fit succeeds"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_gibbs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel-gibbs");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let (data, theta) = bound_fixture(40, 7);
+    let assertions: Vec<u32> = (0..data.assertion_count() as u32).collect();
+    let method = BoundMethod::Gibbs(GibbsConfig {
+        min_samples: 1000,
+        max_samples: 4000,
+        ..GibbsConfig::default()
+    });
+    for (name, par) in LEVELS {
+        group.bench_with_input(
+            BenchmarkId::new(name, format!("assertions-{}", assertions.len())),
+            &0,
+            |b, _| {
+                b.iter(|| {
+                    bound_for_assertions_with(&data, &theta, &method, &assertions, par)
+                        .expect("bound succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_em_parallel, bench_gibbs_parallel);
+criterion_main!(benches);

@@ -53,14 +53,7 @@ fn bench_substrates(c: &mut Criterion) {
     let tw = twitter_fixture(0.1, 9);
     let claims = tw.timed_claims();
     group.bench_function("build-matrices/twitter-0.1", |b| {
-        b.iter(|| {
-            build_matrices(
-                tw.source_count(),
-                tw.assertion_count(),
-                &claims,
-                &tw.graph,
-            )
-        })
+        b.iter(|| build_matrices(tw.source_count(), tw.assertion_count(), &claims, &tw.graph))
     });
 
     // Likelihood kernel: all posteriors for one θ (one EM E-step).

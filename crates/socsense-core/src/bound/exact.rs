@@ -9,6 +9,8 @@
 //! same way — typically reducing the visited nodes by orders of magnitude
 //! while returning the mathematically exact value.
 
+use socsense_matrix::parallel::{par_map_collect, Parallelism};
+
 use crate::bound::BoundResult;
 use crate::error::SenseError;
 
@@ -17,6 +19,15 @@ use crate::error::SenseError;
 pub const MAX_EXACT_SOURCES: usize = 30;
 
 const P_MARGIN: f64 = 1e-12;
+
+/// Below this source count [`exact_bound_with`] skips the prefix split:
+/// the subtrees are too small for the thread fan-out to pay off.
+const PAR_MIN_SOURCES: usize = 12;
+
+/// Prefix depth of the parallel split: the first `PREFIX_BITS` sources'
+/// claim values are enumerated up front, yielding `2^PREFIX_BITS`
+/// independent subtrees.
+const PREFIX_BITS: usize = 6;
 
 /// Computes the exact Bayes-risk bound for one assertion.
 ///
@@ -44,47 +55,138 @@ const P_MARGIN: f64 = 1e-12;
 /// # Ok::<(), socsense_core::SenseError>(())
 /// ```
 pub fn exact_bound(probs: &[(f64, f64)], z: f64) -> Result<BoundResult, SenseError> {
-    let n = probs.len();
-    if n == 0 {
-        return Err(SenseError::EmptyData);
-    }
-    if n > MAX_EXACT_SOURCES {
-        return Err(SenseError::TooManySources {
-            n,
-            max: MAX_EXACT_SOURCES,
-        });
-    }
-    validate(probs, z)?;
-
-    let clamped: Vec<(f64, f64)> = probs
-        .iter()
-        .map(|&(p1, p0)| {
-            (
-                p1.clamp(P_MARGIN, 1.0 - P_MARGIN),
-                p0.clamp(P_MARGIN, 1.0 - P_MARGIN),
-            )
-        })
-        .collect();
-
-    // Suffix odds bounds: for patterns over sources k..n, the likelihood
-    // ratio rest1/rest0 lies within [min_ratio[k], max_ratio[k]].
-    let mut min_ratio = vec![1.0f64; n + 1];
-    let mut max_ratio = vec![1.0f64; n + 1];
-    for k in (0..n).rev() {
-        let (p1, p0) = clamped[k];
-        let claim = p1 / p0;
-        let silent = (1.0 - p1) / (1.0 - p0);
-        min_ratio[k] = min_ratio[k + 1] * claim.min(silent);
-        max_ratio[k] = max_ratio[k + 1] * claim.max(silent);
-    }
-
+    let prep = Prepared::new(probs, z)?;
     let mut acc = Accumulator::default();
-    dfs(&clamped, z, 0, 1.0, 1.0, &min_ratio, &max_ratio, &mut acc);
+    dfs(
+        &prep.clamped,
+        z,
+        0,
+        1.0,
+        1.0,
+        &prep.min_ratio,
+        &prep.max_ratio,
+        &mut acc,
+    );
     Ok(BoundResult {
         error: acc.fp + acc.fn_,
         false_positive: acc.fp,
         false_negative: acc.fn_,
     })
+}
+
+/// [`exact_bound`] with an explicit [`Parallelism`] level.
+///
+/// Past [`PAR_MIN_SOURCES`] sources the enumeration splits into
+/// `2^PREFIX_BITS` subtrees — one per claim pattern of the first
+/// [`PREFIX_BITS`] sources — evaluated independently and merged in
+/// fixed prefix order, so every level returns bit-identical results.
+/// The split forgoes pruning above the prefix depth, which can make the
+/// last few ulps differ from the plain [`exact_bound`] walk (the values
+/// are mathematically equal); small inputs skip the split and match
+/// [`exact_bound`] exactly.
+///
+/// # Errors
+///
+/// See [`exact_bound`].
+pub fn exact_bound_with(
+    probs: &[(f64, f64)],
+    z: f64,
+    par: Parallelism,
+) -> Result<BoundResult, SenseError> {
+    let n = probs.len();
+    if n < PAR_MIN_SOURCES {
+        return exact_bound(probs, z);
+    }
+    let prep = Prepared::new(probs, z)?;
+    let k = PREFIX_BITS;
+    // Bit t of a prefix index is source t's claim value; the weights of
+    // the prefix multiply in source order, identically for every level.
+    let parts: Vec<(f64, f64)> = par_map_collect(par, 1usize << k, |prefix| {
+        let mut q1 = 1.0;
+        let mut q0 = 1.0;
+        for (t, &(p1, p0)) in prep.clamped.iter().enumerate().take(k) {
+            if prefix >> t & 1 == 1 {
+                q1 *= p1;
+                q0 *= p0;
+            } else {
+                q1 *= 1.0 - p1;
+                q0 *= 1.0 - p0;
+            }
+        }
+        let mut acc = Accumulator::default();
+        dfs(
+            &prep.clamped,
+            z,
+            k,
+            q1,
+            q0,
+            &prep.min_ratio,
+            &prep.max_ratio,
+            &mut acc,
+        );
+        (acc.fp, acc.fn_)
+    });
+    // Merge in prefix order (non-associative float sums).
+    let (mut fp, mut fn_) = (0.0, 0.0);
+    for (p_fp, p_fn) in parts {
+        fp += p_fp;
+        fn_ += p_fn;
+    }
+    Ok(BoundResult {
+        error: fp + fn_,
+        false_positive: fp,
+        false_negative: fn_,
+    })
+}
+
+/// Validated, clamped inputs plus the suffix odds bounds the pruned walk
+/// needs: for patterns over sources `k..n`, the likelihood ratio
+/// `rest1/rest0` lies within `[min_ratio[k], max_ratio[k]]`.
+struct Prepared {
+    clamped: Vec<(f64, f64)>,
+    min_ratio: Vec<f64>,
+    max_ratio: Vec<f64>,
+}
+
+impl Prepared {
+    fn new(probs: &[(f64, f64)], z: f64) -> Result<Self, SenseError> {
+        let n = probs.len();
+        if n == 0 {
+            return Err(SenseError::EmptyData);
+        }
+        if n > MAX_EXACT_SOURCES {
+            return Err(SenseError::TooManySources {
+                n,
+                max: MAX_EXACT_SOURCES,
+            });
+        }
+        validate(probs, z)?;
+
+        let clamped: Vec<(f64, f64)> = probs
+            .iter()
+            .map(|&(p1, p0)| {
+                (
+                    p1.clamp(P_MARGIN, 1.0 - P_MARGIN),
+                    p0.clamp(P_MARGIN, 1.0 - P_MARGIN),
+                )
+            })
+            .collect();
+
+        let mut min_ratio = vec![1.0f64; n + 1];
+        let mut max_ratio = vec![1.0f64; n + 1];
+        for k in (0..n).rev() {
+            let (p1, p0) = clamped[k];
+            let claim = p1 / p0;
+            let silent = (1.0 - p1) / (1.0 - p0);
+            min_ratio[k] = min_ratio[k + 1] * claim.min(silent);
+            max_ratio[k] = max_ratio[k + 1] * claim.max(silent);
+        }
+        Ok(Self {
+            clamped,
+            min_ratio,
+            max_ratio,
+        })
+    }
 }
 
 #[derive(Default)]
@@ -189,7 +291,10 @@ pub fn exact_bound_from_table(p1: &[f64], p0: &[f64], z: f64) -> Result<BoundRes
         return Err(SenseError::EmptyData);
     }
     if !(0.0..=1.0).contains(&z) || !z.is_finite() {
-        return Err(SenseError::InvalidProbability { name: "z", value: z });
+        return Err(SenseError::InvalidProbability {
+            name: "z",
+            value: z,
+        });
     }
     let mut fp = 0.0;
     let mut fn_ = 0.0;
@@ -211,7 +316,10 @@ pub fn exact_bound_from_table(p1: &[f64], p0: &[f64], z: f64) -> Result<BoundRes
 
 fn validate(probs: &[(f64, f64)], z: f64) -> Result<(), SenseError> {
     if !(0.0..=1.0).contains(&z) || !z.is_finite() {
-        return Err(SenseError::InvalidProbability { name: "z", value: z });
+        return Err(SenseError::InvalidProbability {
+            name: "z",
+            value: z,
+        });
     }
     for &(p1, p0) in probs {
         if !(0.0..=1.0).contains(&p1) || !p1.is_finite() {
@@ -324,10 +432,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert!(matches!(
-            exact_bound(&[], 0.5),
-            Err(SenseError::EmptyData)
-        ));
+        assert!(matches!(exact_bound(&[], 0.5), Err(SenseError::EmptyData)));
         assert!(matches!(
             exact_bound(&[(0.5, 0.5)], 1.5),
             Err(SenseError::InvalidProbability { .. })
@@ -354,6 +459,46 @@ mod tests {
         let weak = exact_bound(&[(0.55, 0.45); 8], 0.5).unwrap();
         let strong = exact_bound(&[(0.9, 0.1); 8], 0.5).unwrap();
         assert!(strong.error < weak.error);
+    }
+
+    #[test]
+    fn prefix_split_is_bit_identical_across_levels_and_tracks_plain_walk() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in [PAR_MIN_SOURCES, 15, 20] {
+            let probs: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.05..0.95), rng.gen_range(0.05..0.95)))
+                .collect();
+            let z = rng.gen_range(0.1..0.9);
+            let serial = exact_bound_with(&probs, z, Parallelism::Serial).unwrap();
+            for par in [
+                Parallelism::Auto,
+                Parallelism::Threads(2),
+                Parallelism::Threads(4),
+            ] {
+                let threaded = exact_bound_with(&probs, z, par).unwrap();
+                assert_eq!(serial.error.to_bits(), threaded.error.to_bits(), "n={n}");
+                assert_eq!(
+                    serial.false_positive.to_bits(),
+                    threaded.false_positive.to_bits()
+                );
+                assert_eq!(
+                    serial.false_negative.to_bits(),
+                    threaded.false_negative.to_bits()
+                );
+            }
+            // Mathematically equal to the plain pruned walk.
+            let plain = exact_bound(&probs, z).unwrap();
+            assert!((serial.error - plain.error).abs() < 1e-12);
+            assert!((serial.false_positive - plain.false_positive).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn small_inputs_skip_the_split_and_match_exactly() {
+        let probs = vec![(0.7, 0.3); PAR_MIN_SOURCES - 1];
+        let plain = exact_bound(&probs, 0.55).unwrap();
+        let split = exact_bound_with(&probs, 0.55, Parallelism::Threads(4)).unwrap();
+        assert_eq!(plain.error.to_bits(), split.error.to_bits());
     }
 
     #[test]

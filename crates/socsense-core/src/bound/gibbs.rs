@@ -119,7 +119,10 @@ pub fn gibbs_bound(
         return Err(SenseError::EmptyData);
     }
     if !(0.0..=1.0).contains(&z) || !z.is_finite() {
-        return Err(SenseError::InvalidProbability { name: "z", value: z });
+        return Err(SenseError::InvalidProbability {
+            name: "z",
+            value: z,
+        });
     }
     for &(p1, p0) in probs {
         for (name, v) in [("p1", p1), ("p0", p0)] {
@@ -276,8 +279,15 @@ impl Chain {
 }
 
 enum EstimatorState {
-    SelfNormalized { fp_sum: f64, fn_sum: f64 },
-    PaperRatio { ln_fp: f64, ln_fn: f64, ln_total: f64 },
+    SelfNormalized {
+        fp_sum: f64,
+        fn_sum: f64,
+    },
+    PaperRatio {
+        ln_fp: f64,
+        ln_fn: f64,
+        ln_total: f64,
+    },
 }
 
 impl EstimatorState {
@@ -453,7 +463,12 @@ mod tests {
     #[test]
     fn scales_to_hundreds_of_sources() {
         let probs: Vec<(f64, f64)> = (0..300)
-            .map(|i| (0.5 + 0.3 * ((i % 7) as f64 / 7.0), 0.4 - 0.2 * ((i % 5) as f64 / 5.0)))
+            .map(|i| {
+                (
+                    0.5 + 0.3 * ((i % 7) as f64 / 7.0),
+                    0.4 - 0.2 * ((i % 5) as f64 / 5.0),
+                )
+            })
             .collect();
         let cfg = GibbsConfig {
             min_samples: 200,

@@ -84,7 +84,10 @@ pub fn importance_bound(
         return Err(SenseError::EmptyData);
     }
     if !(0.0..=1.0).contains(&z) || !z.is_finite() {
-        return Err(SenseError::InvalidProbability { name: "z", value: z });
+        return Err(SenseError::InvalidProbability {
+            name: "z",
+            value: z,
+        });
     }
     for &(p1, p0) in probs {
         for (name, v) in [("p1", p1), ("p0", p0)] {
@@ -153,7 +156,11 @@ pub fn importance_bound(
     Ok(ImportanceOutcome {
         result,
         samples: config.samples,
-        effective_sample_size: if w2_sum > 0.0 { w_sum * w_sum / w2_sum } else { 0.0 },
+        effective_sample_size: if w2_sum > 0.0 {
+            w_sum * w_sum / w2_sum
+        } else {
+            0.0
+        },
     })
 }
 
@@ -191,7 +198,9 @@ mod tests {
             samples: 5000,
             seed: 3,
         };
-        let ess_weak = importance_bound(&weak, 0.5, &cfg).unwrap().effective_sample_size;
+        let ess_weak = importance_bound(&weak, 0.5, &cfg)
+            .unwrap()
+            .effective_sample_size;
         let ess_strong = importance_bound(&strong, 0.5, &cfg)
             .unwrap()
             .effective_sample_size;
@@ -199,7 +208,10 @@ mod tests {
             ess_weak > ess_strong,
             "weak {ess_weak:.0} should beat strong {ess_strong:.0}"
         );
-        assert!(ess_weak > 0.8 * 5000.0, "near-uniform case should be efficient");
+        assert!(
+            ess_weak > 0.8 * 5000.0,
+            "near-uniform case should be efficient"
+        );
     }
 
     #[test]

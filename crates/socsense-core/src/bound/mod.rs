@@ -21,7 +21,9 @@ mod mismatch;
 
 use serde::{Deserialize, Serialize};
 
-pub use exact::{exact_bound, exact_bound_from_table, MAX_EXACT_SOURCES};
+use socsense_matrix::parallel::{par_map_collect, Parallelism};
+
+pub use exact::{exact_bound, exact_bound_from_table, exact_bound_with, MAX_EXACT_SOURCES};
 pub use gibbs::{gibbs_bound, GibbsConfig, GibbsEstimator, GibbsOutcome};
 pub use importance::{importance_bound, ImportanceConfig, ImportanceOutcome};
 pub use mismatch::mismatched_decision_error;
@@ -115,6 +117,43 @@ pub fn bound_for_assertions(
     method: &BoundMethod,
     assertions: &[u32],
 ) -> Result<BoundResult, SenseError> {
+    bound_for_assertions_with(data, theta, method, assertions, Parallelism::Auto)
+}
+
+/// Derives the Gibbs seed for assertion `j` from the configured base
+/// seed (a SplitMix64-style mix). Every assertion then runs its own
+/// independent chain, and — because the derivation depends only on
+/// `(seed, j)` — the chain is the same whichever worker evaluates it.
+fn per_assertion_gibbs(cfg: &GibbsConfig, j: u32) -> GibbsConfig {
+    let mut x = cfg
+        .seed
+        .wrapping_add((j as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    GibbsConfig {
+        seed: x ^ (x >> 31),
+        ..*cfg
+    }
+}
+
+/// [`bound_for_assertions`] with an explicit [`Parallelism`] level.
+///
+/// Per-assertion bounds are evaluated in fixed index chunks and averaged
+/// in assertion order, so every level returns bit-identical results.
+/// Gibbs chains get per-assertion seeds derived from the configured seed
+/// (see [`GibbsConfig::seed`]), keeping each chain independent of which
+/// worker runs it.
+///
+/// # Errors
+///
+/// See [`bound_for_assertions`].
+pub fn bound_for_assertions_with(
+    data: &ClaimData,
+    theta: &Theta,
+    method: &BoundMethod,
+    assertions: &[u32],
+    par: Parallelism,
+) -> Result<BoundResult, SenseError> {
     if assertions.is_empty() {
         return Err(SenseError::EmptyData);
     }
@@ -125,8 +164,6 @@ pub fn bound_for_assertions(
             actual: theta.source_count(),
         });
     }
-    let n = data.source_count();
-    let mut per = Vec::with_capacity(assertions.len());
     for &j in assertions {
         if j as usize >= data.assertion_count() {
             return Err(SenseError::DimensionMismatch {
@@ -135,23 +172,30 @@ pub fn bound_for_assertions(
                 actual: j as usize,
             });
         }
+    }
+    let n = data.source_count();
+    let per = par_map_collect(par, assertions.len(), |k| {
+        let j = assertions[k];
         let probs = assertion_probs(data, theta, j);
-        let r = match method {
-            BoundMethod::Exact => exact_bound(&probs, theta.z())?,
-            BoundMethod::Gibbs(cfg) => gibbs_bound(&probs, theta.z(), cfg)?.result,
+        match method {
+            BoundMethod::Exact => exact_bound(&probs, theta.z()),
+            BoundMethod::Gibbs(cfg) => {
+                gibbs_bound(&probs, theta.z(), &per_assertion_gibbs(cfg, j)).map(|o| o.result)
+            }
             BoundMethod::Auto {
                 exact_max_sources,
                 gibbs,
             } => {
                 if n <= *exact_max_sources {
-                    exact_bound(&probs, theta.z())?
+                    exact_bound(&probs, theta.z())
                 } else {
-                    gibbs_bound(&probs, theta.z(), gibbs)?.result
+                    gibbs_bound(&probs, theta.z(), &per_assertion_gibbs(gibbs, j)).map(|o| o.result)
                 }
             }
-        };
-        per.push(r);
-    }
+        }
+    });
+    // Errors surface in assertion order, matching a sequential sweep.
+    let per = per.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(BoundResult::mean_of(&per))
 }
 
@@ -165,8 +209,23 @@ pub fn bound_for_data(
     theta: &Theta,
     method: &BoundMethod,
 ) -> Result<BoundResult, SenseError> {
+    bound_for_data_with(data, theta, method, Parallelism::Auto)
+}
+
+/// [`bound_for_data`] with an explicit [`Parallelism`] level (see
+/// [`bound_for_assertions_with`]).
+///
+/// # Errors
+///
+/// See [`bound_for_assertions`].
+pub fn bound_for_data_with(
+    data: &ClaimData,
+    theta: &Theta,
+    method: &BoundMethod,
+    par: Parallelism,
+) -> Result<BoundResult, SenseError> {
     let all: Vec<u32> = (0..data.assertion_count() as u32).collect();
-    bound_for_assertions(data, theta, method, &all)
+    bound_for_assertions_with(data, theta, method, &all, par)
 }
 
 #[cfg(test)]

@@ -236,7 +236,8 @@ mod tests {
     fn more_data_tightens_intervals() {
         // Same claim pattern replicated over 10 vs 100 assertions.
         let build = |m: u32| {
-            let entries: Vec<(u32, u32)> = (0..m).filter(|j| j % 2 == 0).map(|j| (0u32, j)).collect();
+            let entries: Vec<(u32, u32)> =
+                (0..m).filter(|j| j % 2 == 0).map(|j| (0u32, j)).collect();
             let sc = SparseBinaryMatrix::from_entries(2, m, entries);
             ClaimData::new(sc, SparseBinaryMatrix::empty(2, m)).unwrap()
         };

@@ -19,9 +19,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use socsense_matrix::parallel::{par_fill, par_map_collect, Parallelism};
+
 use crate::data::ClaimData;
 use crate::error::SenseError;
-use crate::likelihood::{data_log_likelihood, LikelihoodTables};
+use crate::likelihood::{data_log_likelihood_with, LikelihoodTables};
 use crate::model::{SourceParams, Theta};
 
 /// How the EM parameters are initialised.
@@ -81,6 +83,14 @@ pub struct EmConfig {
     /// dependent-claim rates `f`/`g` (see DESIGN.md §4 and the
     /// `em_smoothing` ablation bench).
     pub smoothing: f64,
+    /// Worker threads for the E-step, M-step, and restart sweep.
+    ///
+    /// Never changes the numbers: the parallel layer
+    /// ([`socsense_matrix::parallel`]) uses fixed chunk boundaries and
+    /// in-order merges, so every level returns bit-identical fits. Only
+    /// wall-clock time varies.
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for EmConfig {
@@ -93,6 +103,7 @@ impl Default for EmConfig {
             restarts: 0,
             seed: 0,
             smoothing: 2.0,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -200,18 +211,33 @@ impl EmExt {
     /// zero iteration budget, and propagates dimension errors.
     pub fn fit(&self, data: &ClaimData) -> Result<EmFit, SenseError> {
         self.check_config()?;
-        let mut best: Option<EmFit> = None;
         let deterministic: Vec<InitStrategy> = match self.config.init {
             InitStrategy::Auto => vec![InitStrategy::ClaimRateBiased, InitStrategy::DepBiased],
             other => vec![other],
         };
-        let inits = deterministic
+        let inits: Vec<InitStrategy> = deterministic
             .into_iter()
             .chain((0..self.config.restarts).map(|r| InitStrategy::Random {
                 seed: self.config.seed.wrapping_add(r as u64 + 1),
-            }));
-        for init in inits {
-            let fit = self.fit_once(data, init)?;
+            }))
+            .collect();
+        // Each init fits independently, so the sweep parallelises across
+        // inits; the inner EM loops then run serially to avoid nested
+        // thread fan-out (bit-identical either way, see EmConfig docs).
+        let inner = if inits.len() > 1 {
+            Parallelism::Serial
+        } else {
+            self.config.parallelism
+        };
+        let fits = par_map_collect(self.config.parallelism, inits.len(), |k| {
+            self.fit_once(data, inits[k], inner)
+        });
+        // Keep-best folds in init order with a strict `>`, so the
+        // *earliest* init wins exact log-likelihood ties — the same
+        // winner the sequential sweep picked.
+        let mut best: Option<EmFit> = None;
+        for fit in fits {
+            let fit = fit?;
             if best
                 .as_ref()
                 .is_none_or(|b| fit.log_likelihood > b.log_likelihood)
@@ -260,12 +286,26 @@ impl EmExt {
         }
     }
 
-    fn fit_once(&self, data: &ClaimData, init: InitStrategy) -> Result<EmFit, SenseError> {
-        self.run_em(data, self.initial_theta(data, init))
+    fn fit_once(
+        &self,
+        data: &ClaimData,
+        init: InitStrategy,
+        par: Parallelism,
+    ) -> Result<EmFit, SenseError> {
+        self.run_em_with(data, self.initial_theta(data, init), par)
     }
 
     /// The EM loop proper, from an explicit starting point.
     fn run_em(&self, data: &ClaimData, start: Theta) -> Result<EmFit, SenseError> {
+        self.run_em_with(data, start, self.config.parallelism)
+    }
+
+    fn run_em_with(
+        &self,
+        data: &ClaimData,
+        start: Theta,
+        par: Parallelism,
+    ) -> Result<EmFit, SenseError> {
         let n = data.source_count();
         let m = data.assertion_count();
         let eps = self.config.eps;
@@ -278,12 +318,12 @@ impl EmExt {
         for _ in 0..self.config.max_iters {
             iterations += 1;
 
-            // E-step (Eq. 9).
+            // E-step (Eq. 9). Each posterior reads one column, so the
+            // fill parallelises over fixed index chunks.
             let tables = LikelihoodTables::new(&theta);
-            for j in 0..m as u32 {
-                posterior[j as usize] =
-                    tables.column_posterior(data.sc().col(j), data.d().col(j));
-            }
+            par_fill(par, &mut posterior, |j| {
+                tables.column_posterior(data.sc().col(j as u32), data.d().col(j as u32))
+            });
 
             // M-step (Eqs. 24–28), sparse form. Pass 1 accumulates the
             // posterior-weighted claim counts and exposures per source
@@ -292,10 +332,11 @@ impl EmExt {
             let sum_z: f64 = posterior.iter().sum();
             let sum_y = m as f64 - sum_z;
             let mut next = theta.clone();
-            // [num_a, den_a, num_b, den_b, num_f, den_f, num_g, den_g]
-            let mut counts = vec![[0.0f64; 8]; n];
-            let mut pop = [0.0f64; 8];
-            for i in 0..n as u32 {
+            // [num_a, den_a, num_b, den_b, num_f, den_f, num_g, den_g],
+            // one partial accumulator per source, computed in parallel
+            // and collected in source order.
+            let counts: Vec<[f64; 8]> = par_map_collect(par, n, |iu| {
+                let i = iu as u32;
                 let mut dep_z = 0.0;
                 let mut dep_cells = 0usize;
                 for &j in data.d().row(i) {
@@ -323,7 +364,7 @@ impl EmExt {
                     }
                 }
 
-                let c = [
+                [
                     num_a,
                     sum_z - dep_z,
                     num_b,
@@ -332,11 +373,15 @@ impl EmExt {
                     dep_z,
                     num_g,
                     dep_y,
-                ];
+                ]
+            });
+            // Population totals fold in source order — the same order
+            // the sequential loop summed them in.
+            let mut pop = [0.0f64; 8];
+            for c in &counts {
                 for (p, v) in pop.iter_mut().zip(c) {
                     *p += v;
                 }
-                counts[i as usize] = c;
             }
             // Population rates per parameter (num totals over den totals).
             let pop_rate = |k: usize| {
@@ -375,7 +420,7 @@ impl EmExt {
 
             let delta = theta.max_abs_diff(&next)?;
             theta = next;
-            ll_history.push(data_log_likelihood(data, &theta)?);
+            ll_history.push(data_log_likelihood_with(data, &theta, par)?);
             if delta < self.config.tol {
                 converged = true;
                 break;
@@ -385,11 +430,12 @@ impl EmExt {
         // Final posterior (and its log-odds) under the final θ.
         let tables = LikelihoodTables::new(&theta);
         let mut log_odds = vec![0.0; m];
-        for j in 0..m as u32 {
-            let (claimants, dep) = (data.sc().col(j), data.d().col(j));
-            posterior[j as usize] = tables.column_posterior(claimants, dep);
-            log_odds[j as usize] = tables.column_log_odds(claimants, dep);
-        }
+        par_fill(par, &mut posterior, |j| {
+            tables.column_posterior(data.sc().col(j as u32), data.d().col(j as u32))
+        });
+        par_fill(par, &mut log_odds, |j| {
+            tables.column_log_odds(data.sc().col(j as u32), data.d().col(j as u32))
+        });
         let log_likelihood = *ll_history.last().expect("at least one iteration ran");
         Ok(EmFit {
             theta,
@@ -469,6 +515,67 @@ mod tests {
         let f2 = em.fit(&data).unwrap();
         assert_eq!(f1.posterior, f2.posterior);
         assert_eq!(f1.theta, f2.theta);
+    }
+
+    #[test]
+    fn auto_init_tie_keeps_the_earliest_init() {
+        // With no dependent cells the f/g parameters are inert: the
+        // ClaimRateBiased and DepBiased sweeps reach bit-identical
+        // log-likelihoods while their f/g values differ (smoothing 0
+        // preserves the init values through every M-step). The keep-best
+        // fold must use a strict `>` so the FIRST init wins the tie; a
+        // `>=` regression — easy to introduce when parallelising the
+        // sweep — would silently return the second init's fit.
+        let (data, _) = separable_data();
+        let cfg = EmConfig {
+            smoothing: 0.0,
+            ..EmConfig::default()
+        };
+        let auto = EmExt::new(cfg).fit(&data).unwrap();
+        let first = EmExt::new(EmConfig {
+            init: InitStrategy::ClaimRateBiased,
+            ..cfg
+        })
+        .fit(&data)
+        .unwrap();
+        let second = EmExt::new(EmConfig {
+            init: InitStrategy::DepBiased,
+            ..cfg
+        })
+        .fit(&data)
+        .unwrap();
+        assert_eq!(
+            second.log_likelihood.to_bits(),
+            first.log_likelihood.to_bits(),
+            "premise: the two inits must tie exactly on this data"
+        );
+        assert_ne!(first.theta, second.theta, "premise: fits must differ");
+        assert_eq!(auto.theta, first.theta, "earliest init must win the tie");
+    }
+
+    #[test]
+    fn parallelism_levels_give_bit_identical_fits() {
+        let (data, _) = separable_data();
+        let fit_at = |par| {
+            EmExt::new(EmConfig {
+                restarts: 2,
+                parallelism: par,
+                ..EmConfig::default()
+            })
+            .fit(&data)
+            .unwrap()
+        };
+        let serial = fit_at(Parallelism::Serial);
+        for par in [
+            Parallelism::Auto,
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+        ] {
+            let threaded = fit_at(par);
+            assert_eq!(serial.theta, threaded.theta, "{par:?}");
+            assert_eq!(serial.posterior, threaded.posterior, "{par:?}");
+            assert_eq!(serial.ll_history, threaded.ll_history, "{par:?}");
+        }
     }
 
     #[test]

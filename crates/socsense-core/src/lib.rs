@@ -56,16 +56,21 @@ mod model;
 mod streaming;
 
 pub use bound::{
-    bound_for_assertions, bound_for_data, exact_bound, exact_bound_from_table, gibbs_bound,
-    importance_bound, mismatched_decision_error, BoundMethod, BoundResult, GibbsConfig,
-    GibbsEstimator, GibbsOutcome, ImportanceConfig, ImportanceOutcome,
+    bound_for_assertions, bound_for_assertions_with, bound_for_data, bound_for_data_with,
+    exact_bound, exact_bound_from_table, exact_bound_with, gibbs_bound, importance_bound,
+    mismatched_decision_error, BoundMethod, BoundResult, GibbsConfig, GibbsEstimator, GibbsOutcome,
+    ImportanceConfig, ImportanceOutcome,
 };
 pub use confidence::{confidence_report, ConfidenceReport, RateInterval, SourceConfidence};
 pub use data::ClaimData;
 pub use em::{EmConfig, EmExt, EmFit, InitStrategy};
 pub use error::SenseError;
-pub use streaming::{RefitStats, StreamingEstimator};
 pub use likelihood::{
-    assertion_log_likelihoods, assertion_posteriors, data_log_likelihood, LikelihoodTables,
+    assertion_log_likelihoods, assertion_log_likelihoods_with, assertion_posteriors,
+    assertion_posteriors_with, data_log_likelihood, data_log_likelihood_with, LikelihoodTables,
 };
 pub use model::{classify, SourceParams, Theta};
+pub use streaming::{RefitStats, StreamingEstimator};
+
+// The parallelism knob these APIs take, re-exported for convenience.
+pub use socsense_matrix::parallel::Parallelism;

@@ -14,6 +14,7 @@
 //! Total cost per iteration is `O(nnz(SC) + nnz(D))`.
 
 use socsense_matrix::logprob::{log_sum_exp2, normalize_log_pair, safe_ln, safe_ln_1m};
+use socsense_matrix::parallel::{par_map_collect, par_map_reduce, Parallelism};
 
 use crate::data::ClaimData;
 use crate::error::SenseError;
@@ -152,11 +153,25 @@ pub fn assertion_log_likelihoods(
     data: &ClaimData,
     theta: &Theta,
 ) -> Result<Vec<(f64, f64)>, SenseError> {
+    assertion_log_likelihoods_with(data, theta, Parallelism::Auto)
+}
+
+/// [`assertion_log_likelihoods`] with an explicit [`Parallelism`] level.
+/// Results are bit-identical across levels.
+///
+/// # Errors
+///
+/// As [`assertion_log_likelihoods`].
+pub fn assertion_log_likelihoods_with(
+    data: &ClaimData,
+    theta: &Theta,
+    par: Parallelism,
+) -> Result<Vec<(f64, f64)>, SenseError> {
     check_dims(data, theta)?;
     let tables = LikelihoodTables::new(theta);
-    Ok((0..data.assertion_count() as u32)
-        .map(|j| tables.column_log_likelihood(data.sc().col(j), data.d().col(j)))
-        .collect())
+    Ok(par_map_collect(par, data.assertion_count(), |j| {
+        tables.column_log_likelihood(data.sc().col(j as u32), data.d().col(j as u32))
+    }))
 }
 
 /// Posterior truth probabilities `P(C_j = 1 | SC_j; D, θ)` for all
@@ -166,11 +181,26 @@ pub fn assertion_log_likelihoods(
 ///
 /// Returns [`SenseError::DimensionMismatch`] on inconsistent shapes.
 pub fn assertion_posteriors(data: &ClaimData, theta: &Theta) -> Result<Vec<f64>, SenseError> {
+    assertion_posteriors_with(data, theta, Parallelism::Auto)
+}
+
+/// [`assertion_posteriors`] with an explicit [`Parallelism`] level.
+/// Results are bit-identical across levels; each posterior depends on one
+/// column only, so the work splits into fixed index chunks.
+///
+/// # Errors
+///
+/// As [`assertion_posteriors`].
+pub fn assertion_posteriors_with(
+    data: &ClaimData,
+    theta: &Theta,
+    par: Parallelism,
+) -> Result<Vec<f64>, SenseError> {
     check_dims(data, theta)?;
     let tables = LikelihoodTables::new(theta);
-    Ok((0..data.assertion_count() as u32)
-        .map(|j| tables.column_posterior(data.sc().col(j), data.d().col(j)))
-        .collect())
+    Ok(par_map_collect(par, data.assertion_count(), |j| {
+        tables.column_posterior(data.sc().col(j as u32), data.d().col(j as u32))
+    }))
 }
 
 /// The observed-data log-likelihood `ln P(SC; D, θ)` (Eq. 7):
@@ -180,32 +210,51 @@ pub fn assertion_posteriors(data: &ClaimData, theta: &Theta) -> Result<Vec<f64>,
 ///
 /// Returns [`SenseError::DimensionMismatch`] on inconsistent shapes.
 pub fn data_log_likelihood(data: &ClaimData, theta: &Theta) -> Result<f64, SenseError> {
+    data_log_likelihood_with(data, theta, Parallelism::Auto)
+}
+
+/// [`data_log_likelihood`] with an explicit [`Parallelism`] level.
+///
+/// The per-assertion terms are summed within fixed index chunks and the
+/// chunk sums folded in chunk order, so the (non-associative) floating-
+/// point total is bit-identical across levels.
+///
+/// # Errors
+///
+/// As [`data_log_likelihood`].
+pub fn data_log_likelihood_with(
+    data: &ClaimData,
+    theta: &Theta,
+    par: Parallelism,
+) -> Result<f64, SenseError> {
     check_dims(data, theta)?;
     let tables = LikelihoodTables::new(theta);
-    let mut total = 0.0;
-    for j in 0..data.assertion_count() as u32 {
-        let (ln1, ln0) = tables.column_log_likelihood(data.sc().col(j), data.d().col(j));
-        total += log_sum_exp2(ln1 + tables.ln_z, ln0 + tables.ln_1z);
-    }
-    Ok(total)
+    Ok(par_map_reduce(
+        par,
+        data.assertion_count(),
+        0.0,
+        |range| {
+            let mut sum = 0.0;
+            for j in range {
+                let (ln1, ln0) =
+                    tables.column_log_likelihood(data.sc().col(j as u32), data.d().col(j as u32));
+                sum += log_sum_exp2(ln1 + tables.ln_z, ln0 + tables.ln_1z);
+            }
+            sum
+        },
+        |a, b| a + b,
+    ))
 }
 
 /// Reference `O(n)` per-column evaluation used to validate the sparse
 /// kernel in tests.
 #[cfg(test)]
-pub(crate) fn column_log_likelihood_naive(
-    data: &ClaimData,
-    theta: &Theta,
-    j: u32,
-    c: bool,
-) -> f64 {
+pub(crate) fn column_log_likelihood_naive(data: &ClaimData, theta: &Theta, j: u32, c: bool) -> f64 {
     let mut ln = 0.0;
     for i in 0..data.source_count() as u32 {
-        let p = theta.source(i as usize).claim_prob(
-            c,
-            data.dependent(i, j),
-            data.claimed(i, j),
-        );
+        let p = theta
+            .source(i as usize)
+            .claim_prob(c, data.dependent(i, j), data.claimed(i, j));
         ln += safe_ln(p);
     }
     ln

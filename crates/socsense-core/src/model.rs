@@ -276,7 +276,10 @@ mod tests {
 
     #[test]
     fn theta_rejects_empty_and_bad_z() {
-        assert!(matches!(Theta::new(vec![], 0.5), Err(SenseError::EmptyData)));
+        assert!(matches!(
+            Theta::new(vec![], 0.5),
+            Err(SenseError::EmptyData)
+        ));
         assert!(Theta::new(vec![SourceParams::neutral()], 1.5).is_err());
     }
 
@@ -302,6 +305,9 @@ mod tests {
 
     #[test]
     fn classify_threshold_is_strict() {
-        assert_eq!(classify(&[0.5000001, 0.5, 0.4999999]), vec![true, false, false]);
+        assert_eq!(
+            classify(&[0.5000001, 0.5, 0.4999999]),
+            vec![true, false, false]
+        );
     }
 }

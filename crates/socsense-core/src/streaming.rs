@@ -75,12 +75,7 @@ impl StreamingEstimator {
     /// Returns [`SenseError::EmptyData`] when `n == 0` or `m == 0`, and
     /// [`SenseError::DimensionMismatch`] when the graph covers a
     /// different number of sources.
-    pub fn new(
-        n: u32,
-        m: u32,
-        graph: FollowerGraph,
-        config: EmConfig,
-    ) -> Result<Self, SenseError> {
+    pub fn new(n: u32, m: u32, graph: FollowerGraph, config: EmConfig) -> Result<Self, SenseError> {
         if n == 0 || m == 0 {
             return Err(SenseError::EmptyData);
         }
@@ -243,7 +238,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// A reliable/unreliable two-camp world streamed in batches.
-    fn stream_batches(batches: usize, per_batch: usize) -> (FollowerGraph, Vec<Vec<TimedClaim>>, Vec<bool>) {
+    fn stream_batches(
+        batches: usize,
+        per_batch: usize,
+    ) -> (FollowerGraph, Vec<Vec<TimedClaim>>, Vec<bool>) {
         let n = 10u32;
         let m = 20u32;
         let truth: Vec<bool> = (0..m).map(|j| j < 12).collect();

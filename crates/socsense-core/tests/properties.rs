@@ -3,17 +3,29 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use socsense_core::{
-    assertion_posteriors, bound_for_data, data_log_likelihood, exact_bound, gibbs_bound,
-    BoundMethod, ClaimData, EmConfig, EmExt, GibbsConfig, SourceParams, Theta,
+    assertion_posteriors, assertion_posteriors_with, bound_for_assertions_with, bound_for_data,
+    data_log_likelihood, data_log_likelihood_with, exact_bound, gibbs_bound, BoundMethod,
+    ClaimData, EmConfig, EmExt, GibbsConfig, Parallelism, SourceParams, Theta,
 };
 use socsense_matrix::SparseBinaryMatrix;
+
+/// The levels every deterministic-parallelism property compares against
+/// [`Parallelism::Serial`].
+const LEVELS: [Parallelism; 3] = [
+    Parallelism::Threads(1),
+    Parallelism::Threads(2),
+    Parallelism::Threads(4),
+];
 
 /// Random (SC, D) pair plus a random θ of matching size.
 fn random_problem() -> impl Strategy<Value = (ClaimData, Theta)> {
     (2u32..10, 2u32..12).prop_flat_map(|(n, m)| {
         let sc_entries = vec((0..n, 0..m), 1..40);
         let d_entries = vec((0..n, 0..m), 0..30);
-        let params = vec((0.05f64..0.95, 0.05f64..0.95, 0.05f64..0.95, 0.05f64..0.95), n as usize);
+        let params = vec(
+            (0.05f64..0.95, 0.05f64..0.95, 0.05f64..0.95, 0.05f64..0.95),
+            n as usize,
+        );
         let z = 0.1f64..0.9;
         (Just(n), Just(m), sc_entries, d_entries, params, z).prop_map(
             |(n, m, sc_e, d_e, params, z)| {
@@ -130,5 +142,83 @@ proptest! {
         let b = bound_for_data(&data, &theta, &BoundMethod::Exact).unwrap();
         prop_assert!((0.0..=0.5 + 1e-9).contains(&b.error));
         prop_assert!((b.false_positive + b.false_negative - b.error).abs() < 1e-9);
+    }
+
+    /// Posteriors and the data log-likelihood are bit-identical at every
+    /// parallelism level (the determinism contract of
+    /// `socsense_matrix::parallel`, observed through the likelihood API).
+    #[test]
+    fn posteriors_are_bit_identical_across_parallelism((data, theta) in random_problem()) {
+        let serial = assertion_posteriors_with(&data, &theta, Parallelism::Serial).unwrap();
+        let ll_serial = data_log_likelihood_with(&data, &theta, Parallelism::Serial).unwrap();
+        for par in LEVELS {
+            let threaded = assertion_posteriors_with(&data, &theta, par).unwrap();
+            for (j, (&s, &t)) in serial.iter().zip(&threaded).enumerate() {
+                prop_assert_eq!(s.to_bits(), t.to_bits(), "{:?} posterior j={}", par, j);
+            }
+            let ll = data_log_likelihood_with(&data, &theta, par).unwrap();
+            prop_assert_eq!(ll_serial.to_bits(), ll.to_bits(), "{:?} log-likelihood", par);
+        }
+    }
+
+    /// A full EM fit — θ, posteriors, and the likelihood trace — is
+    /// bit-identical at every parallelism level, including a restart
+    /// sweep whose keep-best tie-breaking must not depend on scheduling.
+    #[test]
+    fn em_fit_is_bit_identical_across_parallelism((data, _) in random_problem()) {
+        let fit_at = |par| {
+            EmExt::new(EmConfig {
+                max_iters: 40,
+                restarts: 2,
+                parallelism: par,
+                ..EmConfig::default()
+            })
+            .fit(&data)
+            .unwrap()
+        };
+        let serial = fit_at(Parallelism::Serial);
+        for par in LEVELS {
+            let threaded = fit_at(par);
+            prop_assert_eq!(&serial.theta, &threaded.theta, "{:?} theta", par);
+            for (j, (&s, &t)) in serial.posterior.iter().zip(&threaded.posterior).enumerate() {
+                prop_assert_eq!(s.to_bits(), t.to_bits(), "{:?} posterior j={}", par, j);
+            }
+            for (k, (&s, &t)) in serial.ll_history.iter().zip(&threaded.ll_history).enumerate() {
+                prop_assert_eq!(s.to_bits(), t.to_bits(), "{:?} ll[{}]", par, k);
+            }
+            prop_assert_eq!(serial.iterations, threaded.iterations);
+        }
+    }
+
+    /// Gibbs-sampled bounds are bit-identical at every parallelism level:
+    /// chains are seeded per assertion from `(seed, j)` alone, so the
+    /// worker that happens to run a chain cannot change its draw.
+    #[test]
+    fn gibbs_bounds_are_bit_identical_across_parallelism(
+        (data, theta) in random_problem(),
+        seed in 0u64..1000,
+    ) {
+        let method = BoundMethod::Gibbs(GibbsConfig {
+            min_samples: 100,
+            max_samples: 400,
+            seed,
+            ..GibbsConfig::default()
+        });
+        let all: Vec<u32> = (0..data.assertion_count() as u32).collect();
+        let serial =
+            bound_for_assertions_with(&data, &theta, &method, &all, Parallelism::Serial).unwrap();
+        for par in LEVELS {
+            let threaded =
+                bound_for_assertions_with(&data, &theta, &method, &all, par).unwrap();
+            prop_assert_eq!(serial.error.to_bits(), threaded.error.to_bits(), "{:?}", par);
+            prop_assert_eq!(
+                serial.false_positive.to_bits(),
+                threaded.false_positive.to_bits()
+            );
+            prop_assert_eq!(
+                serial.false_negative.to_bits(),
+                threaded.false_negative.to_bits()
+            );
+        }
     }
 }

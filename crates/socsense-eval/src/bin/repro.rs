@@ -16,8 +16,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use socsense_eval::experiments::{
-    ablations, bound_figures, estimator_figures, fig11, fig6, mismatch, streaming, table1,
-    table3, Budget,
+    ablations, bound_figures, estimator_figures, fig11, fig6, mismatch, streaming, table1, table3,
+    Budget,
 };
 use socsense_eval::FigureResult;
 
@@ -35,10 +35,7 @@ fn parse_args() -> Result<Args, String> {
     let mut json = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match arg.as_str() {
             "--budget" => {
                 budget = match value("--budget")?.as_str() {
@@ -98,7 +95,12 @@ impl JsonSink {
     }
 }
 
-fn run_one(name: &str, budget: &Budget, reps: Option<usize>, sink: &mut JsonSink) -> Result<(), String> {
+fn run_one(
+    name: &str,
+    budget: &Budget,
+    reps: Option<usize>,
+    sink: &mut JsonSink,
+) -> Result<(), String> {
     let t0 = Instant::now();
     match name {
         "table1" => {
@@ -162,8 +164,20 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     let mut sink = JsonSink::default();
     let all = [
-        "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table3",
-        "fig11", "ablations", "mismatch", "streaming",
+        "table1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table3",
+        "fig11",
+        "ablations",
+        "mismatch",
+        "streaming",
     ];
     if args.experiment == "all" {
         for name in all {
@@ -171,7 +185,12 @@ fn run() -> Result<(), String> {
             println!();
         }
     } else {
-        run_one(&args.experiment, &args.budget, args.reps_override, &mut sink)?;
+        run_one(
+            &args.experiment,
+            &args.budget,
+            args.reps_override,
+            &mut sink,
+        )?;
     }
     if let Some(path) = args.json {
         std::fs::write(

@@ -108,12 +108,7 @@ fn sweep(
         means.push(acc);
     }
 
-    let mut accuracy = FigureResult::new(
-        id,
-        &format!("{title} — accuracy"),
-        xlabel,
-        xs.clone(),
-    );
+    let mut accuracy = FigureResult::new(id, &format!("{title} — accuracy"), xlabel, xs.clone());
     for (k, name) in ALGOS.iter().enumerate() {
         accuracy.push_series(name, means.iter().map(|p| p[k][0].mean()).collect());
     }

@@ -49,8 +49,7 @@ pub fn fig11(budget: &Budget, reps: usize) -> FigureResult {
     fig.set_xticks(presets.iter().map(|p| p.name.clone()).collect());
 
     // accs[algo][scenario]
-    let mut accs: Vec<Vec<MeanStd>> =
-        vec![vec![MeanStd::new(); presets.len()]; algo_names.len()];
+    let mut accs: Vec<Vec<MeanStd>> = vec![vec![MeanStd::new(); presets.len()]; algo_names.len()];
     for (si, preset) in presets.iter().enumerate() {
         let cfg = preset.scaled(budget.twitter_scale);
         let results = run_repeated(

@@ -66,9 +66,10 @@ fn one_experiment(cfg: &GeneratorConfig, budget: &Budget, seed: u64) -> [f64; 4]
         let truth_probs = assertion_probs(&ds.data, &star, j);
         bound += exact_bound(&truth_probs, star.z()).expect("n <= 30").error;
         let ext_probs = assertion_probs(&ds.data, &ext_fit.theta, j);
-        ext_plugin += mismatched_decision_error(&truth_probs, star.z(), &ext_probs, ext_fit.theta.z())
-            .expect("n <= 30")
-            .error;
+        ext_plugin +=
+            mismatched_decision_error(&truth_probs, star.z(), &ext_probs, ext_fit.theta.z())
+                .expect("n <= 30")
+                .error;
         // EM's decision rule sees no dependency: (a, b) everywhere.
         let em_probs: Vec<(f64, f64)> = em_fit
             .theta
@@ -135,7 +136,7 @@ mod tests {
     #[test]
     fn gap_decomposition_is_ordered() {
         let mut b = Budget::fast();
-        b.estimator_reps = 5;
+        b.estimator_reps = 8;
         b.bound_assertions = 10;
         let fig = mismatch(&b);
         let bound = &fig.series("bound (matched)").unwrap().y;
@@ -150,7 +151,8 @@ mod tests {
                 fig.x[i]
             );
             // Dependency-aware decisions beat dependency-blind ones on
-            // average (slack for estimation noise at 6 reps).
+            // average (slack for estimation noise at 8 reps; fewer
+            // repetitions leave the smallest problems too noisy).
             assert!(
                 ext[i] <= em[i] + 0.05,
                 "EM-Ext plug-in {} above EM plug-in {} at n={}",

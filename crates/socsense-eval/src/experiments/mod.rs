@@ -97,9 +97,7 @@ pub(crate) fn strided_assertions(m: usize, k: usize) -> Vec<u32> {
         return Vec::new();
     }
     let take = k.clamp(1, m);
-    (0..take)
-        .map(|i| ((i * m) / take) as u32)
-        .collect()
+    (0..take).map(|i| ((i * m) / take) as u32).collect()
 }
 
 #[cfg(test)]

@@ -36,13 +36,9 @@ pub fn streaming(budget: &Budget) -> FigureResult {
         budget.seed_for("streaming", 0),
         |seed| -> Vec<[f64; 3]> {
             let ds = SyntheticDataset::generate(&cfg, seed).expect("validated config");
-            let mut est = StreamingEstimator::new(
-                cfg.n,
-                cfg.m,
-                ds.graph.clone(),
-                EmConfig::default(),
-            )
-            .expect("valid shape");
+            let mut est =
+                StreamingEstimator::new(cfg.n, cfg.m, ds.graph.clone(), EmConfig::default())
+                    .expect("valid shape");
             let chunk = ds.claims.len().div_ceil(BATCHES).max(1);
             let mut out = Vec::with_capacity(BATCHES);
             let mut prefix = Vec::new();

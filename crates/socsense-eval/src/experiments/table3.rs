@@ -117,8 +117,7 @@ impl fmt::Display for Table3 {
         )?;
         for r in &self.rows {
             let s = &r.simulated;
-            let paper_ratio =
-                r.paper.original_claims as f64 / r.paper.total_claims as f64 * 100.0;
+            let paper_ratio = r.paper.original_claims as f64 / r.paper.total_claims as f64 * 100.0;
             writeln!(
                 f,
                 "{:<14} {:>11} {:>11} {:>12} {:>14} {:>9.1}% | {:>9} {:>9} {:>9} {:>8.1}%",
@@ -168,7 +167,13 @@ mod tests {
         let mut b = Budget::fast();
         b.twitter_scale = 0.01;
         let text = run(&b).to_string();
-        for name in ["Ukraine", "Kirkuk", "Superbug", "LA Marathon", "Paris Attack"] {
+        for name in [
+            "Ukraine",
+            "Kirkuk",
+            "Superbug",
+            "LA Marathon",
+            "Paris Attack",
+        ] {
             assert!(text.contains(name), "missing {name}");
         }
     }

@@ -25,4 +25,4 @@ mod runner;
 
 pub use figure::{FigureResult, Series};
 pub use metrics::{CalibrationBin, CalibrationCurve, Confusion, MeanStd};
-pub use runner::run_repeated;
+pub use runner::{run_repeated, run_repeated_with};

@@ -268,7 +268,9 @@ mod tests {
     fn overconfident_predictions_show_up_in_ece() {
         // Everything predicted 0.95 but only half true.
         let posteriors = [0.95; 10];
-        let truth = [true, false, true, false, true, false, true, false, true, false];
+        let truth = [
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         let curve = CalibrationCurve::from_posteriors(&posteriors, &truth, 10);
         assert!((curve.expected_calibration_error() - 0.45).abs() < 1e-12);
     }

@@ -1,16 +1,20 @@
 //! Parallel repeated-experiment execution.
+//!
+//! Built on the workspace's deterministic parallel layer
+//! ([`socsense_matrix::parallel`]): repetitions are chunked by index
+//! and collected in repetition order, so aggregate statistics are
+//! reproducible regardless of worker count or thread scheduling.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use socsense_matrix::parallel::{par_map_collect, Parallelism};
 
 /// Runs `reps` independent repetitions of `experiment` across worker
 /// threads and returns the results **in repetition order** (index `r` ran
 /// with seed `base_seed + r`), so aggregate statistics are reproducible
 /// regardless of thread scheduling.
 ///
-/// The worker count adapts to the machine (`available_parallelism`,
-/// capped by `reps`); on a single-core box this degrades gracefully to a
-/// sequential loop.
+/// Uses [`Parallelism::Auto`]: the worker count adapts to the machine
+/// and degrades gracefully to a sequential loop on a single-core box.
+/// Use [`run_repeated_with`] to pin the parallelism level explicitly.
 ///
 /// # Panics
 ///
@@ -28,39 +32,22 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    if reps == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(reps);
-    if workers <= 1 {
-        return (0..reps)
-            .map(|r| experiment(base_seed + r as u64))
-            .collect();
-    }
+    run_repeated_with(Parallelism::Auto, reps, base_seed, experiment)
+}
 
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..reps).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let r = next.fetch_add(1, Ordering::Relaxed);
-                if r >= reps {
-                    break;
-                }
-                let out = experiment(base_seed + r as u64);
-                slots.lock()[r] = Some(out);
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|slot| slot.expect("every repetition filled"))
-        .collect()
+/// [`run_repeated`] with an explicit [`Parallelism`] level. Results are
+/// identical across levels; only wall-clock time changes.
+pub fn run_repeated_with<T, F>(
+    par: Parallelism,
+    reps: usize,
+    base_seed: u64,
+    experiment: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    par_map_collect(par, reps, |r| experiment(base_seed + r as u64))
 }
 
 #[cfg(test)]
@@ -85,5 +72,17 @@ mod tests {
         let a = run_repeated(8, 7, |seed| seed.wrapping_mul(0x9e3779b9));
         let b = run_repeated(8, 7, |seed| seed.wrapping_mul(0x9e3779b9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_levels_agree_with_auto() {
+        let auto = run_repeated(9, 3, |seed| seed * 2 + 1);
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+        ] {
+            assert_eq!(run_repeated_with(par, 9, 3, |seed| seed * 2 + 1), auto);
+        }
     }
 }

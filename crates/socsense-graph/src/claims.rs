@@ -114,11 +114,7 @@ pub fn build_matrices(
 /// This is the "Dependent Assertion" candidate set of the paper's Sec. V-A
 /// generator, and also `D`'s support restricted to row `source` before the
 /// who-spoke-first refinement.
-pub fn dependent_assertions(
-    source: u32,
-    claims: &[TimedClaim],
-    graph: &FollowerGraph,
-) -> Vec<u32> {
+pub fn dependent_assertions(source: u32, claims: &[TimedClaim], graph: &FollowerGraph) -> Vec<u32> {
     let mut out: Vec<u32> = claims
         .iter()
         .filter(|c| graph.follows(source, c.source))

@@ -36,7 +36,10 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfFollow { node } => write!(f, "source {node} cannot follow itself"),
             GraphError::BadForest { n, tau } => {
-                write!(f, "invalid forest: tau={tau} must satisfy 1 <= tau <= n={n}")
+                write!(
+                    f,
+                    "invalid forest: tau={tau} must satisfy 1 <= tau <= n={n}"
+                )
             }
         }
     }
@@ -50,8 +53,14 @@ mod tests {
 
     #[test]
     fn display_names_the_problem() {
-        assert!(GraphError::SelfFollow { node: 2 }.to_string().contains("follow itself"));
-        assert!(GraphError::BadForest { n: 3, tau: 9 }.to_string().contains("tau=9"));
-        assert!(GraphError::NodeOutOfRange { node: 8, n: 4 }.to_string().contains("node 8"));
+        assert!(GraphError::SelfFollow { node: 2 }
+            .to_string()
+            .contains("follow itself"));
+        assert!(GraphError::BadForest { n: 3, tau: 9 }
+            .to_string()
+            .contains("tau=9"));
+        assert!(GraphError::NodeOutOfRange { node: 8, n: 4 }
+            .to_string()
+            .contains("node 8"));
     }
 }

@@ -3,8 +3,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use socsense_graph::{
-    build_matrices, dependent_assertions, preferential_attachment, DependencyForest,
-    FollowerGraph, TimedClaim,
+    build_matrices, dependent_assertions, preferential_attachment, DependencyForest, FollowerGraph,
+    TimedClaim,
 };
 
 use rand::rngs::StdRng;

@@ -42,7 +42,10 @@ impl fmt::Display for MatrixError {
                 col,
                 nrows,
                 ncols,
-            } => write!(f, "entry ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"),
+            } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
             MatrixError::DimensionMismatch { expected, actual } => write!(
                 f,
                 "dimension mismatch: {}x{} vs {}x{}",

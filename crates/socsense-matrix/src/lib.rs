@@ -41,9 +41,11 @@ mod bitset;
 mod dense;
 mod error;
 pub mod logprob;
+pub mod parallel;
 mod sparse;
 
 pub use bitset::FixedBitSet;
 pub use dense::DenseMatrix;
 pub use error::MatrixError;
+pub use parallel::Parallelism;
 pub use sparse::{EntriesIter, SparseBinaryMatrix, SparseBinaryMatrixBuilder};

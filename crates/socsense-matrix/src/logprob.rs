@@ -88,7 +88,10 @@ pub fn normalize_log_pair(ln_w1: f64, ln_w0: f64) -> (f64, f64) {
 /// Panics if `odds` is negative or non-finite.
 #[inline]
 pub fn odds_to_prob(odds: f64) -> f64 {
-    assert!(odds.is_finite() && odds >= 0.0, "odds must be finite and >= 0, got {odds}");
+    assert!(
+        odds.is_finite() && odds >= 0.0,
+        "odds must be finite and >= 0, got {odds}"
+    );
     odds / (1.0 + odds)
 }
 
@@ -99,7 +102,10 @@ pub fn odds_to_prob(odds: f64) -> f64 {
 /// Panics if `p` is outside `[0, 1]`.
 #[inline]
 pub fn prob_to_odds(p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0,1], got {p}"
+    );
     if p == 1.0 {
         f64::INFINITY
     } else {

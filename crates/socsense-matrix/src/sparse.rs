@@ -312,7 +312,10 @@ impl SparseBinaryMatrix {
         self.check_same_shape(other)?;
         let mut b = SparseBinaryMatrixBuilder::new(self.nrows, self.ncols);
         for row in 0..self.nrows {
-            let (mut a, mut o) = (self.row(row).iter().peekable(), other.row(row).iter().peekable());
+            let (mut a, mut o) = (
+                self.row(row).iter().peekable(),
+                other.row(row).iter().peekable(),
+            );
             while let (Some(&&ca), Some(&&co)) = (a.peek(), o.peek()) {
                 match ca.cmp(&co) {
                     std::cmp::Ordering::Less => {

@@ -2,7 +2,9 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use socsense_matrix::logprob::{log_sum_exp, log_sum_exp2, normalize_log_pair, odds_to_prob, prob_to_odds};
+use socsense_matrix::logprob::{
+    log_sum_exp, log_sum_exp2, normalize_log_pair, odds_to_prob, prob_to_odds,
+};
 use socsense_matrix::{FixedBitSet, SparseBinaryMatrix};
 
 fn entries_strategy() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32)>)> {

@@ -158,7 +158,10 @@ impl GeneratorConfig {
     /// Returns the first violated constraint as a [`SynthError`].
     pub fn validate(&self) -> Result<(), SynthError> {
         if self.n == 0 || self.m == 0 {
-            return Err(SynthError::EmptyShape { n: self.n, m: self.m });
+            return Err(SynthError::EmptyShape {
+                n: self.n,
+                m: self.m,
+            });
         }
         if self.opportunities == 0 {
             return Err(SynthError::NoOpportunities);
@@ -243,7 +246,10 @@ impl fmt::Display for SynthError {
                 write!(f, "{name} interval [{lo}, {hi}] is not within [0, 1]")
             }
             SynthError::EmptyShape { n, m } => {
-                write!(f, "need at least one source and assertion, got n={n}, m={m}")
+                write!(
+                    f,
+                    "need at least one source and assertion, got n={n}, m={m}"
+                )
             }
             SynthError::NoOpportunities => write!(f, "opportunities must be positive"),
         }

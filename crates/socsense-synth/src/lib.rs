@@ -40,6 +40,6 @@ mod config;
 mod generate;
 pub mod theta;
 
-pub use config::{GeneratorConfig, Interval, IntInterval, SynthError};
+pub use config::{GeneratorConfig, IntInterval, Interval, SynthError};
 pub use generate::{SourceProfile, SyntheticDataset};
 pub use theta::{analytic_theta, empirical_theta};

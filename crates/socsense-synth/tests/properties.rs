@@ -6,15 +6,15 @@ use socsense_synth::{empirical_theta, GeneratorConfig, IntInterval, Interval, Sy
 
 fn arbitrary_config() -> impl Strategy<Value = GeneratorConfig> {
     (
-        3u32..25,          // n
-        4u32..40,          // m
-        1u32..6,           // tau lo
-        0.2f64..0.8,       // d
-        0.2f64..0.9,       // p_on
-        0.1f64..0.9,       // p_dep
-        0.3f64..0.9,       // p_indep_t
-        0.2f64..0.8,       // p_dep_t
-        5u32..60,          // opportunities
+        3u32..25,    // n
+        4u32..40,    // m
+        1u32..6,     // tau lo
+        0.2f64..0.8, // d
+        0.2f64..0.9, // p_on
+        0.1f64..0.9, // p_dep
+        0.3f64..0.9, // p_indep_t
+        0.2f64..0.8, // p_dep_t
+        5u32..60,    // opportunities
     )
         .prop_map(
             |(n, m, tau_lo, d, p_on, p_dep, p_it, p_dt, opportunities)| GeneratorConfig {

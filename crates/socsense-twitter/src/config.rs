@@ -177,8 +177,14 @@ impl ScenarioConfig {
             });
         }
         for (what, v) in [
-            ("true_witness_boost must be positive", self.true_witness_boost),
-            ("rumor_witness_damp must be positive", self.rumor_witness_damp),
+            (
+                "true_witness_boost must be positive",
+                self.true_witness_boost,
+            ),
+            (
+                "rumor_witness_damp must be positive",
+                self.rumor_witness_damp,
+            ),
         ] {
             if v <= 0.0 || !v.is_finite() {
                 return Err(TwitterError::BadParameter { what });
@@ -276,7 +282,10 @@ mod tests {
         c.retweet_prob = 1.5;
         assert!(matches!(
             c.validate(),
-            Err(TwitterError::BadProbability { name: "retweet_prob", .. })
+            Err(TwitterError::BadProbability {
+                name: "retweet_prob",
+                ..
+            })
         ));
         let mut c = ScenarioConfig::ukraine();
         c.witness_mean = 0.0;

@@ -225,7 +225,8 @@ mod tests {
         // Rumors have fewer originators but spread harder, so compare
         // retweets *per original tweet*. Follower counts are heavy-tailed,
         // so average over several seeds to wash out hub placement luck.
-        let (mut rt_false, mut orig_false, mut rt_true, mut orig_true) = (0usize, 0usize, 0usize, 0usize);
+        let (mut rt_false, mut orig_false, mut rt_true, mut orig_true) =
+            (0usize, 0usize, 0usize, 0usize);
         for seed in 0..6u64 {
             let ds = TwitterDataset::simulate(&cfg, seed).unwrap();
             for t in &ds.tweets {

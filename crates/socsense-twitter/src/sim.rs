@@ -79,7 +79,13 @@ pub(crate) fn run(cfg: &ScenarioConfig, seed: u64) -> SimOutput {
     // signal EM-Ext's f/g parameters exist to capture.
     let verifier_frac = ((cfg.verify_prob - 0.05) / 0.85).clamp(0.0, 1.0);
     let verify_trait: Vec<f64> = (0..n)
-        .map(|_| if rng.gen_bool(verifier_frac) { 0.9 } else { 0.05 })
+        .map(|_| {
+            if rng.gen_bool(verifier_frac) {
+                0.9
+            } else {
+                0.05
+            }
+        })
         .collect();
     // Retweeting propensity is concentrated, as on real Twitter: ~20% of
     // accounts do the vast majority of the retweeting (mean multiplier
@@ -180,8 +186,8 @@ pub(crate) fn run(cfg: &ScenarioConfig, seed: u64) -> SimOutput {
                     } else {
                         1.0
                     };
-                    let p = (cfg.retweet_prob * gullibility[f as usize] * boost * activity)
-                        .min(1.0);
+                    let p =
+                        (cfg.retweet_prob * gullibility[f as usize] * boost * activity).min(1.0);
                     rng.gen_bool(p)
                 };
                 if !passes {
@@ -275,7 +281,11 @@ mod tests {
         let cfg = ScenarioConfig::ukraine().scaled(0.1);
         let out = run(&cfg, 5);
         let m = cfg.n_assertions as f64;
-        let opinions = out.truth.iter().filter(|t| **t == TruthValue::Opinion).count() as f64;
+        let opinions = out
+            .truth
+            .iter()
+            .filter(|t| **t == TruthValue::Opinion)
+            .count() as f64;
         let trues = out.truth.iter().filter(|t| **t == TruthValue::True).count() as f64;
         assert!((opinions / m - cfg.opinion_frac).abs() < 0.02);
         assert!((trues / (m - opinions) - cfg.true_frac).abs() < 0.02);

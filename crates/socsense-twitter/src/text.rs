@@ -19,24 +19,56 @@ pub struct TextSynthesizer {
 }
 
 const SUBJECTS: &[&str] = &[
-    "police", "witnesses", "officials", "reporters", "residents", "sources", "crowd",
-    "authorities", "medics", "troops",
+    "police",
+    "witnesses",
+    "officials",
+    "reporters",
+    "residents",
+    "sources",
+    "crowd",
+    "authorities",
+    "medics",
+    "troops",
 ];
 const VERBS: &[&str] = &[
-    "confirm", "report", "deny", "witness", "describe", "announce", "claim", "observe",
-    "photograph", "record",
+    "confirm",
+    "report",
+    "deny",
+    "witness",
+    "describe",
+    "announce",
+    "claim",
+    "observe",
+    "photograph",
+    "record",
 ];
 const OBJECTS: &[&str] = &[
-    "explosion", "evacuation", "gunfire", "roadblock", "outage", "protest", "rescue",
-    "closure", "crash", "standoff",
+    "explosion",
+    "evacuation",
+    "gunfire",
+    "roadblock",
+    "outage",
+    "protest",
+    "rescue",
+    "closure",
+    "crash",
+    "standoff",
 ];
 const PLACES: &[&str] = &[
     "downtown", "station", "bridge", "airport", "hospital", "embassy", "stadium", "market",
     "campus", "harbor",
 ];
 const EXTRAS: &[&str] = &[
-    "breaking", "developing", "unconfirmed", "live", "update", "alert", "footage", "thread",
-    "just", "now",
+    "breaking",
+    "developing",
+    "unconfirmed",
+    "live",
+    "update",
+    "alert",
+    "footage",
+    "thread",
+    "just",
+    "now",
 ];
 
 impl TextSynthesizer {
@@ -128,8 +160,16 @@ mod tests {
         let a1 = t.render(1, false, &mut rng);
         let a2 = t.render(1, true, &mut rng);
         let b = t.render(2, false, &mut rng);
-        assert!(jaccard(&a1, &a2) > 0.6, "same-assertion {}", jaccard(&a1, &a2));
-        assert!(jaccard(&a1, &b) < 0.5, "cross-assertion {}", jaccard(&a1, &b));
+        assert!(
+            jaccard(&a1, &a2) > 0.6,
+            "same-assertion {}",
+            jaccard(&a1, &a2)
+        );
+        assert!(
+            jaccard(&a1, &b) < 0.5,
+            "cross-assertion {}",
+            jaccard(&a1, &b)
+        );
     }
 
     #[test]

@@ -16,22 +16,20 @@ fn arbitrary_scenario() -> impl Strategy<Value = ScenarioConfig> {
         0.05f64..0.8, // verify_prob
         1u32..5,      // max_cascade_depth
     )
-        .prop_map(
-            |(n, m, tf, of, wm, rp, rb, vp, depth)| {
-                let mut c = ScenarioConfig::ukraine();
-                c.name = "prop".into();
-                c.n_sources = n;
-                c.n_assertions = m;
-                c.true_frac = tf;
-                c.opinion_frac = of;
-                c.witness_mean = wm;
-                c.retweet_prob = rp;
-                c.rumor_boost = rb;
-                c.verify_prob = vp;
-                c.max_cascade_depth = depth;
-                c
-            },
-        )
+        .prop_map(|(n, m, tf, of, wm, rp, rb, vp, depth)| {
+            let mut c = ScenarioConfig::ukraine();
+            c.name = "prop".into();
+            c.n_sources = n;
+            c.n_assertions = m;
+            c.true_frac = tf;
+            c.opinion_frac = of;
+            c.witness_mean = wm;
+            c.retweet_prob = rp;
+            c.rumor_boost = rb;
+            c.verify_prob = vp;
+            c.max_cascade_depth = depth;
+            c
+        })
 }
 
 proptest! {

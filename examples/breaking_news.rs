@@ -46,9 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..ApolloConfig::default()
     });
     for finder in all_finders() {
-        let acc = compare
-            .run(&dataset, finder.as_ref())?
-            .top_k_accuracy(20);
+        let acc = compare.run(&dataset, finder.as_ref())?.top_k_accuracy(20);
         println!("  {:>13}: {:.2}", finder.name(), acc);
     }
     Ok(())

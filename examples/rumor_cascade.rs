@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = GeneratorConfig::estimator_defaults();
     config.tau = IntInterval::fixed(1); // one hub, 49 followers
 
-    println!("single-hub world: n = {}, m = {}, tau = 1", config.n, config.m);
+    println!(
+        "single-hub world: n = {}, m = {}, tau = 1",
+        config.n, config.m
+    );
     println!(
         "{:>10} {:>10} {:>10} {:>10}",
         "algorithm", "accuracy", "fp-rate", "fn-rate"
@@ -44,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fnr += c.false_negative_rate();
         }
         let k = reps as f64;
-        println!("{name:>10} {:>10.3} {:>10.3} {:>10.3}", acc / k, fp / k, fnr / k);
+        println!(
+            "{name:>10} {:>10.3} {:>10.3} {:>10.3}",
+            acc / k,
+            fp / k,
+            fnr / k
+        );
     }
 
     // The fundamental bound: average Bayes risk under the measured θ.

@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_parallel.json: serial vs 2/4/8-thread medians for the
+# EM-Ext fit and the Gibbs bound sweep. Run from the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p socsense-bench --bin bench_parallel -- "${1:-BENCH_parallel.json}"

@@ -87,8 +87,7 @@ fn parallel_runner_matches_sequential_semantics() {
     // The runner hands seed base + r to repetition r regardless of thread
     // interleaving, so a pure function of the seed gives identical output.
     let f = |seed: u64| {
-        let ds =
-            SyntheticDataset::generate(&GeneratorConfig::paper_defaults(), seed).unwrap();
+        let ds = SyntheticDataset::generate(&GeneratorConfig::paper_defaults(), seed).unwrap();
         ds.claims.len()
     };
     let par = run_repeated(6, 40, f);

@@ -16,12 +16,7 @@ fn synthetic_world_round_trips_through_every_layer() {
 
     // Claim log rebuilt through the graph layer matches the dataset's own
     // matrices exactly.
-    let (sc, d) = build_matrices(
-        config.n,
-        config.m,
-        &ds.claims,
-        &ds.graph,
-    );
+    let (sc, d) = build_matrices(config.n, config.m, &ds.claims, &ds.graph);
     assert_eq!(&sc, ds.data.sc());
     assert_eq!(&d, ds.data.d());
     let rebuilt = ClaimData::new(sc, d).unwrap();
@@ -179,5 +174,8 @@ fn em_ext_posteriors_are_roughly_calibrated() {
     let rates: Vec<f64> = curve.bins.iter().map(|b| b.fraction_true).collect();
     let first = rates.first().copied().unwrap_or(0.0);
     let last = rates.last().copied().unwrap_or(1.0);
-    assert!(last > first, "truth rate should rise with prediction: {rates:?}");
+    assert!(
+        last > first,
+        "truth rate should rise with prediction: {rates:?}"
+    );
 }

@@ -127,7 +127,11 @@ fn fig10_em_social_is_flat_em_ext_improves() {
 /// EM-Ext beats plain EM and Voting.
 #[test]
 fn fig11_em_family_beats_heuristics() {
-    let fig = fig11::fig11(&test_budget(), 2);
+    // Three repetitions per scenario: at two, the top-10 grading is so
+    // coarse (0.01 granularity on the five-scenario mean) that EM-Ext
+    // and Voting can tie exactly; the third repetition separates them
+    // while keeping the runtime in check.
+    let fig = fig11::fig11(&test_budget(), 3);
     let mean = |label: &str| {
         let y = &fig.series(label).unwrap().y;
         y.iter().sum::<f64>() / y.len() as f64

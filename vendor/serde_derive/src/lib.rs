@@ -1,0 +1,436 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro`
+//! alone (no `syn`/`quote`, which cannot be fetched in this build
+//! environment). It supports exactly the shapes this workspace derives
+//! on: named-field structs and enums whose variants are unit, newtype,
+//! tuple, or struct-like — all without generics — plus the
+//! `#[serde(default)]` field attribute. Anything else is a compile-time
+//! panic so unsupported uses fail loudly instead of misbehaving.
+//!
+//! Wire format matches real `serde_json` defaults: structs are objects,
+//! unit variants are strings, data-carrying variants are externally
+//! tagged single-key objects, tuple payloads of arity > 1 are arrays.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: fall back to `Default::default()` when the
+    /// key is absent.
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    /// Unnamed payload with the given arity.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (the stand-in's `serialize_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    let code = match &input {
+        Input::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the stand-in's `deserialize_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    let code = match &input {
+        Input::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(item: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut idx = 0;
+
+    // Outer attributes (doc comments arrive as `#[doc = ...]`).
+    while matches!(&tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        idx += 2; // '#' + the bracketed group
+    }
+    // Visibility.
+    if matches!(&tokens.get(idx), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        idx += 1;
+        if matches!(&tokens.get(idx), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            idx += 1;
+        }
+    }
+
+    let keyword = match &tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stand-in derive: expected struct/enum, got {other:?}"),
+    };
+    idx += 1;
+    let name = match &tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stand-in derive: expected type name, got {other:?}"),
+    };
+    idx += 1;
+
+    if matches!(&tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic type `{name}` is not supported");
+    }
+
+    let body = match &tokens.get(idx) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => panic!(
+            "serde stand-in derive: `{name}` must have a braced body \
+             (tuple/unit structs are not supported)"
+        ),
+    };
+
+    match keyword.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_fields(&body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde stand-in derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Splits `tokens` at commas that sit outside every group and outside
+/// `<...>` type arguments (angle brackets are bare `Punct`s, so a comma
+/// in `BTreeMap<String, Value>` needs the depth guard).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Consumes leading attributes from `chunk`, returning how many tokens
+/// they span and whether `#[serde(default)]` was among them. Any other
+/// `#[serde(...)]` content is rejected.
+fn consume_attrs(chunk: &[TokenTree]) -> (usize, bool) {
+    let mut idx = 0;
+    let mut default = false;
+    while matches!(&chunk.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let group = match &chunk.get(idx + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde stand-in derive: malformed attribute, got {other:?}"),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if matches!(&inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+            let args = match &inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    g.stream().to_string()
+                }
+                _ => String::new(),
+            };
+            if args.trim() == "default" {
+                default = true;
+            } else {
+                panic!(
+                    "serde stand-in derive: unsupported attribute #[serde({})] \
+                     (only #[serde(default)] is implemented)",
+                    args.trim()
+                );
+            }
+        }
+        idx += 2;
+    }
+    (idx, default)
+}
+
+fn parse_fields(body: &[TokenTree]) -> Vec<Field> {
+    split_top_level_commas(body)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let (mut idx, default) = consume_attrs(chunk);
+            if matches!(&chunk.get(idx), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+                idx += 1;
+                if matches!(&chunk.get(idx), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    idx += 1;
+                }
+            }
+            let name = match &chunk.get(idx) {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("serde stand-in derive: expected field name, got {other:?}"),
+            };
+            match &chunk.get(idx + 1) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => panic!(
+                    "serde stand-in derive: expected `:` after field `{name}`, got {other:?}"
+                ),
+            }
+            Field { name, default }
+        })
+        .collect()
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    split_top_level_commas(body)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let (idx, _) = consume_attrs(chunk);
+            let name = match &chunk.get(idx) {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("serde stand-in derive: expected variant name, got {other:?}"),
+            };
+            let kind = match &chunk.get(idx + 1) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let arity = split_top_level_commas(&inner)
+                        .iter()
+                        .filter(|c| !c.is_empty())
+                        .count();
+                    VariantKind::Tuple(arity)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Struct(parse_fields(&inner))
+                }
+                other => panic!(
+                    "serde stand-in derive: unsupported tokens after variant `{name}`: {other:?}"
+                ),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut inserts = String::new();
+    for f in fields {
+        let fname = &f.name;
+        inserts.push_str(&format!(
+            "map.insert(\"{fname}\".to_string(), \
+             ::serde::Serialize::serialize_value(&self.{fname}));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n\
+         let mut map = ::serde::Map::new();\n\
+         {inserts}\
+         ::serde::Value::Object(map)\n\
+         }}\n}}\n"
+    )
+}
+
+fn field_from_obj(f: &Field, ty_name: &str) -> String {
+    let fname = &f.name;
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!("return Err(::serde::DeError::missing_field(\"{fname}\", \"{ty_name}\"))")
+    };
+    format!(
+        "{fname}: match obj.get(\"{fname}\") {{\n\
+         Some(v) => ::serde::Deserialize::deserialize_value(v)?,\n\
+         None => {missing},\n\
+         }},\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut field_exprs = String::new();
+    for f in fields {
+        field_exprs.push_str(&field_from_obj(f, name));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         let obj = value.as_object().ok_or_else(|| \
+         ::serde::DeError::expected(\"object\", value, \"{name}\"))?;\n\
+         Ok({name} {{\n{field_exprs}}})\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+            )),
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                let payload = if *arity == 1 {
+                    "::serde::Serialize::serialize_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => {{\n\
+                     let mut map = ::serde::Map::new();\n\
+                     map.insert(\"{vname}\".to_string(), {payload});\n\
+                     ::serde::Value::Object(map)\n\
+                     }}\n",
+                    binds = binders.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut inserts = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    inserts.push_str(&format!(
+                        "inner.insert(\"{fname}\".to_string(), \
+                         ::serde::Serialize::serialize_value({fname}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {{\n\
+                     let mut inner = ::serde::Map::new();\n\
+                     {inserts}\
+                     let mut map = ::serde::Map::new();\n\
+                     map.insert(\"{vname}\".to_string(), ::serde::Value::Object(inner));\n\
+                     ::serde::Value::Object(map)\n\
+                     }}\n",
+                    binds = binders.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+            }
+            VariantKind::Tuple(arity) => {
+                if *arity == 1 {
+                    tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize_value(inner)?)),\n"
+                    ));
+                } else {
+                    let items: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                        .collect();
+                    tagged_arms.push_str(&format!(
+                        "\"{vname}\" => match inner {{\n\
+                         ::serde::Value::Array(items) if items.len() == {arity} => \
+                         Ok({name}::{vname}({items})),\n\
+                         other => Err(::serde::DeError::expected(\
+                         \"array of {arity}\", other, \"{name}::{vname}\")),\n\
+                         }},\n",
+                        items = items.join(", ")
+                    ));
+                }
+            }
+            VariantKind::Struct(fields) => {
+                let qualified = format!("{name}::{vname}");
+                let mut field_exprs = String::new();
+                for f in fields {
+                    field_exprs.push_str(&field_from_obj(f, &qualified));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                     let obj = inner.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", inner, \"{qualified}\"))?;\n\
+                     Ok({name}::{vname} {{\n{field_exprs}}})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    // Without tagged variants the payload binder would be dead code;
+    // underscore it so `-D warnings` builds stay clean.
+    let inner_binder = if tagged_arms.is_empty() {
+        "_inner"
+    } else {
+        "inner"
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match value {{\n\
+         ::serde::Value::String(tag) => match tag.as_str() {{\n\
+         {unit_arms}\
+         other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+         }},\n\
+         ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+         let (tag, {inner_binder}) = map.iter().next().expect(\"single-key object\");\n\
+         match tag.as_str() {{\n\
+         {tagged_arms}\
+         other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+         }}\n\
+         }}\n\
+         other => Err(::serde::DeError::expected(\
+         \"string or single-key object\", other, \"{name}\")),\n\
+         }}\n\
+         }}\n}}\n"
+    )
+}
