@@ -12,9 +12,11 @@
 //!        [--algorithm NAME] [--top K] [--threads N] [--json PATH]
 //! ```
 //!
-//! `--threads N` pins the estimator worker count (`0` = one per core,
-//! the default). The ranking is bit-identical at every setting; the flag
-//! only trades wall-clock time.
+//! `--threads N` pins the worker count for the whole run — JSONL
+//! parsing, text clustering, and the estimator (`0` = one per core, the
+//! default). The ranking, the clustering, and even parse-error line
+//! numbers are bit-identical at every setting; the flag only trades
+//! wall-clock time.
 
 use std::process::ExitCode;
 
@@ -135,7 +137,11 @@ fn finder(name: &str, par: Parallelism) -> Result<Box<dyn FactFinder>, String> {
 fn run_external(args: &Args, input: &str) -> Result<(), String> {
     let algo = finder(&args.algorithm, args.threads)?;
     let raw = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
-    let tweets = socsense_apollo::parse_tweets_jsonl(&raw).map_err(|e| e.to_string())?;
+    let ingest = socsense_apollo::IngestConfig {
+        parallelism: args.threads,
+    };
+    let tweets =
+        socsense_apollo::parse_tweets_jsonl_with(&raw, &ingest).map_err(|e| e.to_string())?;
     let follows = match &args.follows {
         Some(path) => {
             let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;

@@ -1,13 +1,31 @@
 //! Token-shingle clustering of tweets into assertions.
 //!
 //! Apollo's first stage must decide which tweets "say the same thing".
-//! We tokenize, index tweets by their *rare* tokens (common tokens such
-//! as a scenario hashtag appear everywhere and carry no grouping signal),
-//! and union tweets whose token-set Jaccard similarity clears a
-//! threshold. Union-find keeps the whole pass near-linear in the number
-//! of tweet–token incidences.
+//! The merge rule is symmetric and local: two tweets belong to the same
+//! assertion when (a) they share at least one *indexable* token — one
+//! whose document frequency lies in `[2, max_token_df]`, since a token
+//! appearing everywhere (a scenario hashtag) carries no grouping signal
+//! — and (b) their token-set Jaccard similarity clears a threshold.
+//! Clusters are the connected components of that relation, so the
+//! partition is independent of tweet order and of the order in which
+//! matching pairs are discovered.
+//!
+//! Evaluating the rule naively costs `n(n-1)/2` Jaccard comparisons
+//! ([`cluster_texts_naive`], kept as the testing oracle). The fast path
+//! interns tokens once, builds an inverted index `token id → tweet ids`,
+//! and evaluates exact Jaccard only on pairs the index nominates —
+//! pairs sharing at least one indexable token — after a size-ratio
+//! prefilter (`J(a,b) ≤ min(|a|,|b|)/max(|a|,|b|)`, so a pair whose
+//! length ratio is below the threshold cannot match). Matches merge
+//! through a union-find; candidate generation shards over
+//! `socsense_matrix::parallel` chunks keyed purely by tweet index, and
+//! shard-local union-finds merge in shard order, so every
+//! [`Parallelism`] level emits byte-identical assignments (see
+//! [`socsense_matrix::UnionFind`] for the determinism argument).
 
 use std::collections::HashMap;
+
+use socsense_matrix::{parallel, Parallelism, UnionFind};
 
 /// Configuration for [`cluster_texts`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,41 +88,21 @@ impl Clustering {
     }
 }
 
-/// Union-find with path halving and union by size.
-#[derive(Debug, Clone)]
-struct UnionFind {
-    parent: Vec<u32>,
-    size: Vec<u32>,
-}
-
-impl UnionFind {
-    fn new(n: usize) -> Self {
-        Self {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-        }
-    }
-
-    fn find(&mut self, mut x: u32) -> u32 {
-        while self.parent[x as usize] != x {
-            let gp = self.parent[self.parent[x as usize] as usize];
-            self.parent[x as usize] = gp;
-            x = gp;
-        }
-        x
-    }
-
-    fn union(&mut self, a: u32, b: u32) {
-        let (mut ra, mut rb) = (self.find(a), self.find(b));
-        if ra == rb {
-            return;
-        }
-        if self.size[ra as usize] < self.size[rb as usize] {
-            std::mem::swap(&mut ra, &mut rb);
-        }
-        self.parent[rb as usize] = ra;
-        self.size[ra as usize] += self.size[rb as usize];
-    }
+/// Work counters from one [`cluster_texts_with_stats`] run, recording
+/// how much of the quadratic pair space the inverted index pruned away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Number of input texts.
+    pub texts: usize,
+    /// Distinct pairs the inverted index nominated (shared ≥ 1
+    /// indexable token), before the size-ratio prefilter.
+    pub candidate_pairs: u64,
+    /// Exact Jaccard evaluations performed (candidates surviving the
+    /// size-ratio prefilter).
+    pub jaccard_comparisons: u64,
+    /// Jaccard evaluations the naive all-pairs scan performs for the
+    /// same input: `n(n-1)/2`.
+    pub naive_comparisons: u64,
 }
 
 fn tokenize(text: &str) -> Vec<&str> {
@@ -113,9 +111,20 @@ fn tokenize(text: &str) -> Vec<&str> {
         .collect()
 }
 
-fn jaccard(a: &[&str], b: &[&str]) -> f64 {
-    // Token lists are short (< 12); a sorted-merge would not beat this.
-    let inter = a.iter().filter(|t| b.contains(t)).count();
+/// Jaccard similarity of two sorted, deduplicated id slices.
+fn jaccard_sorted(a: &[u32], b: &[u32]) -> f64 {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
     let union = a.len() + b.len() - inter;
     if union == 0 {
         1.0
@@ -124,62 +133,215 @@ fn jaccard(a: &[&str], b: &[&str]) -> f64 {
     }
 }
 
-/// Clusters texts by token-set similarity.
+/// Tweets tokenized into interned shingle ids, plus the inverted index.
+struct TokenizedCorpus {
+    /// Per tweet: sorted, deduplicated token ids.
+    ids: Vec<Vec<u32>>,
+    /// Posting list per token id, tweet ids ascending. Only *indexable*
+    /// tokens (document frequency in `[2, max_token_df]`) keep their
+    /// postings; the rest are emptied.
+    postings: Vec<Vec<u32>>,
+    /// Whether each token id is indexable.
+    indexable: Vec<bool>,
+}
+
+/// Tokenizes in parallel chunks, then interns serially in tweet order so
+/// token ids are a pure function of the input (not of the worker count).
+fn tokenize_corpus(texts: &[String], max_token_df: usize, par: Parallelism) -> TokenizedCorpus {
+    let words: Vec<Vec<&str>> =
+        parallel::par_map_collect(par, texts.len(), |i| tokenize(&texts[i]));
+    let mut intern: HashMap<&str, u32> = HashMap::new();
+    let mut ids: Vec<Vec<u32>> = Vec::with_capacity(texts.len());
+    for ws in &words {
+        let mut v = Vec::with_capacity(ws.len());
+        for &w in ws {
+            let next = intern.len() as u32;
+            v.push(*intern.entry(w).or_insert(next));
+        }
+        v.sort_unstable();
+        v.dedup();
+        ids.push(v);
+    }
+    let mut postings: Vec<Vec<u32>> = vec![Vec::new(); intern.len()];
+    for (i, v) in ids.iter().enumerate() {
+        for &t in v {
+            postings[t as usize].push(i as u32);
+        }
+    }
+    let mut indexable = vec![false; intern.len()];
+    for (t, p) in postings.iter_mut().enumerate() {
+        if p.len() >= 2 && p.len() <= max_token_df {
+            indexable[t] = true;
+        } else {
+            p.clear();
+        }
+    }
+    TokenizedCorpus {
+        ids,
+        postings,
+        indexable,
+    }
+}
+
+fn pair_count(n: usize) -> u64 {
+    (n as u64) * (n as u64).saturating_sub(1) / 2
+}
+
+/// Clusters texts by token-set similarity (serial fast path).
 ///
-/// Each rare token nominates its first occurrence as a representative;
-/// later tweets sharing the token merge with it when their Jaccard
-/// similarity clears the threshold. Transitive merges through shared rare
-/// tokens build the full clusters.
+/// Equivalent to [`cluster_texts_par`] with [`Parallelism::Serial`]; see
+/// the module docs for the merge rule and the candidate-pruning scheme.
 ///
 /// # Panics
 ///
 /// Panics if `config.jaccard_threshold` is outside `[0, 1]`.
 pub fn cluster_texts(texts: &[String], config: &ClusterConfig) -> Clustering {
+    cluster_texts_par(texts, config, Parallelism::Serial)
+}
+
+/// Clusters texts with the inverted-index fast path, sharding candidate
+/// generation over `par` workers. Assignments are byte-identical at
+/// every parallelism level and equal to [`cluster_texts_naive`].
+///
+/// # Panics
+///
+/// Panics if `config.jaccard_threshold` is outside `[0, 1]`.
+pub fn cluster_texts_par(texts: &[String], config: &ClusterConfig, par: Parallelism) -> Clustering {
+    cluster_texts_with_stats(texts, config, par).0
+}
+
+/// [`cluster_texts_par`] plus the [`ClusterStats`] work counters.
+///
+/// # Panics
+///
+/// Panics if `config.jaccard_threshold` is outside `[0, 1]`.
+pub fn cluster_texts_with_stats(
+    texts: &[String],
+    config: &ClusterConfig,
+    par: Parallelism,
+) -> (Clustering, ClusterStats) {
     assert!(
         (0.0..=1.0).contains(&config.jaccard_threshold),
         "jaccard_threshold must be in [0, 1]"
     );
-    let tokens: Vec<Vec<&str>> = texts.iter().map(|t| tokenize(t)).collect();
+    let n = texts.len();
+    let threshold = config.jaccard_threshold;
+    let corpus = tokenize_corpus(texts, config.max_token_df, par);
 
-    // Inverted index with document frequencies.
-    let mut postings: HashMap<&str, Vec<u32>> = HashMap::new();
-    for (i, toks) in tokens.iter().enumerate() {
-        for &t in toks {
-            let entry = postings.entry(t).or_default();
-            if entry.last() != Some(&(i as u32)) {
-                entry.push(i as u32);
+    // Shard candidate generation + exact Jaccard by tweet index. Each
+    // shard records its merges in a local union-find; shards are merged
+    // below in shard-index order (the partition is order-free anyway —
+    // connected components don't depend on edge order).
+    let shards: Vec<(UnionFind, u64, u64)> = parallel::par_chunks(par, n, |range| {
+        let mut uf = UnionFind::new(n);
+        let mut seen: Vec<u32> = vec![u32::MAX; n];
+        let mut cands: Vec<u32> = Vec::new();
+        let (mut candidate_pairs, mut comparisons) = (0u64, 0u64);
+        for i in range {
+            let iu = i as u32;
+            cands.clear();
+            for &tok in &corpus.ids[i] {
+                for &j in &corpus.postings[tok as usize] {
+                    if j >= iu {
+                        break; // postings are ascending; rest is ≥ i
+                    }
+                    if seen[j as usize] != iu {
+                        seen[j as usize] = iu;
+                        cands.push(j);
+                    }
+                }
+            }
+            candidate_pairs += cands.len() as u64;
+            let a = &corpus.ids[i];
+            for &j in &cands {
+                let b = &corpus.ids[j as usize];
+                let (lo, hi) = (a.len().min(b.len()), a.len().max(b.len()));
+                // J(a,b) ≤ lo/hi, and f64 division is monotone, so a
+                // pair failing this test cannot clear the threshold.
+                if (lo as f64) / (hi as f64) < threshold {
+                    continue;
+                }
+                comparisons += 1;
+                if jaccard_sorted(a, b) >= threshold {
+                    uf.union(iu, j);
+                }
+            }
+        }
+        (uf, candidate_pairs, comparisons)
+    });
+
+    let mut uf = UnionFind::new(n);
+    let mut stats = ClusterStats {
+        texts: n,
+        naive_comparisons: pair_count(n),
+        ..ClusterStats::default()
+    };
+    for (shard, candidates, comparisons) in &shards {
+        uf.merge_from(shard);
+        stats.candidate_pairs += candidates;
+        stats.jaccard_comparisons += comparisons;
+    }
+    let (assignment, cluster_count) = uf.dense_labels();
+    (
+        Clustering {
+            assignment,
+            cluster_count,
+        },
+        stats,
+    )
+}
+
+/// Reference implementation: the all-pairs scan the inverted index
+/// replaces. Evaluates every one of the `n(n-1)/2` pairs and applies
+/// the identical merge rule, so its output is the oracle the fast path
+/// is property-tested against.
+///
+/// # Panics
+///
+/// Panics if `config.jaccard_threshold` is outside `[0, 1]`.
+pub fn cluster_texts_naive(texts: &[String], config: &ClusterConfig) -> Clustering {
+    assert!(
+        (0.0..=1.0).contains(&config.jaccard_threshold),
+        "jaccard_threshold must be in [0, 1]"
+    );
+    let n = texts.len();
+    let corpus = tokenize_corpus(texts, config.max_token_df, Parallelism::Serial);
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        let a = &corpus.ids[i];
+        for j in 0..i {
+            let b = &corpus.ids[j];
+            // One merged walk computes the intersection and checks for
+            // a shared indexable token.
+            let (mut x, mut y, mut inter) = (0usize, 0usize, 0usize);
+            let mut shares_indexable = false;
+            while x < a.len() && y < b.len() {
+                match a[x].cmp(&b[y]) {
+                    std::cmp::Ordering::Less => x += 1,
+                    std::cmp::Ordering::Greater => y += 1,
+                    std::cmp::Ordering::Equal => {
+                        inter += 1;
+                        shares_indexable |= corpus.indexable[a[x] as usize];
+                        x += 1;
+                        y += 1;
+                    }
+                }
+            }
+            let union = a.len() + b.len() - inter;
+            let jac = if union == 0 {
+                1.0
+            } else {
+                inter as f64 / union as f64
+            };
+            if shares_indexable && jac >= config.jaccard_threshold {
+                uf.union(i as u32, j as u32);
             }
         }
     }
-
-    let mut uf = UnionFind::new(texts.len());
-    for (_, posting) in postings {
-        if posting.len() < 2 || posting.len() > config.max_token_df {
-            continue;
-        }
-        let rep = posting[0];
-        for &other in &posting[1..] {
-            if uf.find(rep) == uf.find(other) {
-                continue;
-            }
-            if jaccard(&tokens[rep as usize], &tokens[other as usize]) >= config.jaccard_threshold {
-                uf.union(rep, other);
-            }
-        }
-    }
-
-    // Densify cluster ids.
-    let mut remap: HashMap<u32, u32> = HashMap::new();
-    let mut assignment = Vec::with_capacity(texts.len());
-    for i in 0..texts.len() as u32 {
-        let root = uf.find(i);
-        let next = remap.len() as u32;
-        let id = *remap.entry(root).or_insert(next);
-        assignment.push(id);
-    }
+    let (assignment, cluster_count) = uf.dense_labels();
     Clustering {
         assignment,
-        cluster_count: remap.len() as u32,
+        cluster_count,
     }
 }
 
@@ -251,7 +413,7 @@ mod tests {
 
     #[test]
     fn union_find_handles_chains() {
-        // a~b via token t1, b~c via token t2 -> all one cluster.
+        // a~b via shared tokens, b~c likewise -> all one cluster.
         let texts = s(&["p q r s", "q r s t", "r s t u"]);
         let c = cluster_texts(
             &texts,
@@ -261,6 +423,60 @@ mod tests {
             },
         );
         assert_eq!(c.cluster_count, 1);
+    }
+
+    #[test]
+    fn indexed_path_matches_naive_oracle() {
+        let texts = s(&[
+            "breaking police confirm explosion near bridge a00001 #x",
+            "RT police confirm explosion near bridge a00001 #x",
+            "crowd observes rescue near stadium a00002 #x",
+            "police confirm explosion a00001 #x",
+            "a b c",
+            "a b c",
+            "",
+        ]);
+        for threshold in [0.2, 0.5, 0.8, 1.0] {
+            let cfg = ClusterConfig {
+                jaccard_threshold: threshold,
+                ..ClusterConfig::default()
+            };
+            assert_eq!(
+                cluster_texts(&texts, &cfg),
+                cluster_texts_naive(&texts, &cfg)
+            );
+        }
+    }
+
+    #[test]
+    fn stats_count_pruned_comparisons() {
+        let texts = s(&["a b c", "a b c d", "x y z", "x y w", "lone tweet words"]);
+        let (c, stats) =
+            cluster_texts_with_stats(&texts, &ClusterConfig::default(), Parallelism::Serial);
+        assert_eq!(c.assignment.len(), texts.len());
+        assert_eq!(stats.texts, 5);
+        assert_eq!(stats.naive_comparisons, 10);
+        // Only the two similar pairs share indexable tokens.
+        assert_eq!(stats.candidate_pairs, 2);
+        assert!(stats.jaccard_comparisons <= stats.candidate_pairs);
+        assert!(stats.candidate_pairs < stats.naive_comparisons);
+    }
+
+    #[test]
+    fn parallel_levels_are_byte_identical() {
+        let texts: Vec<String> = (0..200)
+            .map(|i| format!("event {} token{} shared word{}", i % 13, i % 7, i % 3))
+            .collect();
+        let cfg = ClusterConfig::default();
+        let serial = cluster_texts_par(&texts, &cfg, Parallelism::Serial);
+        for par in [
+            Parallelism::Auto,
+            Parallelism::Threads(1),
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+        ] {
+            assert_eq!(serial, cluster_texts_par(&texts, &cfg, par), "{par:?}");
+        }
     }
 
     #[test]

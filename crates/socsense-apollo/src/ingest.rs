@@ -22,6 +22,19 @@ use std::error::Error;
 use std::fmt;
 
 use socsense_graph::FollowerGraph;
+use socsense_matrix::{parallel, Parallelism};
+
+/// Configuration for the ingest stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestConfig {
+    /// Worker threads for chunked JSONL parsing
+    /// ([`parse_tweets_jsonl_with`]). Chunk boundaries are a pure
+    /// function of the line count, chunk results merge in line order,
+    /// and the first error in that order wins — so outputs *and* error
+    /// line numbers are identical at every setting; only wall-clock
+    /// time changes.
+    pub parallelism: Parallelism,
+}
 
 /// One tweet as parsed from a JSONL line.
 #[derive(Debug, Clone, PartialEq, Eq, Deserialize)]
@@ -123,21 +136,62 @@ impl Error for IngestError {}
 
 /// Parses a JSON-Lines tweet dump. Blank lines are skipped.
 ///
+/// Serial convenience wrapper around [`parse_tweets_jsonl_with`].
+///
 /// # Errors
 ///
 /// Returns [`IngestError::BadJson`] with the offending line number.
 pub fn parse_tweets_jsonl(input: &str) -> Result<Vec<RawTweet>, IngestError> {
+    parse_tweets_jsonl_with(
+        input,
+        &IngestConfig {
+            parallelism: Parallelism::Serial,
+        },
+    )
+}
+
+/// Parses a JSON-Lines tweet dump over `config.parallelism` workers.
+/// Blank lines are skipped.
+///
+/// Lines are split into fixed chunks by line index; each chunk parses
+/// independently and stops at its first bad line. Chunk results are
+/// merged in line order and the first error in that order is returned,
+/// so both the parsed output and the reported error (line number and
+/// message) are byte-identical to the serial parser at every
+/// parallelism level.
+///
+/// # Errors
+///
+/// Returns [`IngestError::BadJson`] with the offending 1-based line
+/// number — the same line the serial parser would report.
+pub fn parse_tweets_jsonl_with(
+    input: &str,
+    config: &IngestConfig,
+) -> Result<Vec<RawTweet>, IngestError> {
+    let lines: Vec<&str> = input.lines().collect();
+    let chunks: Vec<Result<Vec<RawTweet>, IngestError>> =
+        parallel::par_chunks(config.parallelism, lines.len(), |range| {
+            let mut out = Vec::new();
+            for idx in range {
+                let line = lines[idx].trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<RawTweet>(line) {
+                    Ok(tweet) => out.push(tweet),
+                    Err(e) => {
+                        return Err(IngestError::BadJson {
+                            line: idx + 1,
+                            message: e.to_string(),
+                        })
+                    }
+                }
+            }
+            Ok(out)
+        });
     let mut out = Vec::new();
-    for (idx, line) in input.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let tweet: RawTweet = serde_json::from_str(line).map_err(|e| IngestError::BadJson {
-            line: idx + 1,
-            message: e.to_string(),
-        })?;
-        out.push(tweet);
+    for chunk in chunks {
+        out.extend(chunk?);
     }
     Ok(out)
 }
@@ -316,6 +370,61 @@ mod tests {
             assemble_corpus(vec![], &[]),
             Err(IngestError::Empty)
         ));
+    }
+
+    /// Worker-count ladder used by the parallel-parsing tests.
+    const LEVELS: [Parallelism; 4] = [
+        Parallelism::Serial,
+        Parallelism::Threads(1),
+        Parallelism::Threads(2),
+        Parallelism::Threads(4),
+    ];
+
+    #[test]
+    fn parallel_parse_matches_serial_output() {
+        // Enough lines for several of the fixed chunks.
+        let jsonl: String = (0..500)
+            .map(|i| {
+                format!(
+                    "{{\"id\":{i},\"user\":\"u{}\",\"time\":{i},\"text\":\"tweet {i}\"}}\n",
+                    i % 17
+                )
+            })
+            .collect();
+        let serial = parse_tweets_jsonl(&jsonl).unwrap();
+        assert_eq!(serial.len(), 500);
+        for par in LEVELS {
+            let got = parse_tweets_jsonl_with(&jsonl, &IngestConfig { parallelism: par }).unwrap();
+            assert_eq!(serial, got, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_parse_reports_serial_error_lines() {
+        // Bad lines land in different fixed chunks (chunk size is
+        // len/64, so for 500 lines chunks span 8 lines each); every
+        // parallelism level must surface the earliest one, exactly as
+        // the serial parser does.
+        for &(bad_a, bad_b) in &[(3usize, 400usize), (120, 121), (0, 499), (499, 499)] {
+            let jsonl: String = (0..500)
+                .map(|i| {
+                    if i == bad_a || i == bad_b {
+                        "definitely not json\n".to_string()
+                    } else {
+                        format!("{{\"user\":\"u\",\"time\":{i},\"text\":\"t\"}}\n")
+                    }
+                })
+                .collect();
+            let serial_err = parse_tweets_jsonl(&jsonl).unwrap_err();
+            assert!(
+                matches!(serial_err, IngestError::BadJson { line, .. } if line == bad_a.min(bad_b) + 1)
+            );
+            for par in LEVELS {
+                let err = parse_tweets_jsonl_with(&jsonl, &IngestConfig { parallelism: par })
+                    .unwrap_err();
+                assert_eq!(serial_err, err, "{par:?}");
+            }
+        }
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! 1. **Ingest** a [`TwitterDataset`](socsense_twitter::TwitterDataset)
 //!    (tweets + follower graph);
 //! 2. **Cluster** tweets into assertions by token-shingle Jaccard
-//!    similarity with a union-find ([`cluster_texts`]) — or trust the
-//!    simulator's assertion ids when configured, which isolates estimator
-//!    quality from clustering quality;
+//!    similarity with a union-find ([`cluster_texts`]), pruned by an
+//!    inverted shingle index and sharded deterministically over worker
+//!    threads — or trust the simulator's assertion ids when configured,
+//!    which isolates estimator quality from clustering quality;
 //! 3. **Build** the `SC` / `D` matrices from the clustered claims and the
 //!    follow relation (dependency = retweet-style repeats, via
 //!    who-spoke-first);
@@ -42,8 +43,14 @@ pub mod ingest;
 mod pipeline;
 mod report;
 
-pub use cluster::{cluster_texts, ClusterConfig, Clustering};
-pub use ingest::{assemble_corpus, parse_follows_csv, parse_tweets_jsonl, Corpus, IngestError};
+pub use cluster::{
+    cluster_texts, cluster_texts_naive, cluster_texts_par, cluster_texts_with_stats, ClusterConfig,
+    ClusterStats, Clustering,
+};
+pub use ingest::{
+    assemble_corpus, parse_follows_csv, parse_tweets_jsonl, parse_tweets_jsonl_with, Corpus,
+    IngestConfig, IngestError,
+};
 pub use pipeline::{
     Apollo, ApolloConfig, ApolloOutput, CorpusOutput, CorpusRanked, RankedAssertion,
 };

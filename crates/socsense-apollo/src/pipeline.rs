@@ -7,7 +7,7 @@ use socsense_core::{ClaimData, Parallelism, SenseError};
 use socsense_graph::TimedClaim;
 use socsense_twitter::{TruthValue, TwitterDataset};
 
-use crate::cluster::{cluster_texts, ClusterConfig, Clustering};
+use crate::cluster::{cluster_texts_par, ClusterConfig, Clustering};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,11 +22,14 @@ pub struct ApolloConfig {
     /// How many ranked assertions to keep in the report (Apollo's
     /// top-100 by default).
     pub top_k: usize,
-    /// Worker threads for the estimation stage. The CLI forwards this to
-    /// the EM-family fact-finders it constructs (`--threads`); embedders
-    /// configuring their own [`FactFinder`] should thread it through
-    /// `EmConfig::parallelism` the same way. Never changes results —
-    /// only wall-clock time (see `socsense_matrix::parallel`).
+    /// Worker threads for the ingest *and* estimation stages. The
+    /// pipeline shards text clustering over this many workers, and the
+    /// CLI forwards it to the EM-family fact-finders it constructs
+    /// (`--threads`); embedders configuring their own [`FactFinder`]
+    /// should thread it through `EmConfig::parallelism` the same way.
+    /// Never changes results — clustering merges shard-local union-finds
+    /// in index order — only wall-clock time (see
+    /// `socsense_matrix::parallel`).
     pub parallelism: Parallelism,
 }
 
@@ -150,7 +153,8 @@ impl Apollo {
         // Stage 2: assertion identity per tweet.
         let (tweet_cluster, cluster_count, purity) = if self.config.cluster_text {
             let texts: Vec<String> = dataset.tweets.iter().map(|t| t.text.clone()).collect();
-            let clustering: Clustering = cluster_texts(&texts, &self.config.cluster);
+            let clustering: Clustering =
+                cluster_texts_par(&texts, &self.config.cluster, self.config.parallelism);
             let labels: Vec<u32> = dataset.tweets.iter().map(|t| t.assertion).collect();
             let purity = clustering.purity(&labels);
             (clustering.assignment, clustering.cluster_count, purity)
@@ -242,7 +246,7 @@ impl Apollo {
             return Err(SenseError::EmptyData);
         }
         let texts: Vec<String> = corpus.tweets.iter().map(|t| t.text.clone()).collect();
-        let clustering = cluster_texts(&texts, &self.config.cluster);
+        let clustering = cluster_texts_par(&texts, &self.config.cluster, self.config.parallelism);
         let claims: Vec<TimedClaim> = corpus
             .tweets
             .iter()

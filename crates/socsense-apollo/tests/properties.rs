@@ -2,8 +2,12 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use socsense_apollo::{cluster_texts, Apollo, ApolloConfig, ClusterConfig};
+use socsense_apollo::{
+    cluster_texts, cluster_texts_naive, cluster_texts_par, parse_tweets_jsonl,
+    parse_tweets_jsonl_with, Apollo, ApolloConfig, ClusterConfig, Clustering, IngestConfig,
+};
 use socsense_baselines::Voting;
+use socsense_matrix::Parallelism;
 use socsense_twitter::{ScenarioConfig, TwitterDataset};
 
 /// Random lowercase word.
@@ -78,6 +82,131 @@ proptest! {
             let labels: Vec<u32> = (0..texts.len() as u32).map(|i| (i + labels_seed) % 3).collect();
             let p = c.purity(&labels);
             prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}
+
+/// Relabels cluster ids by first occurrence, so two clusterings of the
+/// same items compare as partitions regardless of id numbering.
+fn canonical(labels: &[u32]) -> Vec<u32> {
+    let mut map = std::collections::HashMap::new();
+    labels
+        .iter()
+        .map(|&l| {
+            let next = map.len() as u32;
+            *map.entry(l).or_insert(next)
+        })
+        .collect()
+}
+
+/// A deterministic permutation of `0..n` (Fisher–Yates over a
+/// SplitMix64 stream seeded by `seed`).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// A JSONL corpus where a chosen subset of lines is corrupted.
+fn jsonl_with_bad_lines() -> impl Strategy<Value = String> {
+    (1usize..400, vec(0usize..400, 0..4), 0u32..2).prop_map(|(n, bad, blank_tail)| {
+        let bad: Vec<usize> = bad.iter().map(|&b| b % n).collect();
+        let mut out = String::new();
+        for i in 0..n {
+            if bad.contains(&i) {
+                out.push_str("{ not json\n");
+            } else {
+                out.push_str(&format!(
+                    "{{\"id\":{i},\"user\":\"u{}\",\"time\":{i},\"text\":\"word{} word{}\"}}\n",
+                    i % 13,
+                    i % 7,
+                    i % 5
+                ));
+            }
+        }
+        if blank_tail == 1 {
+            out.push_str("\n   \n");
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The inverted-index fast path and the naive all-pairs oracle emit
+    /// byte-identical clusterings.
+    #[test]
+    fn indexed_path_matches_naive_scan(
+        texts in texts(),
+        threshold in 0.1f64..1.0,
+        max_df in 2usize..12,
+    ) {
+        let cfg = ClusterConfig {
+            jaccard_threshold: threshold,
+            max_token_df: max_df,
+        };
+        prop_assert_eq!(cluster_texts(&texts, &cfg), cluster_texts_naive(&texts, &cfg));
+    }
+
+    /// Every worker count emits byte-identical assignments.
+    #[test]
+    fn clustering_is_identical_across_parallelism(texts in texts(), threshold in 0.1f64..1.0) {
+        let cfg = ClusterConfig {
+            jaccard_threshold: threshold,
+            ..ClusterConfig::default()
+        };
+        let serial = cluster_texts_par(&texts, &cfg, Parallelism::Serial);
+        for par in [Parallelism::Threads(1), Parallelism::Threads(2), Parallelism::Threads(4)] {
+            prop_assert_eq!(&serial, &cluster_texts_par(&texts, &cfg, par), "{:?}", par);
+        }
+    }
+
+    /// Reordering the tweets permutes the clustering but never changes
+    /// the partition itself.
+    #[test]
+    fn clustering_is_invariant_under_reordering(
+        texts in texts(),
+        perm_seed in 0u64..u64::MAX,
+        threshold in 0.1f64..1.0,
+    ) {
+        let cfg = ClusterConfig {
+            jaccard_threshold: threshold,
+            ..ClusterConfig::default()
+        };
+        let base: Clustering = cluster_texts(&texts, &cfg);
+        let perm = permutation(texts.len(), perm_seed);
+        let permuted: Vec<String> = perm.iter().map(|&i| texts[i].clone()).collect();
+        let shuffled = cluster_texts(&permuted, &cfg);
+        prop_assert_eq!(base.cluster_count, shuffled.cluster_count);
+        // Map the shuffled assignment back onto original positions.
+        let mut unshuffled = vec![0u32; texts.len()];
+        for (pos, &orig) in perm.iter().enumerate() {
+            unshuffled[orig] = shuffled.assignment[pos];
+        }
+        prop_assert_eq!(canonical(&base.assignment), canonical(&unshuffled));
+    }
+
+    /// Chunked JSONL parsing matches the serial parser exactly — same
+    /// tweets on success, same first error (line number and message)
+    /// wherever the bad lines land.
+    #[test]
+    fn parallel_jsonl_parse_matches_serial(input in jsonl_with_bad_lines()) {
+        let serial = parse_tweets_jsonl(&input);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4), Parallelism::Auto] {
+            let got = parse_tweets_jsonl_with(&input, &IngestConfig { parallelism: par });
+            prop_assert_eq!(&serial, &got, "{:?}", par);
         }
     }
 }

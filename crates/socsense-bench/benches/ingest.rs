@@ -1,0 +1,63 @@
+//! Apollo ingest costs: chunked JSONL parsing and the inverted-index
+//! clustering fast path, against the naive all-pairs oracle.
+//!
+//! The clustering comparison is the algorithmic story of the sharded
+//! ingest work: `cluster-naive` evaluates every `n(n-1)/2` pair while
+//! `cluster-indexed` only touches pairs sharing an indexable shingle,
+//! so the gap grows quadratically with corpus size even on one core.
+//! The `threads-*` rows add deterministic sharding on top (bit-identical
+//! output at every level; see `BENCH_ingest.json` for the recorded
+//! evidence).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use socsense_apollo::{
+    cluster_texts_naive, cluster_texts_par, parse_tweets_jsonl_with, ClusterConfig, IngestConfig,
+};
+use socsense_bench::{jsonl_corpus, tweet_corpus};
+use socsense_matrix::Parallelism;
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let cfg = ClusterConfig::default();
+    for n in [1_000usize, 4_000] {
+        let texts = tweet_corpus(n, 42);
+        group.bench_with_input(BenchmarkId::new("cluster-naive", n), &n, |b, _| {
+            b.iter(|| cluster_texts_naive(&texts, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("cluster-indexed", n), &n, |b, _| {
+            b.iter(|| cluster_texts_par(&texts, &cfg, Parallelism::Serial))
+        });
+    }
+
+    let texts = tweet_corpus(10_000, 42);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("cluster-indexed-threads", threads),
+            &threads,
+            |b, &t| b.iter(|| cluster_texts_par(&texts, &cfg, Parallelism::Threads(t))),
+        );
+    }
+
+    let jsonl = jsonl_corpus(10_000, 42);
+    for threads in [1usize, 2, 4] {
+        let ingest = IngestConfig {
+            parallelism: Parallelism::Threads(threads),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("parse-jsonl-threads", threads),
+            &threads,
+            |b, _| b.iter(|| parse_tweets_jsonl_with(&jsonl, &ingest).expect("fixture parses")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

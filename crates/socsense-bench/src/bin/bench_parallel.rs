@@ -95,7 +95,7 @@ fn main() {
     };
     let serial_em = em_times[0].1;
     let serial_gibbs = gibbs_times[0].1;
-    let payload = serde_json::json!({
+    let mut payload = serde_json::json!({
         "host": serde_json::json!({
             "available_parallelism": cores,
             "note": if cores == 1 {
@@ -126,6 +126,17 @@ fn main() {
             "rows": rows(&gibbs_times),
         }),
     });
+    if cores < 2 {
+        if let serde_json::Value::Object(map) = &mut payload {
+            map.insert(
+                "warning".into(),
+                serde_json::json!(
+                    "SINGLE-CORE HOST: threaded rows measure queue/spawn overhead, not \
+                     speedup — re-run on a >=2-core machine for the scaling curve."
+                ),
+            );
+        }
+    }
     std::fs::write(
         &out_path,
         serde_json::to_string_pretty(&payload).expect("serializes") + "\n",

@@ -45,6 +45,69 @@ pub fn twitter_fixture(scale: f64, seed: u64) -> TwitterDataset {
         .expect("preset validates")
 }
 
+/// A synthetic tweet-text corpus shaped like the Apollo ingest input:
+/// `n` tweets over `n/12` assertions, each assertion a 6–9-token
+/// template emitting near-duplicate variants (token dropout, inserted
+/// noise, `RT` prefixes) plus an everywhere hashtag that candidate
+/// generation must learn to ignore. Deterministic in `(n, seed)`.
+pub fn tweet_corpus(n: usize, seed: u64) -> Vec<String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let assertions = (n / 12).max(1);
+    let vocab: Vec<String> = (0..600).map(|i| format!("w{i:03}")).collect();
+    let templates: Vec<Vec<String>> = (0..assertions)
+        .map(|a| {
+            let len = rng.gen_range(6..10);
+            let mut t: Vec<String> = (0..len)
+                .map(|_| vocab[rng.gen_range(0..vocab.len())].clone())
+                .collect();
+            // A unique entity token anchors within-assertion similarity.
+            t.push(format!("e{a:05}"));
+            t
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let template = &templates[rng.gen_range(0..assertions)];
+            let mut tokens: Vec<String> = template.clone();
+            if tokens.len() > 4 && rng.gen_bool(0.3) {
+                let drop = rng.gen_range(0..tokens.len());
+                tokens.remove(drop);
+            }
+            if rng.gen_bool(0.2) {
+                tokens.push(vocab[rng.gen_range(0..vocab.len())].clone());
+            }
+            if rng.gen_bool(0.25) {
+                tokens.insert(0, "RT".to_string());
+            }
+            tokens.push("#ev".to_string());
+            tokens.join(" ")
+        })
+        .collect()
+}
+
+/// `tweet_corpus` rendered as the JSON-Lines dump `parse_tweets_jsonl`
+/// consumes (one tweet object per line, users cycling over `n/10`
+/// handles).
+pub fn jsonl_corpus(n: usize, seed: u64) -> String {
+    let users = (n / 10).max(1);
+    tweet_corpus(n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, text)| {
+            let value = serde_json::json!({
+                "id": i as u64,
+                "user": format!("u{:05}", i % users),
+                "time": i as u64,
+                "text": text,
+            });
+            serde_json::to_string(&value).expect("fixture serializes") + "\n"
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +120,16 @@ mod tests {
         assert_eq!(data.source_count(), theta.source_count());
         let tw = twitter_fixture(0.01, 3);
         assert!(!tw.tweets.is_empty());
+    }
+
+    #[test]
+    fn tweet_corpus_is_deterministic_and_parses() {
+        let a = tweet_corpus(120, 7);
+        assert_eq!(a.len(), 120);
+        assert_eq!(a, tweet_corpus(120, 7));
+        let jsonl = jsonl_corpus(120, 7);
+        let parsed = socsense_apollo::parse_tweets_jsonl(&jsonl).expect("fixture parses");
+        assert_eq!(parsed.len(), 120);
+        assert_eq!(parsed[5].text, a[5]);
     }
 }

@@ -98,11 +98,28 @@ impl ClaimData {
     }
 
     /// Number of claims that are dependent (`SC ∧ D`).
+    ///
+    /// Walks the sorted `SC` and `D` rows in one merged pass — `O(nnz)`
+    /// overall, instead of one binary search into `D` per `SC` entry.
     pub fn dependent_claim_count(&self) -> usize {
-        self.sc
-            .entries()
-            .filter(|&(i, j)| self.d.contains(i, j))
-            .count()
+        (0..self.sc.nrows())
+            .map(|i| {
+                let (a, b) = (self.sc.row(i), self.d.row(i));
+                let (mut x, mut y, mut count) = (0usize, 0usize, 0usize);
+                while x < a.len() && y < b.len() {
+                    match a[x].cmp(&b[y]) {
+                        std::cmp::Ordering::Less => x += 1,
+                        std::cmp::Ordering::Greater => y += 1,
+                        std::cmp::Ordering::Equal => {
+                            count += 1;
+                            x += 1;
+                            y += 1;
+                        }
+                    }
+                }
+                count
+            })
+            .sum()
     }
 }
 

@@ -43,9 +43,11 @@ mod error;
 pub mod logprob;
 pub mod parallel;
 mod sparse;
+mod unionfind;
 
 pub use bitset::FixedBitSet;
 pub use dense::DenseMatrix;
 pub use error::MatrixError;
 pub use parallel::Parallelism;
 pub use sparse::{EntriesIter, SparseBinaryMatrix, SparseBinaryMatrixBuilder};
+pub use unionfind::UnionFind;

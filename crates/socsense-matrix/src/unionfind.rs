@@ -1,0 +1,191 @@
+//! Disjoint-set forests with a deterministic sharded-merge protocol.
+//!
+//! The Apollo ingest stage clusters tweets by unioning similar pairs.
+//! To parallelise that without giving up the workspace's bit-identity
+//! contract (see [`crate::parallel`]), each shard records its unions in
+//! a *shard-local* [`UnionFind`] over the full element range, and the
+//! caller folds the shards together **in shard-index order** with
+//! [`UnionFind::merge_from`]. Connected components are independent of
+//! the order in which edges are applied, so the merged partition equals
+//! the one a serial pass over all edges would produce — and the
+//! in-order fold makes even the intermediate states reproducible.
+//!
+//! [`UnionFind::dense_labels`] then canonicalises the partition into
+//! dense ids by first occurrence in element order, which is a pure
+//! function of the partition: any two runs that union the same pair
+//! set, in any order, across any worker count, emit byte-identical
+//! labels.
+
+/// Union-find (disjoint-set forest) with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `{0}, {1}, …, {n-1}`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Number of elements (not sets).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure tracks zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of bounds.
+    pub fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Absorbs every union recorded in `other`: afterwards `a` and `b`
+    /// are connected in `self` iff they were connected in `self` *or*
+    /// in `other`. This is the shard-merge primitive — fold shard-local
+    /// structures with it in shard-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn merge_from(&mut self, other: &UnionFind) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "merge_from requires equal element counts"
+        );
+        // Linking each element to its parent replays exactly the union
+        // closure of `other` (the forest edges span its components).
+        for x in 0..other.parent.len() as u32 {
+            let p = other.parent[x as usize];
+            if p != x {
+                self.union(x, p);
+            }
+        }
+    }
+
+    /// Canonical dense labelling of the partition: components are
+    /// numbered by the first element they contain, in element order.
+    /// Returns `(labels, component_count)`.
+    pub fn dense_labels(&mut self) -> (Vec<u32>, u32) {
+        let n = self.len();
+        let mut remap: Vec<u32> = vec![u32::MAX; n];
+        let mut labels = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for x in 0..n as u32 {
+            let root = self.find(x) as usize;
+            if remap[root] == u32::MAX {
+                remap[root] = next;
+                next += 1;
+            }
+            labels.push(remap[root]);
+        }
+        (labels, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(4);
+        assert!(!uf.connected(0, 1));
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert!(uf.connected(0, 1));
+        assert!(uf.connected(2, 3));
+        assert!(!uf.connected(1, 2));
+        uf.union(1, 2);
+        assert!(uf.connected(0, 3));
+    }
+
+    #[test]
+    fn dense_labels_are_first_occurrence_ordered() {
+        let mut uf = UnionFind::new(5);
+        uf.union(3, 1);
+        uf.union(4, 2);
+        let (labels, count) = uf.dense_labels();
+        // 0 alone, {1,3}, {2,4}: first occurrences at 0, 1, 2.
+        assert_eq!(labels, vec![0, 1, 2, 1, 2]);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn merge_from_equals_serial_union_order_free() {
+        // Edges split across two shards, applied in different orders,
+        // must yield the same canonical labels as one serial pass.
+        let edges = [(0u32, 5u32), (1, 2), (5, 1), (3, 4), (6, 3)];
+        let mut serial = UnionFind::new(8);
+        for &(a, b) in &edges {
+            serial.union(a, b);
+        }
+        let mut shard_a = UnionFind::new(8);
+        let mut shard_b = UnionFind::new(8);
+        for &(a, b) in &edges[..2] {
+            shard_b.union(a, b);
+        }
+        for &(a, b) in &edges[2..] {
+            shard_a.union(a, b);
+        }
+        let mut merged = UnionFind::new(8);
+        merged.merge_from(&shard_a);
+        merged.merge_from(&shard_b);
+        assert_eq!(merged.dense_labels(), serial.dense_labels());
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.dense_labels(), (Vec::new(), 0));
+        let other = UnionFind::new(0);
+        uf.merge_from(&other);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal element counts")]
+    fn merge_from_rejects_size_mismatch() {
+        let mut uf = UnionFind::new(3);
+        uf.merge_from(&UnionFind::new(4));
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_ingest.json: naive vs inverted-index clustering
+# (wall-clock + Jaccard-comparison counts) and chunked JSONL parsing
+# throughput across the worker ladder. Run from the repo root.
+#
+# On a <2-core host the JSON carries a prominent "warning" key: the
+# threaded rows then measure queue/spawn overhead, not speedup, while
+# the naive-vs-indexed single-core comparison remains valid.
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p socsense-bench --bin bench_ingest -- "${1:-BENCH_ingest.json}"
