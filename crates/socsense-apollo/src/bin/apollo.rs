@@ -10,6 +10,10 @@
 //! # external corpus (tweets as JSON Lines, optional follower CSV):
 //! apollo --input tweets.jsonl [--follows follows.csv]
 //!        [--algorithm NAME] [--top K] [--threads N] [--json PATH]
+//!
+//! # live query service: replay a JSONL trace, answer queries on stdin
+//! apollo serve --input tweets.jsonl [--follows follows.csv]
+//!        [--batches N] [--refit-claims N] [--threads N]
 //! ```
 //!
 //! `--threads N` pins the worker count for the whole run — JSONL
@@ -18,9 +22,10 @@
 //! numbers are bit-identical at every setting; the flag only trades
 //! wall-clock time.
 
+use std::io::BufRead;
 use std::process::ExitCode;
 
-use socsense_apollo::{render_report, Apollo, ApolloConfig};
+use socsense_apollo::{render_report, Apollo, ApolloConfig, ServeOptions, ServeSession};
 use socsense_baselines::{
     AverageLog, EmExtFinder, EmIndependent, EmSocial, FactFinder, Sums, TruthFinder, Voting,
 };
@@ -92,7 +97,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: apollo [--scenario NAME] [--scale F] [--seed N] \
                      [--algorithm NAME] [--top K] [--cluster-text] [--threads N] \
                      [--json PATH] \
-                     | apollo --input tweets.jsonl [--follows follows.csv]"
+                     | apollo --input tweets.jsonl [--follows follows.csv] \
+                     | apollo serve --input tweets.jsonl [--batches N]"
                     .into())
             }
             other => return Err(format!("unknown flag {other}; try --help")),
@@ -195,7 +201,126 @@ fn run_external(args: &Args, input: &str) -> Result<(), String> {
     Ok(())
 }
 
+struct ServeArgs {
+    input: String,
+    follows: Option<String>,
+    batches: usize,
+    refit_claims: usize,
+    threads: Parallelism,
+}
+
+fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        input: String::new(),
+        follows: None,
+        batches: 6,
+        refit_claims: 1,
+        threads: Parallelism::Auto,
+    };
+    let mut it = it;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--input" => args.input = value("--input")?,
+            "--follows" => args.follows = Some(value("--follows")?),
+            "--batches" => {
+                args.batches = value("--batches")?
+                    .parse()
+                    .map_err(|e| format!("bad --batches: {e}"))?
+            }
+            "--refit-claims" => {
+                args.refit_claims = value("--refit-claims")?
+                    .parse()
+                    .map_err(|e| format!("bad --refit-claims: {e}"))?
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                args.threads = if n == 0 {
+                    Parallelism::Auto
+                } else {
+                    Parallelism::Threads(n)
+                };
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: apollo serve --input tweets.jsonl [--follows follows.csv] \
+                     [--batches N] [--refit-claims N] [--threads N]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown serve flag {other}; try --help")),
+        }
+    }
+    if args.input.is_empty() {
+        return Err("apollo serve requires --input tweets.jsonl".into());
+    }
+    Ok(args)
+}
+
+/// `apollo serve`: replay a JSONL trace through a live query service and
+/// answer `posterior` / `top-sources` / `bound` / `stats` queries from
+/// stdin. Answers go to stdout; banners and the final stats to stderr.
+fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
+    let args = parse_serve_args(it)?;
+    let raw =
+        std::fs::read_to_string(&args.input).map_err(|e| format!("reading {}: {e}", args.input))?;
+    let ingest = socsense_apollo::IngestConfig {
+        parallelism: args.threads,
+    };
+    let tweets =
+        socsense_apollo::parse_tweets_jsonl_with(&raw, &ingest).map_err(|e| e.to_string())?;
+    let follows = match &args.follows {
+        Some(path) => {
+            let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            socsense_apollo::parse_follows_csv(&raw).map_err(|e| e.to_string())?
+        }
+        None => Vec::new(),
+    };
+    let corpus = socsense_apollo::assemble_corpus(tweets, &follows).map_err(|e| e.to_string())?;
+    let opts = ServeOptions {
+        batches: args.batches,
+        parallelism: args.threads,
+        refit_pending_claims: args.refit_claims,
+        ..ServeOptions::default()
+    };
+    let (session, summary) = ServeSession::start(&corpus, &opts).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {}: {} sources, {} assertion clusters, {} claims replayed in {} batches",
+        args.input, summary.sources, summary.assertions, summary.claims, summary.batches
+    );
+    eprintln!(
+        "ready; commands: posterior <id> | top-sources <k> | bound [<id> ...] | stats | quit"
+    );
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match session.answer(line) {
+            Ok(answer) => println!("{answer}"),
+            Err(message) => println!("error: {message}"),
+        }
+    }
+    let stats = session.finish().map_err(|e| e.to_string())?;
+    eprintln!(
+        "shutdown: {} requests served, {} chain refits, {} probe refits, {} cache hits",
+        stats.requests_served, stats.chain_refits, stats.probe_refits, stats.probe_cache_hits
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("serve") {
+        raw.next();
+        return run_serve(raw);
+    }
     let args = parse_args()?;
     if let Some(input) = args.input.clone() {
         return run_external(&args, &input);

@@ -42,6 +42,7 @@ mod cluster;
 pub mod ingest;
 mod pipeline;
 mod report;
+pub mod serve;
 
 pub use cluster::{
     cluster_texts, cluster_texts_naive, cluster_texts_par, cluster_texts_with_stats, ClusterConfig,
@@ -55,3 +56,4 @@ pub use pipeline::{
     Apollo, ApolloConfig, ApolloOutput, CorpusOutput, CorpusRanked, RankedAssertion,
 };
 pub use report::render_report;
+pub use serve::{ReplaySummary, ServeOptions, ServeSession};

@@ -1,0 +1,326 @@
+//! `apollo serve`: replay an ingested corpus through a live
+//! [`QueryService`] and answer interactive queries.
+//!
+//! The session clusters the corpus into assertions once (external
+//! corpora carry no assertion ids), replays the resulting timestamped
+//! claims through the service in batches — the way a deployed Apollo
+//! would poll the firehose — and then answers line-oriented queries:
+//!
+//! ```text
+//! posterior <assertion-id>
+//! top-sources <k>
+//! bound [<assertion-id> ...]
+//! stats
+//! help
+//! ```
+//!
+//! The command layer lives in the library (rather than the binary) so
+//! the end-to-end path is testable without a subprocess.
+
+use socsense_core::Parallelism;
+use socsense_graph::TimedClaim;
+use socsense_serve::{QueryService, ServeConfig, ServeError, ServeHandle, ServeStats};
+
+use crate::cluster::{cluster_texts_par, ClusterConfig};
+use crate::ingest::Corpus;
+
+/// Options for [`ServeSession::start`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// How many ingest batches the replay splits the corpus into.
+    pub batches: usize,
+    /// Worker threads for clustering and bound evaluation.
+    pub parallelism: Parallelism,
+    /// Forwarded to [`ServeConfig::refit_pending_claims`].
+    pub refit_pending_claims: usize,
+    /// Text-clustering parameters.
+    pub cluster: ClusterConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            batches: 6,
+            parallelism: Parallelism::Auto,
+            refit_pending_claims: 1,
+            cluster: ClusterConfig::default(),
+        }
+    }
+}
+
+/// What the replay ingested, for the startup banner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Interned sources.
+    pub sources: u32,
+    /// Assertion clusters found in the corpus.
+    pub assertions: u32,
+    /// Claims replayed.
+    pub claims: usize,
+    /// Ingest batches used.
+    pub batches: usize,
+}
+
+/// A live query session over a replayed corpus.
+#[derive(Debug)]
+pub struct ServeSession {
+    service: QueryService,
+    client: ServeHandle,
+    usernames: Vec<String>,
+    sample_text: Vec<String>,
+    assertion_count: u32,
+}
+
+impl ServeSession {
+    /// Clusters `corpus`, spawns the query service, and replays every
+    /// claim through it in [`ServeOptions::batches`] batches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates service errors ([`ServeError`]); an empty corpus
+    /// surfaces as the underlying estimator's shape error.
+    pub fn start(
+        corpus: &Corpus,
+        opts: &ServeOptions,
+    ) -> Result<(Self, ReplaySummary), ServeError> {
+        let texts: Vec<String> = corpus.tweets.iter().map(|t| t.text.clone()).collect();
+        let clustering = cluster_texts_par(&texts, &opts.cluster, opts.parallelism);
+        let m = clustering.cluster_count.max(1);
+
+        let mut sample_text = vec![String::new(); m as usize];
+        for (t, &c) in corpus.tweets.iter().zip(&clustering.assignment) {
+            if sample_text[c as usize].is_empty() {
+                sample_text[c as usize] = t.text.clone();
+            }
+        }
+        let claims: Vec<TimedClaim> = corpus
+            .tweets
+            .iter()
+            .zip(&clustering.assignment)
+            .map(|(t, &c)| TimedClaim::new(t.source, c, t.time))
+            .collect();
+
+        let service = QueryService::spawn(
+            corpus.source_count(),
+            m,
+            corpus.graph.clone(),
+            ServeConfig {
+                refit_pending_claims: opts.refit_pending_claims,
+                parallelism: opts.parallelism,
+                ..ServeConfig::default()
+            },
+        )?;
+        let client = service.handle();
+
+        let batches = opts.batches.max(1);
+        // Corpus tweets are time-ordered, so index chunks replay the
+        // stream in arrival order.
+        let chunk = claims.len().div_ceil(batches).max(1);
+        let mut used = 0usize;
+        for batch in claims.chunks(chunk) {
+            client.ingest(batch.to_vec())?;
+            used += 1;
+        }
+        let summary = ReplaySummary {
+            sources: corpus.source_count(),
+            assertions: m,
+            claims: claims.len(),
+            batches: used,
+        };
+        Ok((
+            Self {
+                service,
+                client,
+                usernames: corpus.usernames.clone(),
+                sample_text,
+                assertion_count: m,
+            },
+            summary,
+        ))
+    }
+
+    /// A handle for issuing typed requests directly (e.g. from extra
+    /// client threads).
+    pub fn client(&self) -> ServeHandle {
+        self.client.clone()
+    }
+
+    /// Number of assertion clusters the session serves.
+    pub fn assertion_count(&self) -> u32 {
+        self.assertion_count
+    }
+
+    /// Answers one query line; `Err` carries a user-facing message for
+    /// unparseable or unknown commands (the session stays usable).
+    ///
+    /// # Errors
+    ///
+    /// `Err(String)` is a user error (bad command, bad id, or a service
+    /// error rendered as text) — print it and keep reading.
+    pub fn answer(&self, line: &str) -> Result<String, String> {
+        let mut words = line.split_whitespace();
+        let command = words.next().ok_or("empty command; try `help`")?;
+        match command {
+            "posterior" => {
+                let j: u32 = parse_arg(words.next(), "posterior <assertion-id>")?;
+                words_done(words)?;
+                let p = self.client.posterior(j).map_err(|e| e.to_string())?;
+                let text = self
+                    .sample_text
+                    .get(j as usize)
+                    .map(String::as_str)
+                    .unwrap_or("");
+                Ok(format!("posterior {j} = {p:.6}  # {text}"))
+            }
+            "top-sources" => {
+                let k: usize = parse_arg(words.next(), "top-sources <k>")?;
+                words_done(words)?;
+                let ranks = self.client.top_sources(k).map_err(|e| e.to_string())?;
+                let mut out = format!("top {} of {} sources:", ranks.len(), self.usernames.len());
+                for (rank, r) in ranks.iter().enumerate() {
+                    let user = self
+                        .usernames
+                        .get(r.source as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?");
+                    out.push_str(&format!(
+                        "\n{:>3}. {user}  precision={:.4}  a={:.3} b={:.3}",
+                        rank + 1,
+                        r.precision,
+                        r.params.a,
+                        r.params.b
+                    ));
+                }
+                Ok(out)
+            }
+            "bound" => {
+                let assertions: Vec<u32> = words
+                    .map(|w| w.parse().map_err(|_| format!("bad assertion id `{w}`")))
+                    .collect::<Result<_, _>>()?;
+                let over = if assertions.is_empty() {
+                    self.assertion_count as usize
+                } else {
+                    assertions.len()
+                };
+                let b = self
+                    .client
+                    .bound(assertions, None)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "bound over {over} assertions: error={:.6} fp={:.6} fn={:.6}",
+                    b.error, b.false_positive, b.false_negative
+                ))
+            }
+            "stats" => {
+                words_done(words)?;
+                let s = self.client.stats().map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "claims={} pending={} requests={} chain_refits={} probe_refits={} \
+                     cache_hits={} warm={} last_iters={}",
+                    s.total_claims,
+                    s.pending_claims,
+                    s.requests_served,
+                    s.chain_refits,
+                    s.probe_refits,
+                    s.probe_cache_hits,
+                    s.warm_refits,
+                    s.last_refit_iterations
+                        .map(|i| i.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                ))
+            }
+            "help" => Ok("commands: posterior <assertion-id> | top-sources <k> | \
+                          bound [<assertion-id> ...] | stats | quit"
+                .into()),
+            other => Err(format!("unknown command `{other}`; try `help`")),
+        }
+    }
+
+    /// Shuts the service down and returns its final statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError::Closed`] when the worker already died.
+    pub fn finish(self) -> Result<ServeStats, ServeError> {
+        self.service.shutdown()
+    }
+}
+
+fn parse_arg<T: std::str::FromStr>(word: Option<&str>, usage: &str) -> Result<T, String> {
+    word.ok_or_else(|| format!("usage: {usage}"))?
+        .parse()
+        .map_err(|_| format!("usage: {usage}"))
+}
+
+fn words_done<'a>(mut words: impl Iterator<Item = &'a str>) -> Result<(), String> {
+    match words.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected argument `{extra}`; try `help`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{assemble_corpus, parse_tweets_jsonl};
+
+    fn corpus() -> Corpus {
+        let jsonl = r#"
+            {"id":1,"user":"sally","time":10,"text":"breaking explosion near bridge a1 #x"}
+            {"id":2,"user":"bob","time":11,"text":"breaking explosion near bridge a1 #x"}
+            {"id":3,"user":"john","time":12,"text":"breaking explosion near bridge a1 #x","retweet_of":1}
+            {"id":4,"user":"mia","time":13,"text":"crowd gathers at stadium a2 #x"}
+            {"id":5,"user":"sally","time":14,"text":"crowd gathers at stadium a2 #x"}
+        "#;
+        assemble_corpus(parse_tweets_jsonl(jsonl).unwrap(), &[]).unwrap()
+    }
+
+    #[test]
+    fn session_replays_and_answers_queries() {
+        let (session, summary) = ServeSession::start(&corpus(), &ServeOptions::default()).unwrap();
+        assert_eq!(summary.sources, 4);
+        assert_eq!(summary.assertions, 2);
+        assert_eq!(summary.claims, 5);
+        assert!(summary.batches >= 1);
+
+        let ans = session.answer("posterior 0").unwrap();
+        assert!(ans.starts_with("posterior 0 = "), "{ans}");
+        let p: f64 = ans["posterior 0 = ".len()..]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((0.0..=1.0).contains(&p), "{ans}");
+        let ans = session.answer("top-sources 3").unwrap();
+        assert!(ans.contains("precision="), "{ans}");
+        assert_eq!(ans.lines().count(), 4, "header + 3 ranked sources");
+        let ans = session.answer("bound").unwrap();
+        assert!(ans.contains("over 2 assertions"), "{ans}");
+        let ans = session.answer("bound 0").unwrap();
+        assert!(ans.contains("over 1 assertions"), "{ans}");
+        let ans = session.answer("stats").unwrap();
+        assert!(ans.contains("claims=5"), "{ans}");
+
+        assert!(session.answer("posterior").is_err());
+        assert!(session.answer("posterior nope").is_err());
+        assert!(session.answer("frobnicate").is_err());
+        let err = session.answer("posterior 99").unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+
+        let stats = session.finish().unwrap();
+        assert_eq!(stats.total_claims, 5);
+    }
+
+    #[test]
+    fn answers_are_stable_across_sessions() {
+        let opts = ServeOptions::default();
+        let (a, _) = ServeSession::start(&corpus(), &opts).unwrap();
+        let (b, _) = ServeSession::start(&corpus(), &opts).unwrap();
+        assert_eq!(
+            a.answer("posterior 0").unwrap(),
+            b.answer("posterior 0").unwrap()
+        );
+        assert_eq!(a.answer("bound").unwrap(), b.answer("bound").unwrap());
+    }
+}

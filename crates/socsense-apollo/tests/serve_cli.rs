@@ -1,0 +1,89 @@
+//! End-to-end test of `apollo serve`: replay a JSONL trace through the
+//! real binary and answer queries from stdin.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const TRACE: &str = r#"{"id":1,"user":"sally","time":10,"text":"breaking explosion near bridge a1 #x"}
+{"id":2,"user":"bob","time":11,"text":"breaking explosion near bridge a1 #x"}
+{"id":3,"user":"john","time":12,"text":"breaking explosion near bridge a1 #x","retweet_of":1}
+{"id":4,"user":"mia","time":13,"text":"crowd gathers at stadium a2 #x"}
+{"id":5,"user":"sally","time":14,"text":"crowd gathers at stadium a2 #x"}
+"#;
+
+#[test]
+fn apollo_serve_replays_and_answers_stdin_queries() {
+    let dir = std::env::temp_dir().join(format!("apollo-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("trace.jsonl");
+    std::fs::write(&trace, TRACE).expect("write trace");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_apollo"))
+        .args([
+            "serve",
+            "--input",
+            trace.to_str().unwrap(),
+            "--batches",
+            "3",
+            "--threads",
+            "1",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn apollo serve");
+
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(b"stats\nposterior 0\ntop-sources 3\nbound\nbound 0\nnope\nquit\n")
+        .expect("write queries");
+    let out = child.wait_with_output().expect("apollo serve exits");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let stderr = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status
+    );
+
+    // Startup banner reports the replay (5 claims over 2 clusters).
+    assert!(
+        stderr.contains("4 sources, 2 assertion clusters, 5 claims replayed in 3 batches"),
+        "stderr:\n{stderr}"
+    );
+    // One answer line (or block) per query, in order.
+    assert!(stdout.contains("claims=5 pending=0"), "stdout:\n{stdout}");
+    assert!(stdout.contains("posterior 0 = "), "stdout:\n{stdout}");
+    assert!(stdout.contains("top 3 of 4 sources:"), "stdout:\n{stdout}");
+    assert!(stdout.contains("precision="), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("bound over 2 assertions: error=0."),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("bound over 1 assertions: error=0."),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("error: unknown command `nope`"),
+        "stdout:\n{stdout}"
+    );
+    // Graceful shutdown reports final service stats.
+    assert!(stderr.contains("shutdown:"), "stderr:\n{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn apollo_serve_requires_an_input() {
+    let out = Command::new(env!("CARGO_BIN_EXE_apollo"))
+        .args(["serve"])
+        .output()
+        .expect("run apollo serve");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(stderr.contains("--input"), "stderr:\n{stderr}");
+}

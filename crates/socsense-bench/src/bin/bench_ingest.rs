@@ -20,6 +20,7 @@
 //! cargo run --release -p socsense-bench --bin bench_ingest [OUT.json]
 //! ```
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use socsense_apollo::{
@@ -53,7 +54,7 @@ fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     times[times.len() / 2]
 }
 
-fn main() {
+fn main() -> ExitCode {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_ingest.json".into());
@@ -157,10 +158,11 @@ fn main() {
             );
         }
     }
-    std::fs::write(
-        &out_path,
-        serde_json::to_string_pretty(&payload).expect("serializes") + "\n",
-    )
-    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    let json = serde_json::to_string_pretty(&payload).expect("serializes") + "\n";
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write results to {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
     eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
 }

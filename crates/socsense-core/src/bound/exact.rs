@@ -76,9 +76,9 @@ pub fn exact_bound(probs: &[(f64, f64)], z: f64) -> Result<BoundResult, SenseErr
 
 /// [`exact_bound`] with an explicit [`Parallelism`] level.
 ///
-/// Past [`PAR_MIN_SOURCES`] sources the enumeration splits into
+/// Past `PAR_MIN_SOURCES` (12) sources the enumeration splits into
 /// `2^PREFIX_BITS` subtrees — one per claim pattern of the first
-/// [`PREFIX_BITS`] sources — evaluated independently and merged in
+/// `PREFIX_BITS` (6) sources — evaluated independently and merged in
 /// fixed prefix order, so every level returns bit-identical results.
 /// The split forgoes pruning above the prefix depth, which can make the
 /// last few ulps differ from the plain [`exact_bound`] walk (the values

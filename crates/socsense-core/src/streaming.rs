@@ -12,6 +12,8 @@
 //!
 //! [`estimate`]: StreamingEstimator::estimate
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use socsense_graph::{FollowerGraph, TimedClaim};
@@ -53,6 +55,11 @@ pub struct StreamingEstimator {
     /// Claims ingested since the last [`estimate`](Self::estimate).
     pending: usize,
     warm_blend: f64,
+    /// `SC`/`D` built from the current log, keyed on the claim count it
+    /// was built at (`None` until the first [`snapshot`](Self::snapshot)
+    /// after an ingest). Rebuilding is `O(claims)`, so long-lived readers
+    /// issuing many queries between batches share one build.
+    snapshot_cache: Option<(usize, Arc<ClaimData>)>,
 }
 
 /// Statistics about one incremental refit.
@@ -95,7 +102,44 @@ impl StreamingEstimator {
             last_theta: None,
             pending: 0,
             warm_blend: 0.5,
+            snapshot_cache: None,
         })
+    }
+
+    /// Number of sources this estimator covers.
+    pub fn source_count(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of assertions this estimator covers.
+    pub fn assertion_count(&self) -> u32 {
+        self.m
+    }
+
+    /// The follow relation the dependency indicators are derived from.
+    pub fn graph(&self) -> &FollowerGraph {
+        &self.graph
+    }
+
+    /// The active EM configuration.
+    pub fn config(&self) -> &EmConfig {
+        &self.config
+    }
+
+    /// Replaces the EM configuration used by subsequent refits.
+    ///
+    /// The claim log, warm-start state, and cached snapshot are all kept;
+    /// configuration errors surface from the next refit (exactly as they
+    /// would from [`EmExt::fit`]), and — unlike on older revisions — a
+    /// refit that fails on a bad configuration leaves the warm-start
+    /// state intact.
+    pub fn set_config(&mut self, config: EmConfig) {
+        self.config = config;
+    }
+
+    /// The warm-start parameters from the last successful refit, if any.
+    pub fn last_theta(&self) -> Option<&Theta> {
+        self.last_theta.as_ref()
     }
 
     /// Sets how strongly refits lean on the previous `θ̂`.
@@ -162,8 +206,26 @@ impl StreamingEstimator {
     }
 
     /// The current `SC`/`D` snapshot.
-    pub fn snapshot(&self) -> ClaimData {
-        ClaimData::from_claims(self.n, self.m, &self.claims, &self.graph)
+    ///
+    /// The snapshot is cached keyed on the claim count and invalidated by
+    /// [`ingest`](Self::ingest): between batches, repeated calls (every
+    /// query of a serving layer goes through here) return the same
+    /// `Arc` instead of rebuilding the sparse matrices from the whole
+    /// log each time.
+    pub fn snapshot(&mut self) -> Arc<ClaimData> {
+        match &self.snapshot_cache {
+            Some((at, data)) if *at == self.claims.len() => Arc::clone(data),
+            _ => {
+                let data = Arc::new(ClaimData::from_claims(
+                    self.n,
+                    self.m,
+                    &self.claims,
+                    &self.graph,
+                ));
+                self.snapshot_cache = Some((self.claims.len(), Arc::clone(&data)));
+                data
+            }
+        }
     }
 
     /// Refits on everything ingested so far, warm-starting from the
@@ -183,18 +245,46 @@ impl StreamingEstimator {
     ///
     /// Propagates estimator errors.
     pub fn estimate_with_stats(&mut self) -> Result<(EmFit, RefitStats), SenseError> {
+        // The refit is fallible (a bad configuration, for instance), so
+        // the warm-start state and pending counter mutate only *after* it
+        // succeeds: a failed refit must not demote later refits to cold.
+        let (fit, stats) = self.refit()?;
+        self.last_theta = Some(fit.theta.clone());
+        self.pending = 0;
+        Ok((fit, stats))
+    }
+
+    /// Refits on everything ingested so far — the same fit
+    /// [`estimate`](Self::estimate) would produce — **without** advancing
+    /// the warm-start state or clearing the pending counter.
+    ///
+    /// This is the serving layer's freshness primitive: a query-triggered
+    /// refit computed this way is a pure function of the claim log and
+    /// the last *successful* [`estimate`](Self::estimate), so answering
+    /// queries never perturbs the warm-start trajectory and the served
+    /// numbers cannot depend on query timing (see `socsense-serve`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors.
+    pub fn peek_estimate(&mut self) -> Result<(EmFit, RefitStats), SenseError> {
+        self.refit()
+    }
+
+    /// One refit over the current log: warm-started from the blended
+    /// previous `θ̂` when one exists, cold otherwise. Touches no state
+    /// beyond the snapshot cache.
+    fn refit(&mut self) -> Result<(EmFit, RefitStats), SenseError> {
         let data = self.snapshot();
         let em = EmExt::new(self.config);
-        let (fit, warm) = match self.last_theta.take() {
+        let (fit, warm) = match self.last_theta.as_ref() {
             Some(prev) => {
                 let anchor = em.data_driven_start(&data);
-                let start = blend_theta(&prev, &anchor, self.warm_blend);
+                let start = blend_theta(prev, &anchor, self.warm_blend);
                 (em.fit_warm(&data, start)?, true)
             }
             None => (em.fit(&data)?, false),
         };
-        self.last_theta = Some(fit.theta.clone());
-        self.pending = 0;
         let stats = RefitStats {
             iterations: fit.iterations,
             warm,
@@ -350,6 +440,84 @@ mod tests {
         est.reset_warm_start();
         let (_, s2) = est.estimate_with_stats().unwrap();
         assert!(!s2.warm, "reset should force a cold start");
+    }
+
+    #[test]
+    fn failed_refit_preserves_warm_state() {
+        let (graph, batches, _) = stream_batches(3, 30);
+        let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        est.ingest(&batches[0]).unwrap();
+        let (_, s1) = est.estimate_with_stats().unwrap();
+        assert!(!s1.warm);
+        est.ingest(&batches[1]).unwrap();
+        // Inject a refit failure: a zero iteration budget is rejected by
+        // EM before any work happens.
+        est.set_config(EmConfig {
+            max_iters: 0,
+            ..EmConfig::default()
+        });
+        assert!(matches!(
+            est.estimate_with_stats(),
+            Err(SenseError::BadConfig { .. })
+        ));
+        assert_eq!(
+            est.pending(),
+            batches[1].len(),
+            "failed refit must not consume pending claims"
+        );
+        assert!(
+            est.last_theta().is_some(),
+            "failed refit must not drop the warm-start state"
+        );
+        est.set_config(EmConfig::default());
+        let (_, s2) = est.estimate_with_stats().unwrap();
+        assert!(s2.warm, "the next successful refit must still be warm");
+    }
+
+    #[test]
+    fn snapshot_is_cached_until_new_claims_arrive() {
+        let (graph, batches, _) = stream_batches(2, 20);
+        let mut est = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
+        est.ingest(&batches[0]).unwrap();
+        let a = est.snapshot();
+        let b = est.snapshot();
+        assert!(Arc::ptr_eq(&a, &b), "no ingest between calls: same build");
+        est.ingest(&batches[1]).unwrap();
+        let c = est.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c), "ingest must invalidate the cache");
+        let mut all = batches[0].clone();
+        all.extend_from_slice(&batches[1]);
+        assert_eq!(*c, ClaimData::from_claims(10, 20, &all, &graph));
+    }
+
+    #[test]
+    fn peek_estimate_is_stateless_and_matches_estimate() {
+        let (graph, batches, _) = stream_batches(2, 30);
+        let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        est.ingest(&batches[0]).unwrap();
+        est.estimate().unwrap();
+        est.ingest(&batches[1]).unwrap();
+        let pending = est.pending();
+        let (peek_a, sa) = est.peek_estimate().unwrap();
+        let (peek_b, _) = est.peek_estimate().unwrap();
+        assert_eq!(est.pending(), pending, "peek must not consume pending");
+        let bits = |fit: &EmFit| {
+            fit.posterior
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&peek_a), bits(&peek_b), "peeks are reproducible");
+        let theta_before = est.last_theta().cloned();
+        let (fit, sb) = est.estimate_with_stats().unwrap();
+        assert_eq!(est.pending(), 0);
+        assert_eq!(bits(&peek_a), bits(&fit), "peek = the estimate it previews");
+        assert_eq!(sa.warm, sb.warm);
+        assert_ne!(
+            theta_before.unwrap().max_abs_diff(&fit.theta).unwrap(),
+            0.0,
+            "estimate advances the warm state peeks left untouched"
+        );
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Public request/response types of the query service.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use socsense_core::{BoundMethod, EmConfig, SenseError, SourceParams};
+use socsense_matrix::Parallelism;
+
+/// Configuration for a [`QueryService`](crate::QueryService).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// EM configuration for every refit (cold and warm).
+    pub em: EmConfig,
+    /// Warm-start blend forwarded to the backing
+    /// [`StreamingEstimator`](socsense_core::StreamingEstimator): how
+    /// strongly chain refits lean on the previous `θ̂` versus the
+    /// data-driven anchor. Must lie in `[0, 1]`.
+    pub warm_blend: f64,
+    /// Ingest-driven refit debounce: after a batch is ingested, the
+    /// warm-start chain advances (a full refit runs and its `θ̂` becomes
+    /// the next warm start) only once at least this many claims are
+    /// pending. `1` refits on every batch — the lowest-latency setting,
+    /// and the one whose refit trajectory a serial
+    /// `StreamingEstimator` replay reproduces exactly. Larger values
+    /// debounce high-rate streams: between chain refits, queries are
+    /// answered from cached *probe* refits (see the crate docs). `0`
+    /// never advances the chain on ingest; every query probes from the
+    /// initial cold fit.
+    pub refit_pending_claims: usize,
+    /// Worker threads for bound evaluation
+    /// ([`bound_for_assertions_with`](socsense_core::bound_for_assertions_with))
+    /// inside the service worker. Never changes the numbers — only
+    /// wall-clock time.
+    pub parallelism: Parallelism,
+    /// Bound method used when a [`Bound`](crate::ServeHandle::bound)
+    /// request does not carry its own.
+    pub bound: BoundMethod,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            em: EmConfig::default(),
+            warm_blend: 0.5,
+            refit_pending_claims: 1,
+            parallelism: Parallelism::Auto,
+            bound: BoundMethod::default(),
+        }
+    }
+}
+
+/// Errors surfaced to service clients.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The service has shut down (or its worker died) — the request was
+    /// not, or may not have been, processed.
+    Closed,
+    /// The estimator or bound computation rejected the request.
+    Sense(SenseError),
+    /// The worker answered with an unexpected response variant. This
+    /// indicates a bug in the service itself, never in the caller.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "query service is shut down"),
+            ServeError::Sense(e) => write!(f, "{e}"),
+            ServeError::Protocol(what) => write!(f, "protocol mismatch: {what}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Sense(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SenseError> for ServeError {
+    fn from(e: SenseError) -> Self {
+        ServeError::Sense(e)
+    }
+}
+
+/// Acknowledgement of one ingested batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestAck {
+    /// Claims in the log after the batch.
+    pub total_claims: usize,
+    /// Claims not yet covered by a chain refit.
+    pub pending_claims: usize,
+    /// Whether this batch tripped the pending-claims threshold and
+    /// advanced the warm-start chain.
+    pub refitted: bool,
+}
+
+/// One entry of a source-reliability ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceRank {
+    /// Source id.
+    pub source: u32,
+    /// Ranking key: the source's independent-claim precision
+    /// `P(C = 1 | source claims independently) = z·a / (z·a + (1−z)·b)`
+    /// under the fitted `θ̂` — the posterior that an assertion is true
+    /// given only that this source asserted it on its own.
+    pub precision: f64,
+    /// The fitted behaviour parameters `(a, b, f, g)`.
+    pub params: SourceParams,
+}
+
+/// Operating statistics of a running (or just-shut-down) service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Claims ingested over the service's lifetime.
+    pub total_claims: usize,
+    /// Claims not yet covered by a chain refit.
+    pub pending_claims: usize,
+    /// Requests answered (including the one reporting these stats).
+    pub requests_served: u64,
+    /// Warm-start-chain refits (ingest-driven, threshold-tripped).
+    pub chain_refits: u64,
+    /// Query-driven probe refits (fresh fits that leave the chain
+    /// untouched).
+    pub probe_refits: u64,
+    /// Queries answered from the cached probe fit without refitting.
+    pub probe_cache_hits: u64,
+    /// Refits that returned an error. The warm-start state survives
+    /// these (see `StreamingEstimator::estimate_with_stats`).
+    pub failed_refits: u64,
+    /// Refits (chain or probe) that warm-started from a previous `θ̂`.
+    pub warm_refits: u64,
+    /// EM iterations of the most recent successful refit.
+    pub last_refit_iterations: Option<usize>,
+}

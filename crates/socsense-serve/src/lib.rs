@@ -1,0 +1,72 @@
+//! Warm-state-safe serving: a channel-based query service over one
+//! shared [`EmFit`](socsense_core::EmFit).
+//!
+//! During a live event many consumers want the *current* truth
+//! posterior, the source-reliability ranking, and the Bayes-risk bound —
+//! without each of them refitting EM from scratch. [`QueryService`]
+//! owns a single [`StreamingEstimator`](socsense_core::StreamingEstimator)
+//! on a dedicated worker thread and serves typed requests — ingest,
+//! posterior, top-sources, bound, stats, shutdown — to any number of
+//! concurrent [`ServeHandle`] clients over a std `mpsc` channel. No
+//! async runtime, no locks, no network dependency: the same std-only
+//! discipline as the repo's parallel layer.
+//!
+//! # Why a channel worker instead of a lock around the fit
+//!
+//! A refit *mutates* warm-start state, and which state it reads must not
+//! depend on which client happened to grab a lock first. Funnelling
+//! every request through one owner serializes refits by construction,
+//! removes lock-poisoning from the failure model, and gives shutdown a
+//! natural semantics (drain the queue, then join). Clients pay one
+//! channel round trip — negligible next to an EM iteration.
+//!
+//! # Refit policy: chain vs. probe
+//!
+//! Refits are demand-driven and debounced, and split into two kinds:
+//!
+//! * **Chain refits** advance the warm-start chain: the refit's `θ̂`
+//!   becomes the next warm start. They run only while processing an
+//!   `Ingest`, when at least [`ServeConfig::refit_pending_claims`]
+//!   claims are pending — so the chain is a pure function of the ingest
+//!   sequence.
+//! * **Probe refits** answer queries that arrive while claims are
+//!   pending below the threshold: a full, fresh fit over the whole log
+//!   that leaves the chain untouched
+//!   ([`StreamingEstimator::peek_estimate`](socsense_core::StreamingEstimator::peek_estimate)),
+//!   cached until the next batch lands.
+//!
+//! Because probes never mutate the chain, **every served number is a
+//! pure function of the ingest sequence and the query parameters** —
+//! byte-identical no matter how many clients query concurrently, or
+//! when. The service integration tests pin exactly this.
+//!
+//! # Example
+//!
+//! ```
+//! use socsense_graph::{FollowerGraph, TimedClaim};
+//! use socsense_serve::{QueryService, ServeConfig};
+//!
+//! let service = QueryService::spawn(3, 2, FollowerGraph::new(3), ServeConfig::default())?;
+//! let client = service.handle(); // cloneable, Send
+//! client.ingest(vec![TimedClaim::new(0, 0, 1), TimedClaim::new(1, 0, 2)])?;
+//! let p = client.posterior(0)?;
+//! assert!((0.0..=1.0).contains(&p));
+//! let top = client.top_sources(2)?;
+//! assert_eq!(top.len(), 2);
+//! let stats = service.shutdown()?;
+//! assert_eq!(stats.total_claims, 2);
+//! # Ok::<(), socsense_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod api;
+mod service;
+
+pub use api::{IngestAck, ServeConfig, ServeError, ServeStats, SourceRank};
+pub use service::{QueryService, ServeHandle};
+
+// Re-exported so clients can name bound methods without depending on
+// socsense-core directly.
+pub use socsense_core::{BoundMethod, BoundResult, GibbsConfig};

@@ -1,0 +1,578 @@
+//! The channel-based query service: one owned worker thread, many
+//! concurrent client handles.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use socsense_core::{
+    bound_for_assertions_with, BoundMethod, BoundResult, EmFit, SenseError, StreamingEstimator,
+};
+use socsense_graph::{FollowerGraph, TimedClaim};
+
+use crate::api::{IngestAck, ServeConfig, ServeError, ServeStats, SourceRank};
+
+/// A typed request, one per client call.
+enum Request {
+    Ingest(Vec<TimedClaim>),
+    Posterior(u32),
+    Posteriors,
+    TopSources(usize),
+    Bound {
+        assertions: Vec<u32>,
+        method: Option<BoundMethod>,
+    },
+    Stats,
+    Shutdown,
+}
+
+/// The worker's reply to one request.
+enum Response {
+    Ingested(IngestAck),
+    Posterior(f64),
+    Posteriors(Vec<f64>),
+    TopSources(Vec<SourceRank>),
+    Bound(BoundResult),
+    Stats(ServeStats),
+    ShuttingDown(ServeStats),
+}
+
+struct Envelope {
+    req: Request,
+    reply: Sender<Result<Response, ServeError>>,
+}
+
+/// A cheap, cloneable client of a [`QueryService`].
+///
+/// Every method is a synchronous request/response round trip over the
+/// service channel; handles can be cloned freely and moved to other
+/// threads. After the service shuts down, every call returns
+/// [`ServeError::Closed`].
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    tx: Sender<Envelope>,
+}
+
+impl ServeHandle {
+    fn call(&self, req: Request) -> Result<Response, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Envelope { req, reply })
+            .map_err(|_| ServeError::Closed)?;
+        // A dropped reply sender means the worker exited (shutdown drain
+        // finished, or it died) before answering.
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Appends a batch of claims to the service's log.
+    ///
+    /// The warm-start chain advances immediately when the batch leaves at
+    /// least [`ServeConfig::refit_pending_claims`] claims pending;
+    /// otherwise the refit is deferred until a query needs it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Sense`] when a claim is out of range (the batch is
+    /// rejected atomically) or an eager refit fails — the claims stay
+    /// ingested and the warm-start state survives; [`ServeError::Closed`]
+    /// when the service is gone.
+    pub fn ingest(&self, batch: Vec<TimedClaim>) -> Result<IngestAck, ServeError> {
+        match self.call(Request::Ingest(batch))? {
+            Response::Ingested(ack) => Ok(ack),
+            _ => Err(ServeError::Protocol("expected Ingested")),
+        }
+    }
+
+    /// The current truth posterior `P(C_j = 1 | ·)` of one assertion.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Sense`] for an out-of-range assertion id or a failed
+    /// refit; [`ServeError::Closed`] when the service is gone.
+    pub fn posterior(&self, assertion: u32) -> Result<f64, ServeError> {
+        match self.call(Request::Posterior(assertion))? {
+            Response::Posterior(p) => Ok(p),
+            _ => Err(ServeError::Protocol("expected Posterior")),
+        }
+    }
+
+    /// The current truth posterior of every assertion, in assertion
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// As [`posterior`](Self::posterior).
+    pub fn posteriors(&self) -> Result<Vec<f64>, ServeError> {
+        match self.call(Request::Posteriors)? {
+            Response::Posteriors(p) => Ok(p),
+            _ => Err(ServeError::Protocol("expected Posteriors")),
+        }
+    }
+
+    /// The `k` most reliable sources under the current fit, best first
+    /// (ties broken toward the lower source id).
+    ///
+    /// # Errors
+    ///
+    /// As [`posterior`](Self::posterior).
+    pub fn top_sources(&self, k: usize) -> Result<Vec<SourceRank>, ServeError> {
+        match self.call(Request::TopSources(k))? {
+            Response::TopSources(r) => Ok(r),
+            _ => Err(ServeError::Protocol("expected TopSources")),
+        }
+    }
+
+    /// Mean Bayes-risk bound over `assertions` (every assertion when
+    /// empty) under the current fit, using `method` or the service's
+    /// configured default.
+    ///
+    /// # Errors
+    ///
+    /// As [`posterior`](Self::posterior), plus whatever the bound
+    /// evaluation reports (e.g. too many sources for an exact bound).
+    pub fn bound(
+        &self,
+        assertions: Vec<u32>,
+        method: Option<BoundMethod>,
+    ) -> Result<BoundResult, ServeError> {
+        match self.call(Request::Bound { assertions, method })? {
+            Response::Bound(b) => Ok(b),
+            _ => Err(ServeError::Protocol("expected Bound")),
+        }
+    }
+
+    /// Current operating statistics. Never triggers a refit.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] when the service is gone.
+    pub fn stats(&self) -> Result<ServeStats, ServeError> {
+        match self.call(Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ServeError::Protocol("expected Stats")),
+        }
+    }
+}
+
+/// A long-lived query service owning one warm
+/// [`StreamingEstimator`] on a dedicated worker thread.
+///
+/// See the crate docs for the ownership model and refit policy. Dropping
+/// the service without calling [`shutdown`](Self::shutdown) still drains
+/// the queue and joins the worker.
+#[derive(Debug)]
+pub struct QueryService {
+    tx: Sender<Envelope>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Spawns the worker thread over `n` sources and `m` assertions with
+    /// the given follow relation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Sense`] for an invalid shape (`n == 0`, `m == 0`, a
+    /// graph over a different source count) or a `warm_blend` outside
+    /// `[0, 1]`.
+    pub fn spawn(
+        n: u32,
+        m: u32,
+        graph: FollowerGraph,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let mut est = StreamingEstimator::new(n, m, graph, config.em)?;
+        est.set_warm_blend(config.warm_blend)?;
+        let (tx, rx) = mpsc::channel::<Envelope>();
+        let worker = std::thread::Builder::new()
+            .name("socsense-serve".into())
+            .spawn(move || {
+                Worker {
+                    est,
+                    cfg: config,
+                    chain_fit: None,
+                    probe_fit: None,
+                    stats: ServeStats::default(),
+                }
+                .run(rx)
+            })
+            .expect("spawning the service worker thread");
+        Ok(Self {
+            tx,
+            worker: Some(worker),
+        })
+    }
+
+    /// A new client handle. Handles stay valid until shutdown.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Shuts the service down gracefully: requests already queued are
+    /// still answered (requests arriving later get
+    /// [`ServeError::Closed`]), then the worker exits and is joined.
+    ///
+    /// Returns the final operating statistics, taken at the moment the
+    /// shutdown request was processed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] when the worker was already gone.
+    pub fn shutdown(mut self) -> Result<ServeStats, ServeError> {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&mut self) -> Result<ServeStats, ServeError> {
+        let stats = match self.handle().call(Request::Shutdown) {
+            Ok(Response::ShuttingDown(stats)) => Ok(stats),
+            Ok(_) => Err(ServeError::Protocol("expected ShuttingDown")),
+            Err(e) => Err(e),
+        };
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        stats
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        if self.worker.is_some() {
+            let _ = self.shutdown_impl();
+        }
+    }
+}
+
+/// The single-threaded owner of the estimator and its cached fits.
+struct Worker {
+    est: StreamingEstimator,
+    cfg: ServeConfig,
+    /// Fit of the last warm-start-chain refit (covers the log up to the
+    /// last chain advance; exactly current while nothing is pending).
+    chain_fit: Option<Arc<EmFit>>,
+    /// Query-driven probe fit, keyed on the claim count it covered.
+    probe_fit: Option<(usize, Arc<EmFit>)>,
+    stats: ServeStats,
+}
+
+impl Worker {
+    fn run(mut self, rx: Receiver<Envelope>) {
+        while let Ok(env) = rx.recv() {
+            let shutting_down = matches!(env.req, Request::Shutdown);
+            self.answer(env);
+            if shutting_down {
+                // Graceful drain: everything already queued is answered;
+                // senders arriving after the channel closes get `Closed`.
+                while let Ok(env) = rx.try_recv() {
+                    self.answer(env);
+                }
+                return;
+            }
+        }
+        // All handles (and the service) dropped without a shutdown
+        // request: nothing left to answer.
+    }
+
+    fn answer(&mut self, env: Envelope) {
+        self.stats.requests_served += 1;
+        let result = self.dispatch(env.req);
+        // A client that gave up on its reply is not an error.
+        let _ = env.reply.send(result);
+    }
+
+    fn dispatch(&mut self, req: Request) -> Result<Response, ServeError> {
+        match req {
+            Request::Ingest(batch) => {
+                self.est.ingest(&batch)?;
+                // The log changed: any cached probe is stale.
+                self.probe_fit = None;
+                let mut refitted = false;
+                if self.cfg.refit_pending_claims > 0
+                    && self.est.pending() >= self.cfg.refit_pending_claims
+                {
+                    self.chain_refit()?;
+                    refitted = true;
+                }
+                self.stats.total_claims = self.est.claim_count();
+                self.stats.pending_claims = self.est.pending();
+                Ok(Response::Ingested(IngestAck {
+                    total_claims: self.est.claim_count(),
+                    pending_claims: self.est.pending(),
+                    refitted,
+                }))
+            }
+            Request::Posterior(j) => {
+                if j >= self.est.assertion_count() {
+                    return Err(ServeError::Sense(SenseError::DimensionMismatch {
+                        what: "query assertion id vs m",
+                        expected: self.est.assertion_count() as usize,
+                        actual: j as usize,
+                    }));
+                }
+                let fit = self.fresh_fit()?;
+                Ok(Response::Posterior(fit.posterior[j as usize]))
+            }
+            Request::Posteriors => {
+                let fit = self.fresh_fit()?;
+                Ok(Response::Posteriors(fit.posterior.clone()))
+            }
+            Request::TopSources(k) => {
+                let fit = self.fresh_fit()?;
+                Ok(Response::TopSources(rank_sources(&fit, k)))
+            }
+            Request::Bound { assertions, method } => {
+                let fit = self.fresh_fit()?;
+                let data = self.est.snapshot();
+                let assertions = if assertions.is_empty() {
+                    (0..self.est.assertion_count()).collect()
+                } else {
+                    assertions
+                };
+                let method = method.unwrap_or_else(|| self.cfg.bound.clone());
+                let bound = bound_for_assertions_with(
+                    &data,
+                    &fit.theta,
+                    &method,
+                    &assertions,
+                    self.cfg.parallelism,
+                )?;
+                Ok(Response::Bound(bound))
+            }
+            Request::Stats => Ok(Response::Stats(self.stats_snapshot())),
+            Request::Shutdown => Ok(Response::ShuttingDown(self.stats_snapshot())),
+        }
+    }
+
+    /// Advances the warm-start chain: a full refit whose `θ̂` seeds the
+    /// next one. Only ingest processing calls this, so the chain — and
+    /// with it every served number — is a pure function of the ingest
+    /// sequence, never of query timing.
+    fn chain_refit(&mut self) -> Result<(), ServeError> {
+        match self.est.estimate_with_stats() {
+            Ok((fit, stats)) => {
+                self.stats.chain_refits += 1;
+                if stats.warm {
+                    self.stats.warm_refits += 1;
+                }
+                self.stats.last_refit_iterations = Some(stats.iterations);
+                self.chain_fit = Some(Arc::new(fit));
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.failed_refits += 1;
+                Err(ServeError::Sense(e))
+            }
+        }
+    }
+
+    /// The fit covering the full current log: the chain fit when nothing
+    /// is pending, else a cached *probe* refit — fresh, but leaving the
+    /// warm-start chain untouched (see [`StreamingEstimator::peek_estimate`]).
+    fn fresh_fit(&mut self) -> Result<Arc<EmFit>, ServeError> {
+        if self.est.pending() == 0 {
+            if let Some(fit) = &self.chain_fit {
+                return Ok(Arc::clone(fit));
+            }
+        }
+        if let Some((at, fit)) = &self.probe_fit {
+            if *at == self.est.claim_count() {
+                self.stats.probe_cache_hits += 1;
+                return Ok(Arc::clone(fit));
+            }
+        }
+        match self.est.peek_estimate() {
+            Ok((fit, stats)) => {
+                self.stats.probe_refits += 1;
+                if stats.warm {
+                    self.stats.warm_refits += 1;
+                }
+                self.stats.last_refit_iterations = Some(stats.iterations);
+                let fit = Arc::new(fit);
+                self.probe_fit = Some((self.est.claim_count(), Arc::clone(&fit)));
+                Ok(fit)
+            }
+            Err(e) => {
+                self.stats.failed_refits += 1;
+                Err(ServeError::Sense(e))
+            }
+        }
+    }
+
+    fn stats_snapshot(&self) -> ServeStats {
+        ServeStats {
+            total_claims: self.est.claim_count(),
+            pending_claims: self.est.pending(),
+            ..self.stats
+        }
+    }
+}
+
+/// Ranks every source by independent-claim precision, best first, and
+/// keeps the top `k`.
+fn rank_sources(fit: &EmFit, k: usize) -> Vec<SourceRank> {
+    let z = fit.theta.z();
+    let mut ranks: Vec<SourceRank> = fit
+        .theta
+        .sources()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| SourceRank {
+            source: i as u32,
+            precision: z * s.a / (z * s.a + (1.0 - z) * s.b),
+            params: *s,
+        })
+        .collect();
+    ranks.sort_by(|x, y| {
+        y.precision
+            .partial_cmp(&x.precision)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.source.cmp(&y.source))
+    });
+    ranks.truncate(k);
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socsense_core::Theta;
+
+    fn service_over(n: u32, m: u32) -> QueryService {
+        QueryService::spawn(n, m, FollowerGraph::new(n), ServeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn spawn_validates_shape() {
+        assert!(matches!(
+            QueryService::spawn(0, 2, FollowerGraph::new(0), ServeConfig::default()),
+            Err(ServeError::Sense(SenseError::EmptyData))
+        ));
+        assert!(matches!(
+            QueryService::spawn(
+                3,
+                2,
+                FollowerGraph::new(3),
+                ServeConfig {
+                    warm_blend: 1.5,
+                    ..ServeConfig::default()
+                }
+            ),
+            Err(ServeError::Sense(SenseError::BadConfig { .. }))
+        ));
+    }
+
+    #[test]
+    fn bad_batch_is_rejected_atomically() {
+        let svc = service_over(2, 2);
+        let client = svc.handle();
+        let err = client
+            .ingest(vec![TimedClaim::new(0, 0, 1), TimedClaim::new(7, 0, 2)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Sense(SenseError::DimensionMismatch { .. })
+        ));
+        let ack = client.ingest(vec![TimedClaim::new(0, 0, 1)]).unwrap();
+        assert_eq!(ack.total_claims, 1, "bad batch must not have landed");
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_posterior_query_is_rejected() {
+        let svc = service_over(2, 2);
+        let client = svc.handle();
+        client.ingest(vec![TimedClaim::new(0, 0, 1)]).unwrap();
+        assert!(matches!(
+            client.posterior(5),
+            Err(ServeError::Sense(SenseError::DimensionMismatch { .. }))
+        ));
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn calls_after_shutdown_report_closed() {
+        let svc = service_over(2, 2);
+        let client = svc.handle();
+        client.ingest(vec![TimedClaim::new(0, 0, 1)]).unwrap();
+        svc.shutdown().unwrap();
+        assert!(matches!(client.stats(), Err(ServeError::Closed)));
+        assert!(matches!(client.posterior(0), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn top_sources_ranks_by_precision_and_clamps_k() {
+        let mut fit_theta = Theta::neutral(3);
+        fit_theta.set_source(
+            0,
+            socsense_core::SourceParams {
+                a: 0.9,
+                b: 0.1,
+                f: 0.5,
+                g: 0.5,
+            },
+        );
+        fit_theta.set_source(
+            2,
+            socsense_core::SourceParams {
+                a: 0.8,
+                b: 0.1,
+                f: 0.5,
+                g: 0.5,
+            },
+        );
+        let fit = EmFit {
+            theta: fit_theta,
+            posterior: vec![],
+            log_likelihood: 0.0,
+            iterations: 0,
+            converged: true,
+            ll_history: vec![],
+            log_odds: vec![],
+        };
+        let ranks = rank_sources(&fit, 10);
+        assert_eq!(ranks.len(), 3, "k larger than n is clamped");
+        assert_eq!(ranks[0].source, 0);
+        assert_eq!(ranks[1].source, 2);
+        assert!(ranks[0].precision > ranks[1].precision);
+        assert_eq!(rank_sources(&fit, 2).len(), 2);
+    }
+
+    #[test]
+    fn probe_cache_serves_repeat_queries_between_batches() {
+        let svc = QueryService::spawn(
+            3,
+            2,
+            FollowerGraph::new(3),
+            ServeConfig {
+                // Debounced: the threshold never trips, so queries probe.
+                refit_pending_claims: 100,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let client = svc.handle();
+        let ack = client
+            .ingest(vec![TimedClaim::new(0, 0, 1), TimedClaim::new(1, 1, 2)])
+            .unwrap();
+        assert!(!ack.refitted);
+        client.posterior(0).unwrap();
+        client.posterior(1).unwrap();
+        client.posteriors().unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.chain_refits, 0);
+        assert_eq!(stats.probe_refits, 1, "one probe covers all three queries");
+        assert_eq!(stats.probe_cache_hits, 2);
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_the_worker() {
+        let svc = service_over(2, 2);
+        let client = svc.handle();
+        client.ingest(vec![TimedClaim::new(0, 0, 1)]).unwrap();
+        drop(svc);
+        assert!(matches!(client.stats(), Err(ServeError::Closed)));
+    }
+}

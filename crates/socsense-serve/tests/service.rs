@@ -1,0 +1,224 @@
+//! Concurrency tests: determinism under concurrent querying, and
+//! graceful shutdown while clients are busy.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use socsense_core::{EmConfig, StreamingEstimator};
+use socsense_graph::{FollowerGraph, TimedClaim};
+use socsense_serve::{QueryService, ServeConfig, ServeError};
+
+const N: u32 = 10;
+const M: u32 = 20;
+
+/// A reliable/unreliable two-camp world streamed in batches (the same
+/// construction the core streaming tests use).
+fn stream_batches(batches: usize, per_batch: usize, seed: u64) -> Vec<Vec<TimedClaim>> {
+    let truth: Vec<bool> = (0..M).map(|j| j < 12).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0u64;
+    (0..batches)
+        .map(|_| {
+            (0..per_batch)
+                .map(|_| {
+                    let s = rng.gen_range(0..N);
+                    let honest = s < 8;
+                    let j = loop {
+                        let j = rng.gen_range(0..M);
+                        if truth[j as usize] == honest {
+                            break j;
+                        }
+                    };
+                    t += 1;
+                    TimedClaim::new(s, j, t)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bits(posterior: &[f64]) -> Vec<u64> {
+    posterior.iter().map(|p| p.to_bits()).collect()
+}
+
+/// Acceptance criterion: ≥4 client threads querying one service while it
+/// ingests produce posteriors byte-identical to a serial replay of the
+/// same ingest sequence.
+#[test]
+fn concurrent_queries_never_perturb_the_posterior() {
+    let batches = stream_batches(5, 30, 31);
+
+    // Serial baseline: the raw streaming estimator replays the same
+    // batches with one refit per batch — exactly the trajectory the
+    // service's default `refit_pending_claims = 1` policy walks.
+    let mut est =
+        StreamingEstimator::new(N, M, FollowerGraph::new(N), EmConfig::default()).unwrap();
+    let mut serial = Vec::new();
+    for batch in &batches {
+        est.ingest(batch).unwrap();
+        serial = est.estimate().unwrap().posterior;
+    }
+
+    let svc = QueryService::spawn(N, M, FollowerGraph::new(N), ServeConfig::default()).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let queriers: Vec<_> = (0..4)
+        .map(|q| {
+            let client = svc.handle();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Interleave every query kind; assert nothing ever
+                    // reports the service closed or a protocol error.
+                    let r: Result<(), ServeError> = match served % 4 {
+                        0 => client.posterior(q as u32 % M).map(drop),
+                        1 => client.posteriors().map(drop),
+                        2 => client.top_sources(3).map(drop),
+                        _ => client.stats().map(drop),
+                    };
+                    match r {
+                        Ok(()) | Err(ServeError::Sense(_)) => {}
+                        Err(e) => panic!("unexpected client error: {e}"),
+                    }
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    let client = svc.handle();
+    for batch in &batches {
+        let ack = client.ingest(batch.clone()).unwrap();
+        assert!(ack.refitted, "threshold 1 refits on every batch");
+    }
+    let concurrent = client.posteriors().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let total_queries: u64 = queriers.into_iter().map(|q| q.join().unwrap()).sum();
+    assert!(total_queries > 0, "queriers actually ran");
+
+    assert_eq!(
+        bits(&serial),
+        bits(&concurrent),
+        "concurrent querying must not change a single bit of the posterior"
+    );
+
+    let stats = svc.shutdown().unwrap();
+    assert_eq!(stats.chain_refits, batches.len() as u64);
+    assert_eq!(stats.total_claims, batches.len() * 30);
+    assert_eq!(stats.pending_claims, 0);
+}
+
+/// In debounced mode the chain never advances mid-test, so the final
+/// posterior is a pure function of the ingested claim *multiset*: even
+/// ingests racing from several threads land on the same bits as a
+/// single-threaded replay of the same batches.
+#[test]
+fn interleaved_multi_client_ingest_matches_serial_replay() {
+    let batches = stream_batches(6, 20, 77);
+    let debounced = || ServeConfig {
+        refit_pending_claims: 0, // never advance on ingest; queries probe
+        ..ServeConfig::default()
+    };
+
+    // Single-threaded replay of the same batches through the same policy.
+    let svc = QueryService::spawn(N, M, FollowerGraph::new(N), debounced()).unwrap();
+    let client = svc.handle();
+    for batch in &batches {
+        client.ingest(batch.clone()).unwrap();
+    }
+    let serial = client.posteriors().unwrap();
+    svc.shutdown().unwrap();
+
+    // Concurrent run: two ingesters splitting the batches interleave
+    // arbitrarily with two query threads.
+    let svc = QueryService::spawn(N, M, FollowerGraph::new(N), debounced()).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let queriers: Vec<_> = (0..2)
+        .map(|_| {
+            let client = svc.handle();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match client.posteriors() {
+                        Ok(_) | Err(ServeError::Sense(_)) => {}
+                        Err(e) => panic!("unexpected client error: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    let ingesters: Vec<_> = [0usize, 1]
+        .into_iter()
+        .map(|half| {
+            let client = svc.handle();
+            let mine: Vec<Vec<TimedClaim>> =
+                batches.iter().skip(half).step_by(2).cloned().collect();
+            std::thread::spawn(move || {
+                for batch in mine {
+                    client.ingest(batch).unwrap();
+                }
+            })
+        })
+        .collect();
+    for i in ingesters {
+        i.join().unwrap();
+    }
+    let concurrent = svc.handle().posteriors().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    for q in queriers {
+        q.join().unwrap();
+    }
+    svc.shutdown().unwrap();
+
+    assert_eq!(
+        bits(&serial),
+        bits(&concurrent),
+        "final posterior must depend only on the claim multiset"
+    );
+}
+
+/// Shutdown while clients are mid-flood: queued requests drain, late
+/// requests get `Closed`, everything joins cleanly.
+#[test]
+fn shutdown_while_busy_joins_cleanly() {
+    let batches = stream_batches(2, 25, 5);
+    let svc = QueryService::spawn(N, M, FollowerGraph::new(N), ServeConfig::default()).unwrap();
+    let client = svc.handle();
+    for batch in &batches {
+        client.ingest(batch.clone()).unwrap();
+    }
+
+    let floods: Vec<_> = (0..4)
+        .map(|_| {
+            let client = svc.handle();
+            std::thread::spawn(move || {
+                let (mut answered, mut closed) = (0u32, 0u32);
+                for j in 0..500 {
+                    match client.posterior(j % M) {
+                        Ok(_) => answered += 1,
+                        Err(ServeError::Closed) => closed += 1,
+                        Err(e) => panic!("unexpected client error: {e}"),
+                    }
+                }
+                (answered, closed)
+            })
+        })
+        .collect();
+
+    // Shut down with the flood in flight.
+    let stats = svc.shutdown().unwrap();
+    assert!(stats.requests_served > 0);
+
+    for f in floods {
+        let (answered, closed) = f.join().unwrap();
+        assert_eq!(
+            answered + closed,
+            500,
+            "every request either answered or cleanly refused"
+        );
+    }
+}

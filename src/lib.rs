@@ -21,6 +21,7 @@
 //! | [`synth`] | `socsense-synth` | Sec. V-A synthetic claim generator |
 //! | [`twitter`] | `socsense-twitter` | simulated Twitter scenarios (Table III) |
 //! | [`apollo`] | `socsense-apollo` | tweet clustering + ranking pipeline |
+//! | [`serve`] | `socsense-serve` | long-lived query service over a streaming estimator |
 //! | [`eval`] | `socsense-eval` | metrics, experiment runner, figure harnesses |
 //! | [`graph`] | `socsense-graph` | follower graphs, dependency forests, `SC`/`D` construction |
 //! | [`matrix`] | `socsense-matrix` | sparse binary matrices, log-probability helpers |
@@ -57,5 +58,6 @@ pub use socsense_core as core;
 pub use socsense_eval as eval;
 pub use socsense_graph as graph;
 pub use socsense_matrix as matrix;
+pub use socsense_serve as serve;
 pub use socsense_synth as synth;
 pub use socsense_twitter as twitter;

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Lengths accepted by [`vec`]: an exact size or a half-open/inclusive
+/// Lengths accepted by [`vec()`]: an exact size or a half-open/inclusive
 /// range of sizes.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -50,7 +50,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Result of [`vec`].
+/// Result of [`vec()`].
 #[derive(Debug, Clone, Copy)]
 pub struct VecStrategy<S> {
     element: S,
