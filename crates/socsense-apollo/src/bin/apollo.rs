@@ -5,16 +5,21 @@
 //! # simulated scenario:
 //! apollo [--scenario ukraine|kirkuk|superbug|la-marathon|paris-attack]
 //!        [--scale F] [--seed N] [--algorithm em-ext|em-social|em|voting|sums|avg-log|truth-finder]
-//!        [--top K] [--cluster-text] [--threads N] [--json PATH]
+//!        [--top K] [--cluster-text] [--threads N] [--json PATH] [--metrics PATH]
 //!
 //! # external corpus (tweets as JSON Lines, optional follower CSV):
 //! apollo --input tweets.jsonl [--follows follows.csv]
-//!        [--algorithm NAME] [--top K] [--threads N] [--json PATH]
+//!        [--algorithm NAME] [--top K] [--threads N] [--json PATH] [--metrics PATH]
 //!
 //! # live query service: replay a JSONL trace, answer queries on stdin
 //! apollo serve --input tweets.jsonl [--follows follows.csv]
-//!        [--batches N] [--refit-claims N] [--threads N]
+//!        [--batches N] [--refit-claims N] [--threads N] [--metrics PATH]
 //! ```
+//!
+//! `--metrics PATH` attaches an in-memory metrics recorder to the whole
+//! run (parsing, clustering, EM, bounds, serving) and dumps its snapshot
+//! as JSON Lines on exit. Metrics are observation-only: every ranked
+//! score and served posterior is bit-identical with or without the flag.
 //!
 //! `--threads N` pins the worker count for the whole run — JSONL
 //! parsing, text clustering, and the estimator (`0` = one per core, the
@@ -29,7 +34,7 @@ use socsense_apollo::{render_report, Apollo, ApolloConfig, ServeOptions, ServeSe
 use socsense_baselines::{
     AverageLog, EmExtFinder, EmIndependent, EmSocial, FactFinder, Sums, TruthFinder, Voting,
 };
-use socsense_core::{EmConfig, Parallelism};
+use socsense_core::{EmConfig, Obs, Parallelism};
 use socsense_twitter::{ScenarioConfig, TwitterDataset};
 
 struct Args {
@@ -41,6 +46,7 @@ struct Args {
     cluster_text: bool,
     threads: Parallelism,
     json: Option<String>,
+    metrics: Option<String>,
     input: Option<String>,
     follows: Option<String>,
 }
@@ -55,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         cluster_text: false,
         threads: Parallelism::Auto,
         json: None,
+        metrics: None,
         input: None,
         follows: None,
     };
@@ -91,12 +98,13 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--json" => args.json = Some(value("--json")?),
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "--input" => args.input = Some(value("--input")?),
             "--follows" => args.follows = Some(value("--follows")?),
             "--help" | "-h" => {
                 return Err("usage: apollo [--scenario NAME] [--scale F] [--seed N] \
                      [--algorithm NAME] [--top K] [--cluster-text] [--threads N] \
-                     [--json PATH] \
+                     [--json PATH] [--metrics PATH] \
                      | apollo --input tweets.jsonl [--follows follows.csv] \
                      | apollo serve --input tweets.jsonl [--batches N]"
                     .into())
@@ -118,20 +126,23 @@ fn scenario(name: &str) -> Result<ScenarioConfig, String> {
     })
 }
 
-fn finder(name: &str, par: Parallelism) -> Result<Box<dyn FactFinder>, String> {
-    // The EM family takes the worker-count knob; the counting heuristics
-    // have no hot loop worth threading.
+fn finder(name: &str, par: Parallelism, obs: &Obs) -> Result<Box<dyn FactFinder>, String> {
+    // The EM family takes the worker-count knob and the metrics handle;
+    // the counting heuristics have no hot loop worth instrumenting.
     let em = EmConfig {
         parallelism: par,
         ..EmConfig::default()
     };
     Ok(match name {
-        "em-ext" => Box::new(EmExtFinder::new(em)),
-        "em-social" => Box::new(EmSocial {
-            config: em,
-            ..EmSocial::default()
-        }),
-        "em" => Box::new(EmIndependent::new(em)),
+        "em-ext" => Box::new(EmExtFinder::new(em).with_obs(obs.clone())),
+        "em-social" => Box::new(
+            EmSocial {
+                config: em,
+                ..EmSocial::default()
+            }
+            .with_obs(obs.clone()),
+        ),
+        "em" => Box::new(EmIndependent::new(em).with_obs(obs.clone())),
         "voting" => Box::new(Voting::default()),
         "sums" => Box::new(Sums::default()),
         "avg-log" => Box::new(AverageLog::default()),
@@ -141,13 +152,14 @@ fn finder(name: &str, par: Parallelism) -> Result<Box<dyn FactFinder>, String> {
 }
 
 fn run_external(args: &Args, input: &str) -> Result<(), String> {
-    let algo = finder(&args.algorithm, args.threads)?;
+    let (obs, rec) = metrics_obs(args.metrics.as_deref());
+    let algo = finder(&args.algorithm, args.threads, &obs)?;
     let raw = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
     let ingest = socsense_apollo::IngestConfig {
         parallelism: args.threads,
     };
-    let tweets =
-        socsense_apollo::parse_tweets_jsonl_with(&raw, &ingest).map_err(|e| e.to_string())?;
+    let tweets = socsense_apollo::parse_tweets_jsonl_traced(&raw, &ingest, &obs)
+        .map_err(|e| e.to_string())?;
     let follows = match &args.follows {
         Some(path) => {
             let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -168,6 +180,7 @@ fn run_external(args: &Args, input: &str) -> Result<(), String> {
         parallelism: args.threads,
         ..ApolloConfig::default()
     })
+    .with_obs(obs)
     .run_corpus(&corpus, algo.as_ref())
     .map_err(|e| e.to_string())?;
     println!(
@@ -198,6 +211,32 @@ fn run_external(args: &Args, input: &str) -> Result<(), String> {
         .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
+    dump_metrics(args.metrics.as_deref(), rec.as_deref())?;
+    Ok(())
+}
+
+/// A recorder-backed handle when `--metrics` was given, else disabled.
+fn metrics_obs(path: Option<&str>) -> (Obs, Option<std::sync::Arc<socsense_obs::Recorder>>) {
+    match path {
+        Some(_) => {
+            let (obs, rec) = Obs::recorder();
+            (obs, Some(rec))
+        }
+        None => (Obs::none(), None),
+    }
+}
+
+/// Writes the recorder snapshot as JSON Lines to the `--metrics` path.
+fn dump_metrics(path: Option<&str>, rec: Option<&socsense_obs::Recorder>) -> Result<(), String> {
+    let (Some(path), Some(rec)) = (path, rec) else {
+        return Ok(());
+    };
+    let mut text = rec.snapshot().to_jsonl();
+    if !text.is_empty() {
+        text.push('\n');
+    }
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote metrics to {path}");
     Ok(())
 }
 
@@ -207,6 +246,7 @@ struct ServeArgs {
     batches: usize,
     refit_claims: usize,
     threads: Parallelism,
+    metrics: Option<String>,
 }
 
 fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -216,6 +256,7 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
         batches: 6,
         refit_claims: 1,
         threads: Parallelism::Auto,
+        metrics: None,
     };
     let mut it = it;
     while let Some(flag) = it.next() {
@@ -223,6 +264,7 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
         match flag.as_str() {
             "--input" => args.input = value("--input")?,
             "--follows" => args.follows = Some(value("--follows")?),
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "--batches" => {
                 args.batches = value("--batches")?
                     .parse()
@@ -246,7 +288,7 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
             "--help" | "-h" => {
                 return Err(
                     "usage: apollo serve --input tweets.jsonl [--follows follows.csv] \
-                     [--batches N] [--refit-claims N] [--threads N]"
+                     [--batches N] [--refit-claims N] [--threads N] [--metrics PATH]"
                         .into(),
                 )
             }
@@ -285,13 +327,16 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
         refit_pending_claims: args.refit_claims,
         ..ServeOptions::default()
     };
-    let (session, summary) = ServeSession::start(&corpus, &opts).map_err(|e| e.to_string())?;
+    let (obs, rec) = metrics_obs(args.metrics.as_deref());
+    let (session, summary) =
+        ServeSession::start_with_obs(&corpus, &opts, obs).map_err(|e| e.to_string())?;
     eprintln!(
         "serving {}: {} sources, {} assertion clusters, {} claims replayed in {} batches",
         args.input, summary.sources, summary.assertions, summary.claims, summary.batches
     );
     eprintln!(
-        "ready; commands: posterior <id> | top-sources <k> | bound [<id> ...] | stats | quit"
+        "ready; commands: posterior <id> | top-sources <k> | bound [<id> ...] | stats | \
+         metrics | quit"
     );
     for line in std::io::stdin().lock().lines() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;
@@ -312,6 +357,7 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
         "shutdown: {} requests served, {} chain refits, {} probe refits, {} cache hits",
         stats.requests_served, stats.chain_refits, stats.probe_refits, stats.probe_cache_hits
     );
+    dump_metrics(args.metrics.as_deref(), rec.as_deref())?;
     Ok(())
 }
 
@@ -326,7 +372,8 @@ fn run() -> Result<(), String> {
         return run_external(&args, &input);
     }
     let cfg = scenario(&args.scenario)?.scaled(args.scale);
-    let algo = finder(&args.algorithm, args.threads)?;
+    let (obs, rec) = metrics_obs(args.metrics.as_deref());
+    let algo = finder(&args.algorithm, args.threads, &obs)?;
     eprintln!(
         "simulating {} at scale {} (seed {}) ...",
         cfg.name, args.scale, args.seed
@@ -347,6 +394,7 @@ fn run() -> Result<(), String> {
         parallelism: args.threads,
         ..ApolloConfig::default()
     })
+    .with_obs(obs)
     .run(&dataset, algo.as_ref())
     .map_err(|e| e.to_string())?;
     print!("{}", render_report(&out, args.top));
@@ -366,6 +414,7 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
+    dump_metrics(args.metrics.as_deref(), rec.as_deref())?;
     Ok(())
 }
 

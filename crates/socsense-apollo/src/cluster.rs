@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 
 use socsense_matrix::{parallel, Parallelism, UnionFind};
+use socsense_obs::Obs;
 
 /// Configuration for [`cluster_texts`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -220,6 +221,24 @@ pub fn cluster_texts_with_stats(
     config: &ClusterConfig,
     par: Parallelism,
 ) -> (Clustering, ClusterStats) {
+    cluster_texts_traced(texts, config, par, &Obs::none())
+}
+
+/// [`cluster_texts_with_stats`] reporting `ingest.cluster.*` metrics to
+/// `obs`: wall time, text/candidate/comparison totals, and the cluster
+/// count. Observation-only — assignments are byte-identical to the
+/// untraced call.
+///
+/// # Panics
+///
+/// Panics if `config.jaccard_threshold` is outside `[0, 1]`.
+pub fn cluster_texts_traced(
+    texts: &[String],
+    config: &ClusterConfig,
+    par: Parallelism,
+    obs: &Obs,
+) -> (Clustering, ClusterStats) {
+    let timer = obs.timer("ingest.cluster.seconds");
     assert!(
         (0.0..=1.0).contains(&config.jaccard_threshold),
         "jaccard_threshold must be in [0, 1]"
@@ -282,6 +301,19 @@ pub fn cluster_texts_with_stats(
         stats.jaccard_comparisons += comparisons;
     }
     let (assignment, cluster_count) = uf.dense_labels();
+    if obs.enabled() {
+        obs.counter("ingest.cluster.texts_total", n as u64);
+        obs.counter(
+            "ingest.cluster.candidate_pairs_total",
+            stats.candidate_pairs,
+        );
+        obs.counter(
+            "ingest.cluster.jaccard_comparisons_total",
+            stats.jaccard_comparisons,
+        );
+        obs.gauge("ingest.cluster.clusters", cluster_count as f64);
+        timer.stop();
+    }
     (
         Clustering {
             assignment,

@@ -23,6 +23,7 @@ use std::fmt;
 
 use socsense_graph::FollowerGraph;
 use socsense_matrix::{parallel, Parallelism};
+use socsense_obs::Obs;
 
 /// Configuration for the ingest stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -168,6 +169,22 @@ pub fn parse_tweets_jsonl_with(
     input: &str,
     config: &IngestConfig,
 ) -> Result<Vec<RawTweet>, IngestError> {
+    parse_tweets_jsonl_traced(input, config, &Obs::none())
+}
+
+/// [`parse_tweets_jsonl_with`] reporting `ingest.parse.*` metrics to
+/// `obs`: wall time, line/tweet totals, and throughput. Observation-only
+/// — output and error line numbers are identical to the untraced call.
+///
+/// # Errors
+///
+/// See [`parse_tweets_jsonl`].
+pub fn parse_tweets_jsonl_traced(
+    input: &str,
+    config: &IngestConfig,
+    obs: &Obs,
+) -> Result<Vec<RawTweet>, IngestError> {
+    let timer = obs.timer("ingest.parse.seconds");
     let lines: Vec<&str> = input.lines().collect();
     let chunks: Vec<Result<Vec<RawTweet>, IngestError>> =
         parallel::par_chunks(config.parallelism, lines.len(), |range| {
@@ -192,6 +209,14 @@ pub fn parse_tweets_jsonl_with(
     let mut out = Vec::new();
     for chunk in chunks {
         out.extend(chunk?);
+    }
+    if obs.enabled() {
+        obs.counter("ingest.parse.lines_total", lines.len() as u64);
+        obs.counter("ingest.parse.tweets_total", out.len() as u64);
+        let secs = timer.stop();
+        if secs > 0.0 {
+            obs.gauge("ingest.parse.tweets_per_sec", out.len() as f64 / secs);
+        }
     }
     Ok(out)
 }

@@ -45,12 +45,12 @@ mod report;
 pub mod serve;
 
 pub use cluster::{
-    cluster_texts, cluster_texts_naive, cluster_texts_par, cluster_texts_with_stats, ClusterConfig,
-    ClusterStats, Clustering,
+    cluster_texts, cluster_texts_naive, cluster_texts_par, cluster_texts_traced,
+    cluster_texts_with_stats, ClusterConfig, ClusterStats, Clustering,
 };
 pub use ingest::{
-    assemble_corpus, parse_follows_csv, parse_tweets_jsonl, parse_tweets_jsonl_with, Corpus,
-    IngestConfig, IngestError,
+    assemble_corpus, parse_follows_csv, parse_tweets_jsonl, parse_tweets_jsonl_traced,
+    parse_tweets_jsonl_with, Corpus, IngestConfig, IngestError,
 };
 pub use pipeline::{
     Apollo, ApolloConfig, ApolloOutput, CorpusOutput, CorpusRanked, RankedAssertion,

@@ -3,11 +3,11 @@
 use serde::{Deserialize, Serialize};
 
 use socsense_baselines::FactFinder;
-use socsense_core::{ClaimData, Parallelism, SenseError};
+use socsense_core::{ClaimData, Obs, Parallelism, SenseError};
 use socsense_graph::TimedClaim;
 use socsense_twitter::{TruthValue, TwitterDataset};
 
-use crate::cluster::{cluster_texts_par, ClusterConfig, Clustering};
+use crate::cluster::{cluster_texts_traced, ClusterConfig, Clustering};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,12 +128,28 @@ pub struct CorpusOutput {
 #[derive(Debug, Clone, Default)]
 pub struct Apollo {
     config: ApolloConfig,
+    obs: Obs,
 }
 
 impl Apollo {
     /// Creates a runner with the given configuration.
     pub fn new(config: ApolloConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            obs: Obs::none(),
+        }
+    }
+
+    /// Attaches a metrics handle; runs then report `pipeline.*` stage
+    /// timings plus the `ingest.cluster.*` metrics of the clustering
+    /// stage. To also capture `em.*` metrics, build the fact-finder
+    /// with the same handle (the EM-family finders take one via
+    /// `with_obs`). Observation-only: rankings are bit-identical with
+    /// or without a sink.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Runs ingest → cluster → matrix construction → estimation → ranking.
@@ -149,12 +165,20 @@ impl Apollo {
         if dataset.tweets.is_empty() {
             return Err(SenseError::EmptyData);
         }
+        let _run_timer = self.obs.timer("pipeline.run.seconds");
+        self.obs
+            .counter("pipeline.tweets_total", dataset.tweets.len() as u64);
 
         // Stage 2: assertion identity per tweet.
         let (tweet_cluster, cluster_count, purity) = if self.config.cluster_text {
             let texts: Vec<String> = dataset.tweets.iter().map(|t| t.text.clone()).collect();
-            let clustering: Clustering =
-                cluster_texts_par(&texts, &self.config.cluster, self.config.parallelism);
+            let clustering: Clustering = cluster_texts_traced(
+                &texts,
+                &self.config.cluster,
+                self.config.parallelism,
+                &self.obs,
+            )
+            .0;
             let labels: Vec<u32> = dataset.tweets.iter().map(|t| t.assertion).collect();
             let purity = clustering.purity(&labels);
             (clustering.assignment, clustering.cluster_count, purity)
@@ -179,7 +203,9 @@ impl Apollo {
 
         // Stage 4: estimation. Ranking scores (log-odds for the EM
         // family) avoid posterior saturation ties in the top-k.
+        let fit_timer = self.obs.timer("pipeline.estimate.seconds");
         let scores = finder.ranking_scores(&data)?;
+        fit_timer.stop();
 
         // Stage 5: ranking with representative text + ground truth.
         let mut sample_text: Vec<Option<&str>> = vec![None; cluster_count as usize];
@@ -245,8 +271,17 @@ impl Apollo {
         if corpus.tweets.is_empty() {
             return Err(SenseError::EmptyData);
         }
+        let _run_timer = self.obs.timer("pipeline.run.seconds");
+        self.obs
+            .counter("pipeline.tweets_total", corpus.tweets.len() as u64);
         let texts: Vec<String> = corpus.tweets.iter().map(|t| t.text.clone()).collect();
-        let clustering = cluster_texts_par(&texts, &self.config.cluster, self.config.parallelism);
+        let clustering = cluster_texts_traced(
+            &texts,
+            &self.config.cluster,
+            self.config.parallelism,
+            &self.obs,
+        )
+        .0;
         let claims: Vec<TimedClaim> = corpus
             .tweets
             .iter()
@@ -259,7 +294,9 @@ impl Apollo {
             &claims,
             &corpus.graph,
         );
+        let fit_timer = self.obs.timer("pipeline.estimate.seconds");
         let scores = finder.ranking_scores(&data)?;
+        fit_timer.stop();
 
         let mut sample_text: Vec<Option<&str>> = vec![None; clustering.cluster_count as usize];
         for (t, &c) in corpus.tweets.iter().zip(&clustering.assignment) {

@@ -11,17 +11,18 @@
 //! top-sources <k>
 //! bound [<assertion-id> ...]
 //! stats
+//! metrics
 //! help
 //! ```
 //!
 //! The command layer lives in the library (rather than the binary) so
 //! the end-to-end path is testable without a subprocess.
 
-use socsense_core::Parallelism;
+use socsense_core::{Obs, Parallelism};
 use socsense_graph::TimedClaim;
 use socsense_serve::{QueryService, ServeConfig, ServeError, ServeHandle, ServeStats};
 
-use crate::cluster::{cluster_texts_par, ClusterConfig};
+use crate::cluster::{cluster_texts_traced, ClusterConfig};
 use crate::ingest::Corpus;
 
 /// Options for [`ServeSession::start`].
@@ -83,8 +84,25 @@ impl ServeSession {
         corpus: &Corpus,
         opts: &ServeOptions,
     ) -> Result<(Self, ReplaySummary), ServeError> {
+        Self::start_with_obs(corpus, opts, Obs::none())
+    }
+
+    /// As [`start`](Self::start), additionally teeing the session's
+    /// metrics (clustering, ingest, and everything the service worker
+    /// emits) into `extra` — e.g. a JSON-lines exporter. The `metrics`
+    /// query command works either way: the service worker always keeps
+    /// its own in-memory recorder.
+    ///
+    /// # Errors
+    ///
+    /// See [`start`](Self::start).
+    pub fn start_with_obs(
+        corpus: &Corpus,
+        opts: &ServeOptions,
+        extra: Obs,
+    ) -> Result<(Self, ReplaySummary), ServeError> {
         let texts: Vec<String> = corpus.tweets.iter().map(|t| t.text.clone()).collect();
-        let clustering = cluster_texts_par(&texts, &opts.cluster, opts.parallelism);
+        let (clustering, _) = cluster_texts_traced(&texts, &opts.cluster, opts.parallelism, &extra);
         let m = clustering.cluster_count.max(1);
 
         let mut sample_text = vec![String::new(); m as usize];
@@ -100,7 +118,7 @@ impl ServeSession {
             .map(|(t, &c)| TimedClaim::new(t.source, c, t.time))
             .collect();
 
-        let service = QueryService::spawn(
+        let service = QueryService::spawn_with_obs(
             corpus.source_count(),
             m,
             corpus.graph.clone(),
@@ -109,6 +127,7 @@ impl ServeSession {
                 parallelism: opts.parallelism,
                 ..ServeConfig::default()
             },
+            extra,
         )?;
         let client = service.handle();
 
@@ -229,8 +248,18 @@ impl ServeSession {
                         .unwrap_or_else(|| "-".into()),
                 ))
             }
+            "metrics" => {
+                words_done(words)?;
+                let m = self.client.metrics().map_err(|e| e.to_string())?;
+                let text = m.to_jsonl();
+                if text.is_empty() {
+                    Ok("no metrics recorded".into())
+                } else {
+                    Ok(text)
+                }
+            }
             "help" => Ok("commands: posterior <assertion-id> | top-sources <k> | \
-                          bound [<assertion-id> ...] | stats | quit"
+                          bound [<assertion-id> ...] | stats | metrics | quit"
                 .into()),
             other => Err(format!("unknown command `{other}`; try `help`")),
         }
@@ -301,6 +330,10 @@ mod tests {
         assert!(ans.contains("over 1 assertions"), "{ans}");
         let ans = session.answer("stats").unwrap();
         assert!(ans.contains("claims=5"), "{ans}");
+        let ans = session.answer("metrics").unwrap();
+        assert!(ans.contains("serve.requests_total"), "{ans}");
+        assert!(ans.contains("serve.refit.chain_total"), "{ans}");
+        assert!(ans.contains("em.runs_total"), "{ans}");
 
         assert!(session.answer("posterior").is_err());
         assert!(session.answer("posterior nope").is_err());
@@ -310,6 +343,24 @@ mod tests {
 
         let stats = session.finish().unwrap();
         assert_eq!(stats.total_claims, 5);
+    }
+
+    #[test]
+    fn session_with_obs_captures_ingest_and_serve_families() {
+        let (extra, rec) = Obs::recorder();
+        let (session, _) =
+            ServeSession::start_with_obs(&corpus(), &ServeOptions::default(), extra).unwrap();
+        session.answer("posterior 0").unwrap();
+        session.answer("bound").unwrap();
+        session.finish().unwrap();
+        let snap = rec.snapshot();
+        // One exported stream spans clustering, streaming-EM, bound,
+        // and serve latency families.
+        assert_eq!(snap.counter("ingest.cluster.texts_total"), 5);
+        assert!(snap.counter("em.runs_total") >= 1);
+        assert!(snap.counter("bound.assertions_total") >= 1);
+        assert!(snap.histogram("serve.request.posterior.seconds").is_some());
+        assert!(snap.counter("serve.requests_total") >= 2);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Observability acceptance tests: metrics are observation-only (the
+//! recorder never changes a ranked score or a served answer), and one
+//! recorded session exports every instrumented metric family.
+
+use socsense_apollo::{
+    assemble_corpus, parse_tweets_jsonl, Apollo, ApolloConfig, Corpus, ServeOptions, ServeSession,
+};
+use socsense_baselines::EmExtFinder;
+use socsense_core::Obs;
+use socsense_twitter::{ScenarioConfig, TwitterDataset};
+
+fn score_bits(out: &socsense_apollo::ApolloOutput) -> Vec<(u32, u64)> {
+    out.ranked
+        .iter()
+        .map(|r| (r.assertion, r.score.to_bits()))
+        .collect()
+}
+
+/// A full Apollo run (simulated corpus, text clustering, EM-Ext) with
+/// the in-memory recorder attached produces posterior scores
+/// bit-identical to the no-op-sink run, while the recorder captures the
+/// pipeline, ingest, and EM families.
+#[test]
+fn recorded_apollo_run_is_bit_identical_to_noop_sink_run() {
+    let ds = TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(0.02), 7)
+        .expect("scenario simulates");
+    let cfg = ApolloConfig {
+        cluster_text: true,
+        ..ApolloConfig::default()
+    };
+
+    let plain = Apollo::new(cfg.clone())
+        .run(&ds, &EmExtFinder::default())
+        .expect("no-op-sink run");
+
+    let (obs, rec) = Obs::recorder();
+    let traced = Apollo::new(cfg)
+        .with_obs(obs.clone())
+        .run(&ds, &EmExtFinder::default().with_obs(obs))
+        .expect("recorded run");
+
+    assert_eq!(
+        score_bits(&plain),
+        score_bits(&traced),
+        "attaching the recorder must not change any ranked score bit"
+    );
+    assert_eq!(plain.assertion_count, traced.assertion_count);
+
+    let snap = rec.snapshot();
+    assert!(snap.counter("pipeline.tweets_total") > 0);
+    assert!(snap.counter("ingest.cluster.texts_total") > 0);
+    assert!(snap.counter("em.runs_total") >= 1);
+    assert!(snap.counter("em.runs_converged_total") >= 1);
+    assert!(snap.histogram("em.run.iterations").is_some());
+    assert!(snap.histogram("pipeline.estimate.seconds").is_some());
+}
+
+fn corpus() -> Corpus {
+    let jsonl = r#"
+        {"id":1,"user":"sally","time":10,"text":"breaking explosion near bridge a1 #x"}
+        {"id":2,"user":"bob","time":11,"text":"breaking explosion near bridge a1 #x"}
+        {"id":3,"user":"john","time":12,"text":"breaking explosion near bridge a1 #x","retweet_of":1}
+        {"id":4,"user":"mia","time":13,"text":"crowd gathers at stadium a2 #x"}
+        {"id":5,"user":"sally","time":14,"text":"crowd gathers at stadium a2 #x"}
+        {"id":6,"user":"zed","time":15,"text":"power outage downtown grid a3 #x"}
+    "#;
+    assemble_corpus(parse_tweets_jsonl(jsonl).unwrap(), &[]).unwrap()
+}
+
+/// One recorded serve session exports every instrumented family in a
+/// single JSON-lines stream: EM convergence, ingest, bound, and
+/// serve-latency metrics (the ISSUE's four-family acceptance check).
+#[test]
+fn one_serve_session_exports_all_four_metric_families() {
+    let (extra, rec) = Obs::recorder();
+    let (session, _) = ServeSession::start_with_obs(&corpus(), &ServeOptions::default(), extra)
+        .expect("session starts");
+    session.answer("posterior 0").expect("posterior answers");
+    session.answer("bound").expect("bound answers");
+    let via_command = session.answer("metrics").expect("metrics answers");
+    session.finish().expect("clean shutdown");
+
+    let jsonl = rec.snapshot().to_jsonl();
+    for family in [
+        // EM convergence trajectory of the streamed refits.
+        "em.runs_total",
+        "em.run.iterations",
+        // Ingest: the corpus was text-clustered on the way in.
+        "ingest.cluster.texts_total",
+        // Bound evaluation driven by the `bound` query.
+        "bound.assertions_total",
+        // Serve-side request latency histograms.
+        "serve.request.posterior.seconds",
+        "serve.queue.wait_seconds",
+    ] {
+        assert!(
+            jsonl.lines().any(|l| l.contains(family)),
+            "exported JSONL missing metric family member `{family}`:\n{jsonl}"
+        );
+    }
+    // The REPL `metrics` command reads from the same worker recorder.
+    assert!(
+        via_command.contains("serve.requests_total"),
+        "{via_command}"
+    );
+}

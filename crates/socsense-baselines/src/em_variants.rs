@@ -1,7 +1,7 @@
 //! The EM-family algorithms: EM-Ext (this paper), EM (IPSN 2012), and
 //! EM-Social (IPSN 2014).
 
-use socsense_core::{ClaimData, EmConfig, EmExt, SenseError, SourceParams, Theta};
+use socsense_core::{ClaimData, EmConfig, EmExt, Obs, SenseError, SourceParams, Theta};
 use socsense_matrix::logprob::{normalize_log_pair, safe_ln, safe_ln_1m};
 use socsense_matrix::parallel::par_map_collect;
 use socsense_matrix::SparseBinaryMatrix;
@@ -14,12 +14,31 @@ use crate::FactFinder;
 pub struct EmExtFinder {
     /// Underlying EM configuration.
     pub config: EmConfig,
+    /// Metrics handle forwarded into every fit (disabled by default).
+    pub obs: Obs,
 }
 
 impl EmExtFinder {
     /// Creates an adapter with the given EM configuration.
     pub fn new(config: EmConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            obs: Obs::none(),
+        }
+    }
+
+    /// Attaches a metrics handle; fits then report `em.*` convergence
+    /// metrics. Observation-only: scores are bit-identical either way.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+}
+
+impl EmExtFinder {
+    fn em(&self) -> EmExt {
+        EmExt::new(self.config).with_obs(self.obs.clone())
     }
 }
 
@@ -29,11 +48,11 @@ impl FactFinder for EmExtFinder {
     }
 
     fn scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
-        Ok(EmExt::new(self.config).fit(data)?.posterior)
+        Ok(self.em().fit(data)?.posterior)
     }
 
     fn ranking_scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
-        Ok(EmExt::new(self.config).fit(data)?.log_odds)
+        Ok(self.em().fit(data)?.log_odds)
     }
 }
 
@@ -48,12 +67,24 @@ impl FactFinder for EmExtFinder {
 pub struct EmIndependent {
     /// Underlying EM configuration.
     pub config: EmConfig,
+    /// Metrics handle forwarded into every fit (disabled by default).
+    pub obs: Obs,
 }
 
 impl EmIndependent {
     /// Creates the estimator with the given EM configuration.
     pub fn new(config: EmConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            obs: Obs::none(),
+        }
+    }
+
+    /// Attaches a metrics handle (see [`EmExtFinder::with_obs`]).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -74,11 +105,13 @@ impl FactFinder for EmIndependent {
     fn scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
         // With D empty the f/g parameters are inert and EM-Ext reduces
         // exactly to the IPSN'12 two-parameter estimator.
-        Ok(EmExt::new(self.config).fit(&self.blind(data)?)?.posterior)
+        let em = EmExt::new(self.config).with_obs(self.obs.clone());
+        Ok(em.fit(&self.blind(data)?)?.posterior)
     }
 
     fn ranking_scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
-        Ok(EmExt::new(self.config).fit(&self.blind(data)?)?.log_odds)
+        let em = EmExt::new(self.config).with_obs(self.obs.clone());
+        Ok(em.fit(&self.blind(data)?)?.log_odds)
     }
 }
 
@@ -106,12 +139,28 @@ pub struct EmSocial {
     pub config: EmConfig,
     /// How dependent claims are removed.
     pub drop_mode: DropMode,
+    /// Metrics handle forwarded into every fit (disabled by default).
+    pub obs: Obs,
 }
 
 impl EmSocial {
     /// Creates the estimator with the given configuration and drop mode.
     pub fn new(config: EmConfig, drop_mode: DropMode) -> Self {
-        Self { config, drop_mode }
+        Self {
+            config,
+            drop_mode,
+            obs: Obs::none(),
+        }
+    }
+
+    /// Attaches a metrics handle (see [`EmExtFinder::with_obs`]). The
+    /// `AsSilence` mode forwards it into the inner EM-Ext fit; the
+    /// hand-rolled `ExcludeCells` loop reports its own `em.*` run
+    /// metrics.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// EM restricted to independent cells: dependent cells contribute
@@ -138,8 +187,12 @@ impl EmSocial {
         }
         let mut posterior = vec![0.5_f64; m];
         let mut log_odds = vec![0.0_f64; m];
+        let _run_timer = self.obs.timer("em.run.seconds");
+        let mut iterations = 0usize;
+        let mut converged = false;
 
         for _ in 0..cfg.max_iters {
+            iterations += 1;
             // E-step over independent cells only; one column per index,
             // chunked deterministically (see socsense_matrix::parallel).
             let ln_a: Vec<f64> = theta.sources().iter().map(|s| safe_ln(s.a)).collect();
@@ -223,8 +276,17 @@ impl EmSocial {
             let delta = theta.max_abs_diff(&next)?;
             theta = next;
             if delta < cfg.tol {
+                converged = true;
                 break;
             }
+        }
+        if self.obs.enabled() {
+            self.obs.counter("em.runs_total", 1);
+            self.obs.counter("em.iterations_total", iterations as u64);
+            if converged {
+                self.obs.counter("em.runs_converged_total", 1);
+            }
+            self.obs.observe("em.run.iterations", iterations as f64);
         }
         Ok((posterior, log_odds))
     }
@@ -263,14 +325,20 @@ impl FactFinder for EmSocial {
     fn scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
         match self.drop_mode {
             DropMode::ExcludeCells => Ok(self.fit_excluding_cells(data)?.0),
-            DropMode::AsSilence => Ok(EmExt::new(self.config).fit(&self.cleaned(data)?)?.posterior),
+            DropMode::AsSilence => {
+                let em = EmExt::new(self.config).with_obs(self.obs.clone());
+                Ok(em.fit(&self.cleaned(data)?)?.posterior)
+            }
         }
     }
 
     fn ranking_scores(&self, data: &ClaimData) -> Result<Vec<f64>, SenseError> {
         match self.drop_mode {
             DropMode::ExcludeCells => Ok(self.fit_excluding_cells(data)?.1),
-            DropMode::AsSilence => Ok(EmExt::new(self.config).fit(&self.cleaned(data)?)?.log_odds),
+            DropMode::AsSilence => {
+                let em = EmExt::new(self.config).with_obs(self.obs.clone());
+                Ok(em.fit(&self.cleaned(data)?)?.log_odds)
+            }
         }
     }
 }

@@ -14,21 +14,26 @@
 //!
 //! Every row is bit-identical in output by the
 //! `socsense_matrix::parallel` contract; the JSON carries a prominent
-//! `warning` key when the host cannot demonstrate threaded speedups.
+//! `warning` key when the host cannot demonstrate threaded speedups
+//! (fewer than 4 cores). Timing runs through the `socsense-obs`
+//! recorder (`bench.*` histograms), whose snapshot — including the
+//! `ingest.cluster.*` / `ingest.parse.*` counters the traced stages
+//! emit — is embedded in the JSON under `"metrics"`.
 //!
 //! ```text
 //! cargo run --release -p socsense-bench --bin bench_ingest [OUT.json]
 //! ```
 
 use std::process::ExitCode;
-use std::time::Instant;
 
 use socsense_apollo::{
-    cluster_texts_naive, cluster_texts_with_stats, parse_tweets_jsonl_with, ClusterConfig,
-    IngestConfig,
+    cluster_texts_naive, cluster_texts_traced, cluster_texts_with_stats, parse_tweets_jsonl_traced,
+    ClusterConfig, IngestConfig,
 };
 use socsense_bench::{jsonl_corpus, tweet_corpus};
+use socsense_core::Obs;
 use socsense_matrix::Parallelism;
+use socsense_obs::median_timed;
 
 const CORPUS_SIZE: usize = 10_000;
 const SEED: u64 = 42;
@@ -40,20 +45,6 @@ const LEVELS: [(&str, Parallelism); 4] = [
     ("threads-8", Parallelism::Threads(8)),
 ];
 
-/// Median wall-clock seconds of `reps` runs of `f` (after one warm-up).
-fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    f(); // warm-up: page in the fixture, fill allocator pools
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    times[times.len() / 2]
-}
-
 fn main() -> ExitCode {
     let out_path = std::env::args()
         .nth(1)
@@ -63,11 +54,12 @@ fn main() -> ExitCode {
         .unwrap_or(1);
     let reps = 3;
     let cfg = ClusterConfig::default();
+    let (obs, rec) = Obs::recorder();
 
     let texts = tweet_corpus(CORPUS_SIZE, SEED);
 
     // Naive all-pairs baseline (wall-clock + implied comparison count).
-    let naive_secs = median_secs(reps, || {
+    let naive_secs = median_timed(&obs, "bench.cluster_naive.seconds", reps, || {
         cluster_texts_naive(&texts, &cfg);
     });
     let naive_clusters = cluster_texts_naive(&texts, &cfg);
@@ -83,10 +75,15 @@ fn main() -> ExitCode {
     let cluster_times: Vec<(&str, f64)> = LEVELS
         .iter()
         .map(|&(name, par)| {
-            let secs = median_secs(reps, || {
-                let (clustering, _) = cluster_texts_with_stats(&texts, &cfg, par);
-                assert_eq!(clustering, indexed_clusters, "levels must agree");
-            });
+            let secs = median_timed(
+                &obs,
+                &format!("bench.cluster_indexed.{name}.seconds"),
+                reps,
+                || {
+                    let (clustering, _) = cluster_texts_traced(&texts, &cfg, par, &obs);
+                    assert_eq!(clustering, indexed_clusters, "levels must agree");
+                },
+            );
             eprintln!("cluster-indexed/{name}: {secs:.4}s");
             (name, secs)
         })
@@ -104,9 +101,14 @@ fn main() -> ExitCode {
         .iter()
         .map(|&(name, par)| {
             let ingest = IngestConfig { parallelism: par };
-            let secs = median_secs(reps, || {
-                parse_tweets_jsonl_with(&jsonl, &ingest).expect("fixture parses");
-            });
+            let secs = median_timed(
+                &obs,
+                &format!("bench.parse_jsonl.{name}.seconds"),
+                reps,
+                || {
+                    parse_tweets_jsonl_traced(&jsonl, &ingest, &obs).expect("fixture parses");
+                },
+            );
             let tweets_per_sec = CORPUS_SIZE as f64 / secs;
             eprintln!("parse-jsonl/{name}: {secs:.4}s ({tweets_per_sec:.0} tweets/s)");
             serde_json::json!({
@@ -145,16 +147,20 @@ fn main() -> ExitCode {
         "parse_tweets_jsonl": serde_json::json!({
             "rows": parse_rows,
         }),
+        "metrics": rec.snapshot(),
     });
-    if cores < 2 {
+    // The ladder tops out at 8 workers; below 4 cores even the mid rungs
+    // oversubscribe, so flag the sharding curve as untrustworthy.
+    if cores < 4 {
         if let serde_json::Value::Object(map) = &mut payload {
             map.insert(
                 "warning".into(),
-                serde_json::json!(
-                    "SINGLE-CORE HOST: threaded rows measure queue/spawn overhead, not \
-                     speedup — re-run on a >=2-core machine for the sharding curve. The \
-                     single-core numbers that matter (naive vs indexed serial) are valid."
-                ),
+                serde_json::json!(format!(
+                    "LOW-CORE HOST ({cores} < 4 cores): threaded rows measure \
+                     queue/spawn overhead, not speedup — re-run on a >=4-core \
+                     machine for the sharding curve. The single-core numbers that \
+                     matter (naive vs indexed serial) are valid."
+                )),
             );
         }
     }

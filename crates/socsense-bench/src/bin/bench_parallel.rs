@@ -7,19 +7,22 @@
 //! timings because the expected scaling depends entirely on it: on a
 //! single-core host the threaded rows pay queue/spawn overhead and a
 //! speedup cannot materialise, while the numbers stay bit-identical by
-//! the `socsense_matrix::parallel` contract.
+//! the `socsense_matrix::parallel` contract. Timing runs through the
+//! `socsense-obs` recorder (`bench.*` histograms), whose snapshot is
+//! embedded in the JSON under `"metrics"` — the same schema every other
+//! instrumented layer exports.
 //!
 //! ```text
 //! cargo run --release -p socsense-bench --bin bench_parallel [OUT.json]
 //! ```
 
 use std::process::ExitCode;
-use std::time::Instant;
 
 use socsense_bench::{bound_fixture, synth_fixture};
 use socsense_core::{
-    bound_for_assertions_with, BoundMethod, EmConfig, EmExt, GibbsConfig, Parallelism,
+    bound_for_assertions_with, BoundMethod, EmConfig, EmExt, GibbsConfig, Obs, Parallelism,
 };
+use socsense_obs::median_timed;
 
 const LEVELS: [(&str, Parallelism); 4] = [
     ("serial", Parallelism::Serial),
@@ -27,20 +30,6 @@ const LEVELS: [(&str, Parallelism); 4] = [
     ("threads-4", Parallelism::Threads(4)),
     ("threads-8", Parallelism::Threads(8)),
 ];
-
-/// Median wall-clock seconds of `reps` runs of `f` (after one warm-up).
-fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    f(); // warm-up: page in the fixture, fill allocator pools
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    times[times.len() / 2]
-}
 
 fn main() -> ExitCode {
     let out_path = std::env::args()
@@ -50,6 +39,7 @@ fn main() -> ExitCode {
         .map(|n| n.get())
         .unwrap_or(1);
     let reps = 5;
+    let (obs, rec) = Obs::recorder();
 
     // EM-Ext fit on a paper-defaults synthetic problem.
     let ds = synth_fixture(150, 11);
@@ -60,9 +50,14 @@ fn main() -> ExitCode {
                 parallelism: par,
                 ..EmConfig::default()
             });
-            let secs = median_secs(reps, || {
-                em.fit(&ds.data).expect("fit succeeds");
-            });
+            let secs = median_timed(
+                &obs,
+                &format!("bench.em_ext_fit.{name}.seconds"),
+                reps,
+                || {
+                    em.fit(&ds.data).expect("fit succeeds");
+                },
+            );
             eprintln!("em-ext/{name}: {secs:.4}s");
             (name, secs)
         })
@@ -79,10 +74,15 @@ fn main() -> ExitCode {
     let gibbs_times: Vec<(&str, f64)> = LEVELS
         .iter()
         .map(|&(name, par)| {
-            let secs = median_secs(reps, || {
-                bound_for_assertions_with(&data, &theta, &method, &assertions, par)
-                    .expect("bound succeeds");
-            });
+            let secs = median_timed(
+                &obs,
+                &format!("bench.gibbs_bound.{name}.seconds"),
+                reps,
+                || {
+                    bound_for_assertions_with(&data, &theta, &method, &assertions, par)
+                        .expect("bound succeeds");
+                },
+            );
             eprintln!("gibbs-bound/{name}: {secs:.4}s");
             (name, secs)
         })
@@ -99,9 +99,10 @@ fn main() -> ExitCode {
     let mut payload = serde_json::json!({
         "host": serde_json::json!({
             "available_parallelism": cores,
-            "note": if cores == 1 {
-                "single-core host: threaded rows measure queue/spawn overhead, \
-                 not speedup; results are bit-identical at every level"
+            "note": if cores < 4 {
+                "host has fewer cores than the widest measured ladder rung: \
+                 oversubscribed rows measure queue/spawn overhead, not \
+                 speedup; results are bit-identical at every level"
             } else {
                 "results are bit-identical at every level; only wall-clock varies"
             },
@@ -126,15 +127,19 @@ fn main() -> ExitCode {
             "serial_secs": serial_gibbs,
             "rows": rows(&gibbs_times),
         }),
+        "metrics": rec.snapshot(),
     });
-    if cores < 2 {
+    // The ladder tops out at 8 workers; below 4 cores even the mid rungs
+    // oversubscribe, so flag the whole scaling curve as untrustworthy.
+    if cores < 4 {
         if let serde_json::Value::Object(map) = &mut payload {
             map.insert(
                 "warning".into(),
-                serde_json::json!(
-                    "SINGLE-CORE HOST: threaded rows measure queue/spawn overhead, not \
-                     speedup — re-run on a >=2-core machine for the scaling curve."
-                ),
+                serde_json::json!(format!(
+                    "LOW-CORE HOST ({cores} < 4 cores): threaded rows measure \
+                     queue/spawn overhead, not speedup — re-run on a >=4-core \
+                     machine for the scaling curve."
+                )),
             );
         }
     }

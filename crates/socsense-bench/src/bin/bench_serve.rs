@@ -1,0 +1,149 @@
+//! Latency harness for the `socsense-serve` query service.
+//!
+//! Spawns a [`QueryService`], replays a seeded claim stream in batches,
+//! fires a fixed query mix (posterior / posteriors / top-sources /
+//! stats), and reports per-request-type latency quantiles straight from
+//! the service's own `serve.request.<type>.seconds` histograms — the
+//! same numbers a live `Metrics` request returns. Writes
+//! `BENCH_serve.json` (repo root, or the path given as the first
+//! argument); CI's perf-gate checks the posterior p99 against
+//! `scripts/perf_gates.toml`.
+//!
+//! ```text
+//! cargo run --release -p socsense-bench --bin bench_serve [OUT.json]
+//! ```
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socsense_graph::{FollowerGraph, TimedClaim};
+use socsense_serve::{MetricsSnapshot, QueryService, ServeConfig};
+
+const N: u32 = 30;
+const M: u32 = 40;
+const BATCHES: usize = 8;
+const PER_BATCH: usize = 50;
+const QUERY_ROUNDS: usize = 100;
+const SEED: u64 = 2016;
+
+/// A reliable/unreliable two-camp claim stream (the construction the
+/// serve tests use), seeded for reproducibility.
+fn stream_batches() -> Vec<Vec<TimedClaim>> {
+    let truth: Vec<bool> = (0..M).map(|j| j < M / 2).collect();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut t = 0u64;
+    (0..BATCHES)
+        .map(|_| {
+            (0..PER_BATCH)
+                .map(|_| {
+                    let s = rng.gen_range(0..N);
+                    let honest = s < (N * 3) / 4;
+                    let j = loop {
+                        let j = rng.gen_range(0..M);
+                        if truth[j as usize] == honest {
+                            break j;
+                        }
+                    };
+                    t += 1;
+                    TimedClaim::new(s, j, t)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// `{count, p50_secs, p99_secs, mean_secs}` for one request type, from
+/// the service's own histogram.
+fn latency_row(metrics: &MetricsSnapshot, request: &str) -> serde_json::Value {
+    let h = metrics
+        .histogram(&format!("serve.request.{request}.seconds"))
+        .unwrap_or_else(|| panic!("the harness issued {request} requests"));
+    serde_json::json!({
+        "count": h.count,
+        "p50_secs": h.quantile(0.5),
+        "p99_secs": h.quantile(0.99),
+        "mean_secs": h.mean(),
+    })
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let svc = QueryService::spawn(N, M, FollowerGraph::new(N), ServeConfig::default())
+        .expect("service spawns");
+    let client = svc.handle();
+    for batch in stream_batches() {
+        client.ingest(batch).expect("ingest succeeds");
+    }
+    for round in 0..QUERY_ROUNDS {
+        client
+            .posterior(round as u32 % M)
+            .expect("posterior succeeds");
+        if round % 10 == 0 {
+            client.posteriors().expect("posteriors succeeds");
+            client.top_sources(5).expect("top-sources succeeds");
+            client.stats().expect("stats succeeds");
+        }
+    }
+    let metrics = client.metrics().expect("metrics snapshot");
+    let stats = svc.shutdown().expect("clean shutdown");
+
+    let payload = serde_json::json!({
+        "host": serde_json::json!({
+            "available_parallelism": cores,
+            "note": "latencies come from the service's own \
+                     serve.request.<type>.seconds histograms; every served \
+                     number is bit-identical with or without the recorder",
+        }),
+        "workload": serde_json::json!({
+            "sources": N,
+            "assertions": M,
+            "batches": BATCHES,
+            "claims_per_batch": PER_BATCH,
+            "posterior_queries": QUERY_ROUNDS,
+            "seed": SEED,
+        }),
+        "latency": serde_json::json!({
+            "ingest": latency_row(&metrics, "ingest"),
+            "posterior": latency_row(&metrics, "posterior"),
+            "posteriors": latency_row(&metrics, "posteriors"),
+            "top_sources": latency_row(&metrics, "top_sources"),
+            "stats": latency_row(&metrics, "stats"),
+        }),
+        "service": serde_json::json!({
+            "requests_total": metrics.counter("serve.requests_total"),
+            "chain_refits": metrics.counter("serve.refit.chain_total"),
+            "warm_refits": metrics.counter("serve.refit.warm_total"),
+            "probe_refits": metrics.counter("serve.refit.probe_total"),
+            "probe_cache_hits": metrics.counter("serve.cache.probe_hits_total"),
+            "failed_refits": metrics.counter("serve.refit.failed_total"),
+            "claims_ingested": metrics.counter("stream.ingest.claims_total"),
+            "requests_served": stats.requests_served,
+        }),
+        "metrics": metrics,
+    });
+    let json = serde_json::to_string_pretty(&payload).expect("serializes") + "\n";
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write results to {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {out_path} (posterior p50 {:.6}s, p99 {:.6}s over {} queries)",
+        metrics
+            .histogram("serve.request.posterior.seconds")
+            .expect("posterior histogram")
+            .quantile(0.5),
+        metrics
+            .histogram("serve.request.posterior.seconds")
+            .expect("posterior histogram")
+            .quantile(0.99),
+        QUERY_ROUNDS,
+    );
+    ExitCode::SUCCESS
+}

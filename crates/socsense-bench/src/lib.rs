@@ -14,10 +14,13 @@
 //!   (via pathological vs typical inputs).
 //!
 //! The crate body hosts shared fixture builders so each bench file stays
-//! declarative.
+//! declarative, plus [`gate`] — the declarative perf-regression floors
+//! CI's `perf-gate` job enforces over the emitted `BENCH_*.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod gate;
 
 use socsense_core::{ClaimData, Theta};
 use socsense_synth::{empirical_theta, GeneratorConfig, SyntheticDataset};

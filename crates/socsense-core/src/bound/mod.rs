@@ -22,6 +22,7 @@ mod mismatch;
 use serde::{Deserialize, Serialize};
 
 use socsense_matrix::parallel::{par_map_collect, Parallelism};
+use socsense_obs::Obs;
 
 pub use exact::{exact_bound, exact_bound_from_table, exact_bound_with, MAX_EXACT_SOURCES};
 pub use gibbs::{gibbs_bound, GibbsConfig, GibbsEstimator, GibbsOutcome};
@@ -154,6 +155,27 @@ pub fn bound_for_assertions_with(
     assertions: &[u32],
     par: Parallelism,
 ) -> Result<BoundResult, SenseError> {
+    bound_for_assertions_traced(data, theta, method, assertions, par, &Obs::none())
+}
+
+/// [`bound_for_assertions_with`] reporting `bound.*` metrics to `obs`:
+/// evaluation wall time, assertions per method (exact vs. Gibbs), and
+/// Gibbs sample counts. Per-assertion outcomes are collected first and
+/// emitted serially in assertion order, so recorded totals are
+/// deterministic at every [`Parallelism`] level — and the returned
+/// bound is bit-identical to the untraced call.
+///
+/// # Errors
+///
+/// See [`bound_for_assertions`].
+pub fn bound_for_assertions_traced(
+    data: &ClaimData,
+    theta: &Theta,
+    method: &BoundMethod,
+    assertions: &[u32],
+    par: Parallelism,
+    obs: &Obs,
+) -> Result<BoundResult, SenseError> {
     if assertions.is_empty() {
         return Err(SenseError::EmptyData);
     }
@@ -174,28 +196,53 @@ pub fn bound_for_assertions_with(
         }
     }
     let n = data.source_count();
-    let per = par_map_collect(par, assertions.len(), |k| {
-        let j = assertions[k];
-        let probs = assertion_probs(data, theta, j);
-        match method {
-            BoundMethod::Exact => exact_bound(&probs, theta.z()),
-            BoundMethod::Gibbs(cfg) => {
-                gibbs_bound(&probs, theta.z(), &per_assertion_gibbs(cfg, j)).map(|o| o.result)
+    let timer = obs.timer("bound.eval.seconds");
+    // Each evaluation also reports how it ran: `None` for exact
+    // enumeration, `Some((samples, converged))` for a Gibbs chain.
+    type Meta = Option<(usize, bool)>;
+    let per: Vec<Result<(BoundResult, Meta), SenseError>> =
+        par_map_collect(par, assertions.len(), |k| {
+            let j = assertions[k];
+            let probs = assertion_probs(data, theta, j);
+            let gibbs_at = |cfg: &GibbsConfig| {
+                gibbs_bound(&probs, theta.z(), &per_assertion_gibbs(cfg, j))
+                    .map(|o| (o.result, Some((o.samples, o.converged))))
+            };
+            match method {
+                BoundMethod::Exact => exact_bound(&probs, theta.z()).map(|r| (r, None)),
+                BoundMethod::Gibbs(cfg) => gibbs_at(cfg),
+                BoundMethod::Auto {
+                    exact_max_sources,
+                    gibbs,
+                } => {
+                    if n <= *exact_max_sources {
+                        exact_bound(&probs, theta.z()).map(|r| (r, None))
+                    } else {
+                        gibbs_at(gibbs)
+                    }
+                }
             }
-            BoundMethod::Auto {
-                exact_max_sources,
-                gibbs,
-            } => {
-                if n <= *exact_max_sources {
-                    exact_bound(&probs, theta.z())
-                } else {
-                    gibbs_bound(&probs, theta.z(), &per_assertion_gibbs(gibbs, j)).map(|o| o.result)
+        });
+    // Errors surface in assertion order, matching a sequential sweep.
+    let per = per.into_iter().collect::<Result<Vec<_>, _>>()?;
+    if obs.enabled() {
+        obs.counter("bound.assertions_total", per.len() as u64);
+        for (_, meta) in &per {
+            match meta {
+                None => obs.counter("bound.exact_evals_total", 1),
+                Some((samples, converged)) => {
+                    obs.counter("bound.gibbs_evals_total", 1);
+                    obs.counter("bound.gibbs.samples_total", *samples as u64);
+                    obs.observe("bound.gibbs.samples", *samples as f64);
+                    if *converged {
+                        obs.counter("bound.gibbs.converged_total", 1);
+                    }
                 }
             }
         }
-    });
-    // Errors surface in assertion order, matching a sequential sweep.
-    let per = per.into_iter().collect::<Result<Vec<_>, _>>()?;
+        timer.stop();
+    }
+    let per: Vec<BoundResult> = per.into_iter().map(|(r, _)| r).collect();
     Ok(BoundResult::mean_of(&per))
 }
 
@@ -287,6 +334,42 @@ mod tests {
             approx.error,
             exact.error
         );
+    }
+
+    #[test]
+    fn traced_bound_matches_untraced_and_records() {
+        let (data, theta) = tiny();
+        let method = BoundMethod::Auto {
+            exact_max_sources: 1, // force Gibbs so sample metrics flow
+            gibbs: GibbsConfig::default(),
+        };
+        let plain = bound_for_data(&data, &theta, &method).unwrap();
+        let (obs, rec) = Obs::recorder();
+        let traced =
+            bound_for_assertions_traced(&data, &theta, &method, &[0, 1], Parallelism::Auto, &obs)
+                .unwrap();
+        assert_eq!(plain.error.to_bits(), traced.error.to_bits());
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("bound.assertions_total"), 2);
+        assert_eq!(snap.counter("bound.gibbs_evals_total"), 2);
+        assert_eq!(snap.counter("bound.exact_evals_total"), 0);
+        assert!(snap.counter("bound.gibbs.samples_total") > 0);
+        assert_eq!(snap.histogram("bound.gibbs.samples").unwrap().count, 2);
+        assert_eq!(snap.histogram("bound.eval.seconds").unwrap().count, 1);
+
+        let (obs, rec) = Obs::recorder();
+        bound_for_assertions_traced(
+            &data,
+            &theta,
+            &BoundMethod::Exact,
+            &[0],
+            Parallelism::Serial,
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(rec.counter_value("bound.exact_evals_total"), 1);
+        assert_eq!(rec.counter_value("bound.gibbs_evals_total"), 0);
     }
 
     #[test]

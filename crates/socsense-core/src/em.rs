@@ -20,6 +20,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use socsense_matrix::parallel::{par_fill, par_map_collect, Parallelism};
+use socsense_obs::Obs;
 
 use crate::data::ClaimData;
 use crate::error::SenseError;
@@ -128,6 +129,7 @@ impl Default for EmConfig {
 #[derive(Debug, Clone, Default)]
 pub struct EmExt {
     config: EmConfig,
+    obs: Obs,
 }
 
 /// Result of one [`EmExt::fit`].
@@ -154,7 +156,21 @@ pub struct EmFit {
 impl EmExt {
     /// Creates an estimator with the given configuration.
     pub fn new(config: EmConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            obs: Obs::none(),
+        }
+    }
+
+    /// Attaches a metrics handle; every fit then reports `em.*`
+    /// convergence metrics (run counts, iteration histograms, final
+    /// deltas, log-likelihood improvements, wall time). Metrics are
+    /// observation-only: the fit itself is bit-identical with or
+    /// without a sink.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The active configuration.
@@ -181,6 +197,7 @@ impl EmExt {
                 actual: theta.source_count(),
             });
         }
+        self.obs.counter("em.warm_starts_total", 1);
         self.run_em(data, theta)
     }
 
@@ -211,6 +228,7 @@ impl EmExt {
     /// zero iteration budget, and propagates dimension errors.
     pub fn fit(&self, data: &ClaimData) -> Result<EmFit, SenseError> {
         self.check_config()?;
+        let timer = self.obs.timer("em.fit.seconds");
         let deterministic: Vec<InitStrategy> = match self.config.init {
             InitStrategy::Auto => vec![InitStrategy::ClaimRateBiased, InitStrategy::DepBiased],
             other => vec![other],
@@ -229,6 +247,9 @@ impl EmExt {
         } else {
             self.config.parallelism
         };
+        self.obs.counter("em.fit.inits_total", inits.len() as u64);
+        self.obs
+            .counter("em.fit.restarts_total", self.config.restarts as u64);
         let fits = par_map_collect(self.config.parallelism, inits.len(), |k| {
             self.fit_once(data, inits[k], inner)
         });
@@ -245,6 +266,7 @@ impl EmExt {
                 best = Some(fit);
             }
         }
+        timer.stop();
         Ok(best.expect("at least one init always runs"))
     }
 
@@ -306,6 +328,10 @@ impl EmExt {
         start: Theta,
         par: Parallelism,
     ) -> Result<EmFit, SenseError> {
+        // Runs may execute inside the restart sweep's parallel region,
+        // so only commutative emissions (counters, observations) are
+        // made here — recorded totals stay deterministic.
+        let _run_timer = self.obs.timer("em.run.seconds");
         let n = data.source_count();
         let m = data.assertion_count();
         let eps = self.config.eps;
@@ -314,6 +340,7 @@ impl EmExt {
         let mut ll_history = Vec::new();
         let mut converged = false;
         let mut iterations = 0;
+        let mut last_delta = f64::INFINITY;
 
         for _ in 0..self.config.max_iters {
             iterations += 1;
@@ -420,10 +447,24 @@ impl EmExt {
 
             let delta = theta.max_abs_diff(&next)?;
             theta = next;
+            last_delta = delta;
             ll_history.push(data_log_likelihood_with(data, &theta, par)?);
             if delta < self.config.tol {
                 converged = true;
                 break;
+            }
+        }
+
+        if self.obs.enabled() {
+            self.obs.counter("em.runs_total", 1);
+            self.obs.counter("em.iterations_total", iterations as u64);
+            if converged {
+                self.obs.counter("em.runs_converged_total", 1);
+            }
+            self.obs.observe("em.run.iterations", iterations as f64);
+            self.obs.observe("em.run.final_delta", last_delta);
+            if let (Some(&first), Some(&last)) = (ll_history.first(), ll_history.last()) {
+                self.obs.observe("em.run.ll_improvement", last - first);
             }
         }
 
@@ -646,6 +687,59 @@ mod tests {
             .fit(&data),
             Err(SenseError::BadConfig { .. })
         ));
+    }
+
+    #[test]
+    fn recorder_observes_without_changing_the_fit() {
+        let (data, _) = separable_data();
+        let plain = EmExt::new(EmConfig::default()).fit(&data).unwrap();
+        let (obs, rec) = Obs::recorder();
+        let traced = EmExt::new(EmConfig::default())
+            .with_obs(obs)
+            .fit(&data)
+            .unwrap();
+
+        let bits = |p: &[f64]| p.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&plain.posterior), bits(&traced.posterior));
+        assert_eq!(plain.theta, traced.theta);
+        assert_eq!(plain.ll_history, traced.ll_history);
+
+        let snap = rec.snapshot();
+        // Auto init sweeps both deterministic starting points.
+        assert_eq!(snap.counter("em.fit.inits_total"), 2);
+        assert_eq!(snap.counter("em.runs_total"), 2);
+        assert_eq!(snap.counter("em.runs_converged_total"), 2);
+        assert_eq!(snap.histogram("em.run.iterations").unwrap().count, 2);
+        assert_eq!(snap.histogram("em.fit.seconds").unwrap().count, 1);
+        assert!(snap.histogram("em.run.final_delta").unwrap().max < 1e-6);
+        assert!(snap.histogram("em.run.ll_improvement").unwrap().min >= 0.0);
+        assert!(snap.counter("em.iterations_total") >= 2);
+    }
+
+    #[test]
+    fn recorded_totals_are_parallelism_invariant() {
+        let (data, _) = separable_data();
+        let totals_at = |par| {
+            let (obs, rec) = Obs::recorder();
+            EmExt::new(EmConfig {
+                restarts: 2,
+                parallelism: par,
+                ..EmConfig::default()
+            })
+            .with_obs(obs)
+            .fit(&data)
+            .unwrap();
+            let snap = rec.snapshot();
+            (
+                snap.counter("em.runs_total"),
+                snap.counter("em.iterations_total"),
+                snap.histogram("em.run.iterations").unwrap().sum,
+            )
+        };
+        assert_eq!(
+            totals_at(Parallelism::Serial),
+            totals_at(Parallelism::Threads(4))
+        );
     }
 
     #[test]

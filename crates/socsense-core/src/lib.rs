@@ -56,10 +56,10 @@ mod model;
 mod streaming;
 
 pub use bound::{
-    bound_for_assertions, bound_for_assertions_with, bound_for_data, bound_for_data_with,
-    exact_bound, exact_bound_from_table, exact_bound_with, gibbs_bound, importance_bound,
-    mismatched_decision_error, BoundMethod, BoundResult, GibbsConfig, GibbsEstimator, GibbsOutcome,
-    ImportanceConfig, ImportanceOutcome,
+    bound_for_assertions, bound_for_assertions_traced, bound_for_assertions_with, bound_for_data,
+    bound_for_data_with, exact_bound, exact_bound_from_table, exact_bound_with, gibbs_bound,
+    importance_bound, mismatched_decision_error, BoundMethod, BoundResult, GibbsConfig,
+    GibbsEstimator, GibbsOutcome, ImportanceConfig, ImportanceOutcome,
 };
 pub use confidence::{confidence_report, ConfidenceReport, RateInterval, SourceConfidence};
 pub use data::ClaimData;
@@ -74,3 +74,7 @@ pub use streaming::{RefitStats, StreamingEstimator};
 
 // The parallelism knob these APIs take, re-exported for convenience.
 pub use socsense_matrix::parallel::Parallelism;
+
+// The metrics handle the instrumented APIs take, re-exported so callers
+// need not depend on `socsense-obs` directly for the common case.
+pub use socsense_obs::{MetricsSnapshot, Obs};

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use socsense_graph::{FollowerGraph, TimedClaim};
+use socsense_obs::Obs;
 
 use crate::data::ClaimData;
 use crate::em::{EmConfig, EmExt, EmFit};
@@ -60,6 +61,7 @@ pub struct StreamingEstimator {
     /// after an ingest). Rebuilding is `O(claims)`, so long-lived readers
     /// issuing many queries between batches share one build.
     snapshot_cache: Option<(usize, Arc<ClaimData>)>,
+    obs: Obs,
 }
 
 /// Statistics about one incremental refit.
@@ -103,7 +105,17 @@ impl StreamingEstimator {
             pending: 0,
             warm_blend: 0.5,
             snapshot_cache: None,
+            obs: Obs::none(),
         })
+    }
+
+    /// Attaches a metrics handle; refits then report `stream.*` metrics
+    /// (warm/cold refit counts, iteration histograms, wall time) and
+    /// forward the handle into the inner [`EmExt`] so its `em.*`
+    /// convergence metrics land in the same sink. Observation-only:
+    /// fits are bit-identical with or without a sink.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Number of sources this estimator covers.
@@ -192,6 +204,8 @@ impl StreamingEstimator {
         }
         self.claims.extend_from_slice(batch);
         self.pending += batch.len();
+        self.obs
+            .counter("stream.ingest.claims_total", batch.len() as u64);
         Ok(())
     }
 
@@ -275,8 +289,9 @@ impl StreamingEstimator {
     /// previous `θ̂` when one exists, cold otherwise. Touches no state
     /// beyond the snapshot cache.
     fn refit(&mut self) -> Result<(EmFit, RefitStats), SenseError> {
+        let timer = self.obs.timer("stream.refit.seconds");
         let data = self.snapshot();
-        let em = EmExt::new(self.config);
+        let em = EmExt::new(self.config).with_obs(self.obs.clone());
         let (fit, warm) = match self.last_theta.as_ref() {
             Some(prev) => {
                 let anchor = em.data_driven_start(&data);
@@ -290,6 +305,19 @@ impl StreamingEstimator {
             warm,
             total_claims: self.claims.len(),
         };
+        if self.obs.enabled() {
+            self.obs.counter("stream.refits_total", 1);
+            let kind = if warm {
+                "stream.refit.warm_total"
+            } else {
+                "stream.refit.cold_total"
+            };
+            self.obs.counter(kind, 1);
+            self.obs
+                .observe("stream.refit.iterations", fit.iterations as f64);
+            self.obs.gauge("stream.claims", self.claims.len() as f64);
+            timer.stop();
+        }
         Ok((fit, stats))
     }
 
@@ -518,6 +546,43 @@ mod tests {
             0.0,
             "estimate advances the warm state peeks left untouched"
         );
+    }
+
+    #[test]
+    fn metrics_record_warm_and_cold_refits_without_changing_fits() {
+        let (graph, batches, _) = stream_batches(2, 30);
+        let mut plain =
+            StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
+        let mut traced = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        let (obs, rec) = Obs::recorder();
+        traced.set_obs(obs);
+
+        let bits = |fit: &EmFit| {
+            fit.posterior
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>()
+        };
+        for batch in &batches {
+            plain.ingest(batch).unwrap();
+            traced.ingest(batch).unwrap();
+            let a = plain.estimate().unwrap();
+            let b = traced.estimate().unwrap();
+            assert_eq!(bits(&a), bits(&b), "recorder must not perturb the fit");
+        }
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("stream.refits_total"), 2);
+        assert_eq!(snap.counter("stream.refit.cold_total"), 1);
+        assert_eq!(snap.counter("stream.refit.warm_total"), 1);
+        assert_eq!(snap.counter("stream.ingest.claims_total"), 60);
+        assert_eq!(snap.gauge("stream.claims"), Some(60.0));
+        assert_eq!(snap.histogram("stream.refit.iterations").unwrap().count, 2);
+        assert_eq!(snap.histogram("stream.refit.seconds").unwrap().count, 2);
+        // The estimator forwards its handle into EM, so convergence
+        // metrics land in the same sink.
+        assert!(snap.counter("em.runs_total") >= 2);
+        assert_eq!(snap.counter("em.warm_starts_total"), 1);
     }
 
     #[test]

@@ -67,6 +67,6 @@ mod service;
 pub use api::{IngestAck, ServeConfig, ServeError, ServeStats, SourceRank};
 pub use service::{QueryService, ServeHandle};
 
-// Re-exported so clients can name bound methods without depending on
-// socsense-core directly.
-pub use socsense_core::{BoundMethod, BoundResult, GibbsConfig};
+// Re-exported so clients can name bound methods and read metrics
+// snapshots without depending on socsense-core directly.
+pub use socsense_core::{BoundMethod, BoundResult, GibbsConfig, MetricsSnapshot, Obs};

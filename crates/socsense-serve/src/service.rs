@@ -1,14 +1,17 @@
 //! The channel-based query service: one owned worker thread, many
 //! concurrent client handles.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use socsense_core::{
-    bound_for_assertions_with, BoundMethod, BoundResult, EmFit, SenseError, StreamingEstimator,
+    bound_for_assertions_traced, BoundMethod, BoundResult, EmFit, SenseError, StreamingEstimator,
 };
 use socsense_graph::{FollowerGraph, TimedClaim};
+use socsense_obs::{MetricsSnapshot, Obs, Recorder, Tee};
 
 use crate::api::{IngestAck, ServeConfig, ServeError, ServeStats, SourceRank};
 
@@ -23,7 +26,24 @@ enum Request {
         method: Option<BoundMethod>,
     },
     Stats,
+    Metrics,
     Shutdown,
+}
+
+impl Request {
+    /// Stable label used in `serve.request.<label>.seconds` metrics.
+    fn label(&self) -> &'static str {
+        match self {
+            Request::Ingest(_) => "ingest",
+            Request::Posterior(_) => "posterior",
+            Request::Posteriors => "posteriors",
+            Request::TopSources(_) => "top_sources",
+            Request::Bound { .. } => "bound",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// The worker's reply to one request.
@@ -34,12 +54,16 @@ enum Response {
     TopSources(Vec<SourceRank>),
     Bound(BoundResult),
     Stats(ServeStats),
+    Metrics(Box<MetricsSnapshot>),
     ShuttingDown(ServeStats),
 }
 
 struct Envelope {
     req: Request,
     reply: Sender<Result<Response, ServeError>>,
+    /// When the client enqueued the request (feeds
+    /// `serve.queue.wait_seconds`).
+    queued: Instant,
 }
 
 /// A cheap, cloneable client of a [`QueryService`].
@@ -51,14 +75,24 @@ struct Envelope {
 #[derive(Debug, Clone)]
 pub struct ServeHandle {
     tx: Sender<Envelope>,
+    /// Requests sent but not yet picked up by the worker, shared by
+    /// every handle of one service (feeds `serve.queue.depth`).
+    depth: Arc<AtomicUsize>,
 }
 
 impl ServeHandle {
     fn call(&self, req: Request) -> Result<Response, ServeError> {
         let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(Envelope { req, reply })
-            .map_err(|_| ServeError::Closed)?;
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let sent = self.tx.send(Envelope {
+            req,
+            reply,
+            queued: Instant::now(),
+        });
+        if sent.is_err() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(ServeError::Closed);
+        }
         // A dropped reply sender means the worker exited (shutdown drain
         // finished, or it died) before answering.
         rx.recv().map_err(|_| ServeError::Closed)?
@@ -152,6 +186,22 @@ impl ServeHandle {
             _ => Err(ServeError::Protocol("expected Stats")),
         }
     }
+
+    /// A snapshot of the service's metrics recorder: per-request-type
+    /// latency histograms (`serve.request.<type>.seconds`), queue
+    /// wait/depth, refit and cache counters, plus the `em.*`,
+    /// `stream.*`, and `bound.*` metrics of the work the service ran.
+    /// Never triggers a refit.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] when the service is gone.
+    pub fn metrics(&self) -> Result<MetricsSnapshot, ServeError> {
+        match self.call(Request::Metrics)? {
+            Response::Metrics(m) => Ok(*m),
+            _ => Err(ServeError::Protocol("expected Metrics")),
+        }
+    }
 }
 
 /// A long-lived query service owning one warm
@@ -163,6 +213,7 @@ impl ServeHandle {
 #[derive(Debug)]
 pub struct QueryService {
     tx: Sender<Envelope>,
+    depth: Arc<AtomicUsize>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -181,8 +232,36 @@ impl QueryService {
         graph: FollowerGraph,
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
+        Self::spawn_with_obs(n, m, graph, config, Obs::none())
+    }
+
+    /// As [`spawn`](Self::spawn), additionally teeing every metric the
+    /// worker emits into `extra` (e.g. a caller-owned exporter). The
+    /// worker always keeps its own in-memory recorder — the source of
+    /// [`ServeHandle::metrics`] snapshots — whether or not an extra
+    /// sink is attached; metrics are observation-only and never change
+    /// served numbers.
+    ///
+    /// # Errors
+    ///
+    /// See [`spawn`](Self::spawn).
+    pub fn spawn_with_obs(
+        n: u32,
+        m: u32,
+        graph: FollowerGraph,
+        config: ServeConfig,
+        extra: Obs,
+    ) -> Result<Self, ServeError> {
+        let rec = Arc::new(Recorder::new());
+        let obs = match extra.sink() {
+            Some(sink) => Obs::new(Arc::new(Tee::new(rec.clone(), sink))),
+            None => Obs::new(rec.clone()),
+        };
         let mut est = StreamingEstimator::new(n, m, graph, config.em)?;
         est.set_warm_blend(config.warm_blend)?;
+        est.set_obs(obs.clone());
+        let depth = Arc::new(AtomicUsize::new(0));
+        let worker_depth = Arc::clone(&depth);
         let (tx, rx) = mpsc::channel::<Envelope>();
         let worker = std::thread::Builder::new()
             .name("socsense-serve".into())
@@ -193,12 +272,16 @@ impl QueryService {
                     chain_fit: None,
                     probe_fit: None,
                     stats: ServeStats::default(),
+                    rec,
+                    obs,
+                    depth: worker_depth,
                 }
                 .run(rx)
             })
             .expect("spawning the service worker thread");
         Ok(Self {
             tx,
+            depth,
             worker: Some(worker),
         })
     }
@@ -207,6 +290,7 @@ impl QueryService {
     pub fn handle(&self) -> ServeHandle {
         ServeHandle {
             tx: self.tx.clone(),
+            depth: Arc::clone(&self.depth),
         }
     }
 
@@ -255,6 +339,12 @@ struct Worker {
     /// Query-driven probe fit, keyed on the claim count it covered.
     probe_fit: Option<(usize, Arc<EmFit>)>,
     stats: ServeStats,
+    /// The service's own recorder; `Metrics` requests snapshot it.
+    rec: Arc<Recorder>,
+    /// Emission handle: the recorder, possibly teed with a caller sink.
+    obs: Obs,
+    /// Shared with every [`ServeHandle`]; decremented on pickup.
+    depth: Arc<AtomicUsize>,
 }
 
 impl Worker {
@@ -276,8 +366,23 @@ impl Worker {
     }
 
     fn answer(&mut self, env: Envelope) {
+        // The request leaves the queue: record how long it sat and how
+        // many are still behind it.
+        let waiting = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.obs.gauge("serve.queue.depth", waiting as f64);
+        self.obs.observe(
+            "serve.queue.wait_seconds",
+            env.queued.elapsed().as_secs_f64(),
+        );
         self.stats.requests_served += 1;
+        self.obs.counter("serve.requests_total", 1);
+        let label = env.req.label();
+        let timer = self.obs.timer(&format!("serve.request.{label}.seconds"));
         let result = self.dispatch(env.req);
+        timer.stop();
+        if result.is_err() {
+            self.obs.counter("serve.request_errors_total", 1);
+        }
         // A client that gave up on its reply is not an error.
         let _ = env.reply.send(result);
     }
@@ -331,16 +436,18 @@ impl Worker {
                     assertions
                 };
                 let method = method.unwrap_or_else(|| self.cfg.bound.clone());
-                let bound = bound_for_assertions_with(
+                let bound = bound_for_assertions_traced(
                     &data,
                     &fit.theta,
                     &method,
                     &assertions,
                     self.cfg.parallelism,
+                    &self.obs,
                 )?;
                 Ok(Response::Bound(bound))
             }
             Request::Stats => Ok(Response::Stats(self.stats_snapshot())),
+            Request::Metrics => Ok(Response::Metrics(Box::new(self.rec.snapshot()))),
             Request::Shutdown => Ok(Response::ShuttingDown(self.stats_snapshot())),
         }
     }
@@ -353,8 +460,10 @@ impl Worker {
         match self.est.estimate_with_stats() {
             Ok((fit, stats)) => {
                 self.stats.chain_refits += 1;
+                self.obs.counter("serve.refit.chain_total", 1);
                 if stats.warm {
                     self.stats.warm_refits += 1;
+                    self.obs.counter("serve.refit.warm_total", 1);
                 }
                 self.stats.last_refit_iterations = Some(stats.iterations);
                 self.chain_fit = Some(Arc::new(fit));
@@ -362,6 +471,7 @@ impl Worker {
             }
             Err(e) => {
                 self.stats.failed_refits += 1;
+                self.obs.counter("serve.refit.failed_total", 1);
                 Err(ServeError::Sense(e))
             }
         }
@@ -379,14 +489,17 @@ impl Worker {
         if let Some((at, fit)) = &self.probe_fit {
             if *at == self.est.claim_count() {
                 self.stats.probe_cache_hits += 1;
+                self.obs.counter("serve.cache.probe_hits_total", 1);
                 return Ok(Arc::clone(fit));
             }
         }
         match self.est.peek_estimate() {
             Ok((fit, stats)) => {
                 self.stats.probe_refits += 1;
+                self.obs.counter("serve.refit.probe_total", 1);
                 if stats.warm {
                     self.stats.warm_refits += 1;
+                    self.obs.counter("serve.refit.warm_total", 1);
                 }
                 self.stats.last_refit_iterations = Some(stats.iterations);
                 let fit = Arc::new(fit);
@@ -395,6 +508,7 @@ impl Worker {
             }
             Err(e) => {
                 self.stats.failed_refits += 1;
+                self.obs.counter("serve.refit.failed_total", 1);
                 Err(ServeError::Sense(e))
             }
         }

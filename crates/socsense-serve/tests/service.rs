@@ -222,3 +222,92 @@ fn shutdown_while_busy_joins_cleanly() {
         );
     }
 }
+
+/// The `Metrics` request reflects prior traffic (request counters,
+/// per-request-type latency histograms, ≥1 warm chain refit after
+/// repeated ingests, streamed `em.*`/`stream.*` families), and the
+/// always-on recorder never changes a bit of any served posterior
+/// relative to a plain no-op-sink estimator replay.
+#[test]
+fn metrics_reflect_traffic_without_perturbing_posteriors() {
+    let batches = stream_batches(3, 30, 13);
+
+    // No-op-sink baseline: the raw estimator with metrics disabled.
+    let mut est =
+        StreamingEstimator::new(N, M, FollowerGraph::new(N), EmConfig::default()).unwrap();
+    let mut baseline = Vec::new();
+    for batch in &batches {
+        est.ingest(batch).unwrap();
+        baseline = est.estimate().unwrap().posterior;
+    }
+
+    // Service run: the worker's recorder is always on, plus an extra
+    // teed recorder a caller might attach for export.
+    let (extra, extra_rec) = socsense_serve::Obs::recorder();
+    let svc =
+        QueryService::spawn_with_obs(N, M, FollowerGraph::new(N), ServeConfig::default(), extra)
+            .unwrap();
+    let client = svc.handle();
+    for batch in &batches {
+        client.ingest(batch.clone()).unwrap();
+    }
+    let served = client.posteriors().unwrap();
+    let p = client.posterior(0).unwrap();
+    assert_eq!(p.to_bits(), served[0].to_bits());
+
+    assert_eq!(
+        bits(&baseline),
+        bits(&served),
+        "the metrics recorder must be observation-only"
+    );
+
+    let m = client.metrics().unwrap();
+    // Traffic so far: 3 ingests, 1 posteriors, 1 posterior, plus the
+    // in-flight metrics request itself (counted before dispatch).
+    assert_eq!(m.counter("serve.requests_total"), 6);
+    assert_eq!(m.counter("serve.refit.chain_total"), 3);
+    assert!(
+        m.counter("serve.refit.warm_total") >= 1,
+        "repeated ingest must warm-start the chain"
+    );
+    assert_eq!(m.counter("serve.refit.failed_total"), 0);
+    assert_eq!(m.counter("stream.ingest.claims_total"), 90);
+    assert!(m.counter("em.runs_total") >= 3, "refits run EM");
+    let ingest_lat = m
+        .histogram("serve.request.ingest.seconds")
+        .expect("ingest latency histogram present");
+    assert_eq!(ingest_lat.count, 3);
+    assert_eq!(
+        m.histogram("serve.request.posteriors.seconds")
+            .expect("posteriors latency histogram present")
+            .count,
+        1
+    );
+    assert!(
+        m.histogram("serve.queue.wait_seconds")
+            .expect("queue wait histogram present")
+            .count
+            >= 5
+    );
+
+    // The metrics request itself is traffic: a second snapshot counts
+    // the first one.
+    let m2 = client.metrics().unwrap();
+    assert_eq!(m2.counter("serve.requests_total"), 7);
+    assert_eq!(
+        m2.histogram("serve.request.metrics.seconds")
+            .expect("metrics latency histogram present")
+            .count,
+        1
+    );
+
+    svc.shutdown().unwrap();
+
+    // The teed extra sink saw the same counters as the internal one.
+    let teed = extra_rec.snapshot();
+    assert_eq!(
+        teed.counter("serve.refit.chain_total"),
+        m2.counter("serve.refit.chain_total")
+    );
+    assert_eq!(teed.counter("stream.ingest.claims_total"), 90);
+}

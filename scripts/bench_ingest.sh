@@ -3,9 +3,13 @@
 # (wall-clock + Jaccard-comparison counts) and chunked JSONL parsing
 # throughput across the worker ladder. Run from the repo root.
 #
-# On a <2-core host the JSON carries a prominent "warning" key: the
-# threaded rows then measure queue/spawn overhead, not speedup, while
-# the naive-vs-indexed single-core comparison remains valid.
+# The JSON records the detected core count under
+# host.available_parallelism; on a <4-core host it carries a prominent
+# "warning" key because the oversubscribed ladder rungs then measure
+# queue/spawn overhead, not speedup, while the naive-vs-indexed
+# single-core comparison remains valid.
 set -eu
 cd "$(dirname "$0")/.."
-cargo run --release -p socsense-bench --bin bench_ingest -- "${1:-BENCH_ingest.json}"
+out="${1:-BENCH_ingest.json}"
+mkdir -p "$(dirname "$out")"
+cargo run --release -p socsense-bench --bin bench_ingest -- "$out"

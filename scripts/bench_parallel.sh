@@ -1,6 +1,13 @@
 #!/usr/bin/env sh
 # Regenerate BENCH_parallel.json: serial vs 2/4/8-thread medians for the
 # EM-Ext fit and the Gibbs bound sweep. Run from the repo root.
+#
+# The JSON records the detected core count under
+# host.available_parallelism; on a <4-core host it carries a prominent
+# "warning" key because the oversubscribed ladder rungs then measure
+# queue/spawn overhead, not speedup (results stay bit-identical).
 set -eu
 cd "$(dirname "$0")/.."
-cargo run --release -p socsense-bench --bin bench_parallel -- "${1:-BENCH_parallel.json}"
+out="${1:-BENCH_parallel.json}"
+mkdir -p "$(dirname "$out")"
+cargo run --release -p socsense-bench --bin bench_parallel -- "$out"

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_serve.json: per-request-type latency quantiles for
+# the socsense-serve query service, taken from the service's own
+# serve.request.<type>.seconds metrics histograms, plus refit/cache
+# counters. Run from the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_serve.json}"
+mkdir -p "$(dirname "$out")"
+cargo run --release -p socsense-bench --bin bench_serve -- "$out"

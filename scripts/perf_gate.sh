@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Check freshly emitted BENCH_*.json against the perf-regression
+# floors/ceilings in scripts/perf_gates.toml. Usage:
+#
+#   ./scripts/perf_gate.sh [RESULTS_DIR]
+#
+# RESULTS_DIR defaults to the repo root. Exits non-zero when any gate
+# fails or any gated measurement is missing.
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p socsense-bench --bin perf_gate -- \
+    scripts/perf_gates.toml "${1:-.}"
