@@ -23,7 +23,7 @@
 //! [`Parallelism`] level emits byte-identical assignments (see
 //! [`socsense_matrix::UnionFind`] for the determinism argument).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use socsense_matrix::{parallel, Parallelism, UnionFind};
 use socsense_obs::Obs;
@@ -79,7 +79,7 @@ impl Clustering {
         }
         let mut correct = 0usize;
         for members in self.members() {
-            let mut counts: HashMap<u32, usize> = HashMap::new();
+            let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
             for &i in &members {
                 *counts.entry(labels[i as usize]).or_default() += 1;
             }

@@ -35,6 +35,7 @@
 //! # Ok::<(), socsense_twitter::TwitterError>(())
 //! ```
 
+// detlint: contract = deterministic
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -209,8 +209,11 @@ impl Apollo {
 
         // Stage 5: ranking with representative text + ground truth.
         let mut sample_text: Vec<Option<&str>> = vec![None; cluster_count as usize];
-        let mut majority: Vec<std::collections::HashMap<u32, usize>> =
-            vec![std::collections::HashMap::new(); cluster_count as usize];
+        // BTreeMap, not HashMap: a count tie must resolve by assertion
+        // id, not by hash-iteration order, or the reported truth label
+        // flips between runs.
+        let mut majority: Vec<std::collections::BTreeMap<u32, usize>> =
+            vec![std::collections::BTreeMap::new(); cluster_count as usize];
         for (t, &c) in dataset.tweets.iter().zip(&tweet_cluster) {
             let cu = c as usize;
             sample_text[cu].get_or_insert(&t.text);
@@ -229,7 +232,10 @@ impl Apollo {
             .take(self.config.top_k)
             .map(|c| {
                 let cu = c as usize;
-                let truth_assertion = majority[cu].iter().max_by_key(|(_, &n)| n).map(|(&a, _)| a);
+                let truth_assertion = majority[cu]
+                    .iter()
+                    .max_by_key(|(&a, &n)| (n, std::cmp::Reverse(a)))
+                    .map(|(&a, _)| a);
                 RankedAssertion {
                     assertion: c,
                     score: scores[cu],

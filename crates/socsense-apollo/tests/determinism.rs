@@ -1,0 +1,105 @@
+//! Bit-identity regression tests for the detlint D1 fixes: the
+//! pipeline's truth-label majority vote and the clustering purity
+//! counters used to iterate `HashMap`s, so count ties resolved by
+//! hash-iteration order and could flip between runs or binaries. These
+//! tests pin the `BTreeMap` behaviour: repeated runs are bit-identical
+//! and ties resolve by assertion id, not by memory layout.
+
+use socsense_apollo::{cluster_texts, Apollo, ApolloConfig, ClusterConfig};
+use socsense_baselines::Voting;
+use socsense_twitter::{ScenarioConfig, TruthValue, TwitterDataset};
+
+#[test]
+fn pipeline_output_is_bit_identical_across_repeated_runs() {
+    let ds = TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(0.02), 7).unwrap();
+    let apollo = Apollo::new(ApolloConfig::default());
+    let a = apollo.run(&ds, &Voting::default()).unwrap();
+    let b = apollo.run(&ds, &Voting::default()).unwrap();
+
+    assert_eq!(a.ranked.len(), b.ranked.len());
+    for (x, y) in a.ranked.iter().zip(&b.ranked) {
+        assert_eq!(x.assertion, y.assertion);
+        assert_eq!(x.score.to_bits(), y.score.to_bits());
+        assert_eq!(x.truth, y.truth, "truth label flipped between runs");
+        assert_eq!(x.sample_text, y.sample_text);
+    }
+    assert_eq!(
+        a.cluster_purity.to_bits(),
+        b.cluster_purity.to_bits(),
+        "purity must be bit-identical across runs"
+    );
+}
+
+/// Two assertions tweeted with the *same* text land in one cluster with
+/// a 1–1 majority tie. The tie must resolve to the smallest assertion
+/// id — with the old `HashMap` majority table it resolved to whichever
+/// entry hash-iteration happened to visit last.
+#[test]
+fn truth_label_tie_resolves_to_smallest_assertion_id() {
+    let mut ds = TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(0.01), 3).unwrap();
+    // Rewrite the corpus: assertions 0 and 1 share identical text (one
+    // tweet each — a guaranteed majority tie), assertion 2 stands apart.
+    let shared = "bridge closed at dawn".to_string();
+    let keep = 3.min(ds.tweets.len());
+    ds.tweets.truncate(keep);
+    assert!(keep >= 3, "scaled scenario too small for the fixture");
+    for (i, t) in ds.tweets.iter_mut().enumerate() {
+        t.id = i as u64;
+        t.source = i as u32;
+        t.assertion = i as u32;
+        t.time = i as u64;
+        t.retweet_of = None;
+        t.text = if i < 2 {
+            shared.clone()
+        } else {
+            "unrelated festival announcement".to_string()
+        };
+    }
+
+    // The tied assertions must carry different labels, or a flipped tie
+    // would be invisible.
+    ds.truth[0] = TruthValue::True;
+    ds.truth[1] = TruthValue::False;
+
+    let apollo = Apollo::new(ApolloConfig::default());
+    let run = |ds: &TwitterDataset| apollo.run(ds, &Voting::default()).unwrap();
+
+    let out = run(&ds);
+    let tied = out
+        .ranked
+        .iter()
+        .find(|r| r.sample_text == shared)
+        .expect("shared-text cluster is ranked");
+    assert_eq!(
+        tied.truth,
+        ds.truth_value(0),
+        "1-1 count tie must take assertion 0 (smallest id)"
+    );
+
+    // Reversing tweet insertion order must not flip the tie: the two
+    // tied entries enter the majority table in the opposite order, which
+    // is exactly the case hash-iteration used to leak.
+    let mut rev = ds.clone();
+    rev.tweets.reverse();
+    let out_rev = run(&rev);
+    let tied_rev = out_rev
+        .ranked
+        .iter()
+        .find(|r| r.sample_text == shared)
+        .expect("shared-text cluster is ranked in reversed corpus");
+    assert_eq!(tied_rev.truth, tied.truth, "tie flipped with insert order");
+}
+
+#[test]
+fn purity_is_bit_identical_across_repeated_calls() {
+    let texts: Vec<String> = (0..40)
+        .map(|i| format!("token{} token{} token{}", i % 5, i % 3, i % 7))
+        .collect();
+    let c = cluster_texts(&texts, &ClusterConfig::default());
+    // Labels engineered so several clusters have tied label counts.
+    let labels: Vec<u32> = (0..texts.len() as u32).map(|i| i % 2).collect();
+    let p0 = c.purity(&labels);
+    for _ in 0..10 {
+        assert_eq!(c.purity(&labels).to_bits(), p0.to_bits());
+    }
+}

@@ -46,9 +46,12 @@ const LEVELS: [(&str, Parallelism); 4] = [
 ];
 
 fn main() -> ExitCode {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_ingest.json".into());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        socsense_bench::workspace_root()
+            .join("BENCH_ingest.json")
+            .display()
+            .to_string()
+    });
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

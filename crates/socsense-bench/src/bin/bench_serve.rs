@@ -68,9 +68,12 @@ fn latency_row(metrics: &MetricsSnapshot, request: &str) -> serde_json::Value {
 }
 
 fn main() -> ExitCode {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_serve.json".into());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        socsense_bench::workspace_root()
+            .join("BENCH_serve.json")
+            .display()
+            .to_string()
+    });
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

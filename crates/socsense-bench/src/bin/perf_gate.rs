@@ -7,20 +7,24 @@
 //!     [GATES.toml] [RESULTS_DIR]
 //! ```
 //!
-//! Defaults: `scripts/perf_gates.toml` and the current directory. Exits
+//! Defaults: `scripts/perf_gates.toml` and the workspace root (both
+//! resolved via [`socsense_bench::workspace_root`], so invoking the
+//! binary from a crate subdirectory checks the same files). Exits
 //! non-zero when any gate fails *or* any gated measurement is missing —
 //! a bench that silently stopped emitting a number must not pass.
 
 use std::process::ExitCode;
 
 use socsense_bench::gate::{evaluate, parse_gates, render};
+use socsense_bench::workspace_root;
 
 fn run() -> Result<bool, String> {
+    let root = workspace_root();
     let mut args = std::env::args().skip(1);
     let gates_path = args
         .next()
-        .unwrap_or_else(|| "scripts/perf_gates.toml".into());
-    let results_dir = args.next().unwrap_or_else(|| ".".into());
+        .unwrap_or_else(|| root.join("scripts/perf_gates.toml").display().to_string());
+    let results_dir = args.next().unwrap_or_else(|| root.display().to_string());
 
     let text =
         std::fs::read_to_string(&gates_path).map_err(|e| format!("reading {gates_path}: {e}"))?;

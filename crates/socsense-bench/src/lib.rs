@@ -17,14 +17,51 @@
 //! declarative, plus [`gate`] — the declarative perf-regression floors
 //! CI's `perf-gate` job enforces over the emitted `BENCH_*.json`.
 
+// detlint: contract = tooling
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gate;
 
+use std::path::PathBuf;
+
 use socsense_core::{ClaimData, Theta};
 use socsense_synth::{empirical_theta, GeneratorConfig, SyntheticDataset};
 use socsense_twitter::{ScenarioConfig, TwitterDataset};
+
+/// Absolute path of the workspace root, shared by every tool that
+/// resolves repo-relative paths: the `perf_gate` checker (gates file +
+/// default results dir), the bench bins (default `BENCH_*.json`
+/// destinations), and `detlint --workspace` (the scan set). Factoring
+/// one helper keeps them in agreement when invoked from a crate
+/// subdirectory instead of the root.
+///
+/// Resolution order:
+///
+/// 1. the nearest ancestor of the current directory whose `Cargo.toml`
+///    declares `[workspace]` — so running a tool from
+///    `crates/socsense-core/` finds the same root as running it from
+///    the checkout top;
+/// 2. otherwise the workspace this crate was compiled from
+///    (`CARGO_MANIFEST_DIR/../..`), which covers invocations from
+///    outside any checkout (e.g. an absolute-path binary run from `/`).
+pub fn workspace_root() -> PathBuf {
+    if let Ok(cwd) = std::env::current_dir() {
+        for dir in cwd.ancestors() {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.lines().any(|l| l.trim() == "[workspace]") {
+                    return dir.to_path_buf();
+                }
+            }
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate manifest dir has a workspace two levels up")
+        .to_path_buf()
+}
 
 /// A paper-defaults synthetic dataset with `n` sources (seeded).
 pub fn synth_fixture(n: u32, seed: u64) -> SyntheticDataset {
@@ -114,6 +151,19 @@ pub fn jsonl_corpus(n: usize, seed: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn workspace_root_agrees_from_subdirectories() {
+        // The test process runs somewhere inside the checkout, so the
+        // ancestor walk must find the directory that declares the
+        // workspace and contains this crate.
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").exists(), "{root:?}");
+        assert!(
+            root.join("crates/socsense-bench/Cargo.toml").exists(),
+            "{root:?} is not the workspace root"
+        );
+    }
 
     #[test]
     fn fixtures_build() {

@@ -43,6 +43,7 @@
 //! # Ok::<(), socsense_core::SenseError>(())
 //! ```
 
+// detlint: contract = deterministic
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

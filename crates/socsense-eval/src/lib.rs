@@ -15,6 +15,7 @@
 //! | Table III | [`experiments::table3`] | simulated dataset summaries |
 //! | Fig. 11 | [`experiments::fig11`] | 7 algorithms × 5 Twitter scenarios |
 
+// detlint: contract = tooling
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

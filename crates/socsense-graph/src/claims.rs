@@ -15,7 +15,7 @@
 //! in `DESIGN.md` §4.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use socsense_matrix::{SparseBinaryMatrix, SparseBinaryMatrixBuilder};
 
@@ -65,7 +65,9 @@ pub fn build_matrices(
     graph: &FollowerGraph,
 ) -> (SparseBinaryMatrix, SparseBinaryMatrix) {
     // Earliest claim time per (source, assertion).
-    let mut first_claim: HashMap<(u32, u32), u64> = HashMap::with_capacity(claims.len());
+    // BTreeMap: the builder sorts entries anyway, but iterating in key
+    // order below keeps this function free of hash-order escapes.
+    let mut first_claim: BTreeMap<(u32, u32), u64> = BTreeMap::new();
     for c in claims {
         assert!(
             c.source < n && c.assertion < m,
@@ -88,7 +90,7 @@ pub fn build_matrices(
     let sc = sc_builder.build();
 
     // Earliest ancestor claim time per (follower, assertion).
-    let mut anc_time: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut anc_time: BTreeMap<(u32, u32), u64> = BTreeMap::new();
     for (&(s, a), &t) in &first_claim {
         for &f in graph.followers(s) {
             anc_time

@@ -39,6 +39,7 @@
 //! assert!(!d.contains(0, 1));  // D_{1,2} = 0
 //! ```
 
+// detlint: contract = deterministic
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -1,0 +1,49 @@
+//! `socsense-lint` — the `detlint` static-analysis pass.
+//!
+//! Every estimate this workspace ships is contractually bit-identical
+//! across worker counts, warm/cold refits, and recorder on/off. The
+//! runtime `f64::to_bits` tests check that contract *after the fact*;
+//! `detlint` promotes it to a machine-checked property of the source:
+//! a hand-rolled lexer (no `syn` — the workspace vendors none) strips
+//! comments and literals from every `src/` and `tests/` file, and a
+//! small rule catalogue rejects the constructs that historically break
+//! determinism in dependency-aware truth discovery — hash-order
+//! iteration, wall-clock reads, out-of-order float reductions,
+//! NaN-poisoned comparators, and panicking calls on the serve path.
+//!
+//! Each crate declares its contract in its root file:
+//!
+//! ```text
+//! # detlint: contract = deterministic   (written with `//`)
+//! ```
+//!
+//! and individual findings are silenced, one line at a time, with a
+//! justified suppression:
+//!
+//! ```text
+//! # detlint: allow(D2) -- observation-only: feeds latency histograms
+//! ```
+//!
+//! An empty justification is itself an error. See `DESIGN.md` §9 for
+//! the rule catalogue and the relation to the runtime bit-identity
+//! tests, and [`rules`] for the per-rule details.
+//!
+//! The `detlint` binary exits nonzero on any unsuppressed finding:
+//!
+//! ```text
+//! cargo run -p socsense-lint --bin detlint -- --workspace
+//! cargo run -p socsense-lint --bin detlint -- --workspace --format json
+//! ```
+
+// detlint: contract = tooling
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{check_file, declared_contract, Contract, FileInput, Finding};
+pub use scan::{scan_workspace, Report};

@@ -1,0 +1,109 @@
+//! Report rendering: `file:line: rule(id): message` text, and a
+//! machine-readable JSON document for CI artifacts.
+//!
+//! The JSON writer is hand-rolled (string escaping + literal layout) in
+//! the same no-external-deps style as the lexer; the crate's tests
+//! parse the output back with the vendored `serde_json` to pin
+//! well-formedness.
+
+use crate::scan::Report;
+
+/// Renders findings as `file:line: rule(id): message` lines, suppressed
+/// findings annotated, followed by a one-line summary.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        if f.suppressed {
+            let why = f.justification.as_deref().unwrap_or("");
+            out.push_str(&format!(
+                "{}:{}: rule({}): suppressed: {} [allow: {}]\n",
+                f.file, f.line, f.rule, f.message, why
+            ));
+        } else {
+            out.push_str(&format!(
+                "{}:{}: rule({}): {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "detlint: {} file(s), {} crate(s), {} finding(s) ({} unsuppressed)\n",
+        report.files_scanned,
+        report.crates.len(),
+        report.findings.len(),
+        report.unsuppressed()
+    ));
+    out
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as one JSON object:
+///
+/// ```json
+/// {
+///   "root": "…", "files_scanned": 120, "unsuppressed": 0,
+///   "crates": [{"name": "socsense-core", "contract": "deterministic"}],
+///   "findings": [{"file": "…", "line": 3, "rule": "D1",
+///                 "message": "…", "suppressed": true,
+///                 "justification": "…"}]
+/// }
+/// ```
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"root\": \"{}\",\n", esc(&report.root)));
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"unsuppressed\": {},\n",
+        report.files_scanned,
+        report.unsuppressed()
+    ));
+    out.push_str("  \"crates\": [");
+    for (i, (name, contract)) in report.crates.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"contract\": \"{}\"}}",
+            esc(name),
+            contract
+        ));
+    }
+    out.push_str("],\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let justification = match &f.justification {
+            Some(j) => format!("\"{}\"", esc(j)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \
+             \"suppressed\": {}, \"justification\": {}}}{}\n",
+            esc(&f.file),
+            f.line,
+            f.rule,
+            esc(&f.message),
+            f.suppressed,
+            justification,
+            if i + 1 == report.findings.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

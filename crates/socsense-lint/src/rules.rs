@@ -1,0 +1,674 @@
+//! The detlint rule catalogue (D1–D5) plus the contract and
+//! suppression machinery.
+//!
+//! Rules operate on the stripped token stream from [`crate::lexer`] and
+//! are deliberately *shape-based*: no type inference, no name
+//! resolution. Where a rule needs to know a value's type (D1's "is this
+//! a hash collection?"), it uses a per-file heuristic — `let` bindings
+//! whose declaration statement mentions `HashMap`/`HashSet` are marked,
+//! and iteration methods on marked names fire. The heuristic is tuned
+//! to miss nothing the workspace actually writes; a false positive is
+//! silenced with a justified `// detlint: allow(…) -- …` comment, which
+//! is itself a reviewable diff.
+//!
+//! | rule | contract | what it rejects |
+//! |------|----------|-----------------|
+//! | D1 | deterministic | order-escaping iteration over `HashMap`/`HashSet` (`.iter()`, `.keys()`, `.values()`, `.drain()`, set ops, `for … in map`) |
+//! | D2 | deterministic | nondeterminism sources: `Instant::now`, `SystemTime`, `thread_rng`, `std::env::var*`, pointer casts |
+//! | D3 | deterministic | float reductions (`.sum::<f32/f64>()`, `.fold(`) in the same statement as a `par_*` primitive, outside the blessed `socsense_matrix::parallel` merge helpers |
+//! | D4 | deterministic | `partial_cmp(…).unwrap()/expect()` — NaN-poisoned comparator panics |
+//! | D5 | all | crate roots missing `#![forbid(unsafe_code)]`; `unwrap()/expect()` in non-test serve/streaming code |
+//!
+//! `C1` (contract declaration problems) and `S1` (suppression
+//! problems, including an empty justification) are meta-rules emitted
+//! by this module; they cannot themselves be suppressed.
+
+use crate::lexer::{lex, Directive, Tok, TokKind};
+
+/// The determinism contract a crate declares in its root file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contract {
+    /// Full contract: D1–D5 all apply. Required for every crate on the
+    /// serving path (`socsense-core` … `socsense-serve`).
+    Deterministic,
+    /// Tooling contract: only the D5 header audit applies (benches,
+    /// eval harnesses, observability, and detlint itself — code whose
+    /// output never feeds a posterior).
+    Tooling,
+}
+
+impl Contract {
+    /// Parses a declared contract name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "deterministic" => Some(Self::Deterministic),
+            "tooling" => Some(Self::Tooling),
+            _ => None,
+        }
+    }
+}
+
+/// Crates that must declare `contract = deterministic`; a declaration
+/// loosening one of these to `tooling` is itself a finding, so the
+/// contract cannot erode silently.
+pub const EXPECT_DETERMINISTIC: &[&str] = &[
+    "socsense",
+    "socsense-core",
+    "socsense-matrix",
+    "socsense-graph",
+    "socsense-baselines",
+    "socsense-synth",
+    "socsense-twitter",
+    "socsense-apollo",
+    "socsense-serve",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id: `D1`–`D5`, `C1`, or `S1`.
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Whether a justified suppression covers this finding.
+    pub suppressed: bool,
+    /// The suppression's justification, when suppressed.
+    pub justification: Option<String>,
+}
+
+/// Everything [`check_file`] needs to know about one source file.
+#[derive(Debug, Clone, Copy)]
+pub struct FileInput<'a> {
+    /// Crate the file belongs to (directory name, e.g. `socsense-core`).
+    pub crate_name: &'a str,
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: &'a str,
+    /// Whether this is the crate root (`src/lib.rs`) — the header-audit
+    /// target.
+    pub is_crate_root: bool,
+    /// The crate's declared contract.
+    pub contract: Contract,
+    /// File contents.
+    pub source: &'a str,
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+    "intersection",
+    "union",
+    "difference",
+    "symmetric_difference",
+];
+
+const PAR_PRIMITIVES: &[&str] = &[
+    "par_chunks",
+    "par_map_collect",
+    "par_map_reduce",
+    "par_fill",
+];
+
+/// The one module allowed to reduce floats over parallel results: its
+/// merges fold shard outputs in shard-index order.
+const BLESSED_MERGE_FILE: &str = "crates/socsense-matrix/src/parallel.rs";
+
+/// Files whose non-test `unwrap()`/`expect()` calls D5 rejects: a panic
+/// on the serve worker thread (or in the streaming estimator it owns)
+/// wedges every connected client.
+fn in_d5_unwrap_scope(input: &FileInput) -> bool {
+    (input.crate_name == "socsense-serve" && !input.rel_path.contains("/tests/"))
+        || input
+            .rel_path
+            .ends_with("crates/socsense-core/src/streaming.rs")
+}
+
+/// Runs every applicable rule over one file and applies suppressions.
+pub fn check_file(input: &FileInput) -> Vec<Finding> {
+    let lexed = lex(input.source);
+    let toks = &lexed.tokens;
+    let mut findings: Vec<Finding> = Vec::new();
+    let push = |line: u32, rule: &'static str, message: String, findings: &mut Vec<Finding>| {
+        findings.push(Finding {
+            file: input.rel_path.to_string(),
+            line,
+            rule,
+            message,
+            suppressed: false,
+            justification: None,
+        });
+    };
+
+    if input.contract == Contract::Deterministic {
+        rule_d1(toks, &mut findings, input);
+        rule_d2(toks, &mut findings, input);
+        rule_d3(toks, &mut findings, input);
+        rule_d4(toks, &mut findings, input);
+        if in_d5_unwrap_scope(input) {
+            rule_d5_unwrap(toks, &mut findings, input);
+        }
+    }
+    if input.is_crate_root && !has_forbid_unsafe(toks) {
+        push(
+            1,
+            "D5",
+            "crate root is missing `#![forbid(unsafe_code)]`".into(),
+            &mut findings,
+        );
+    }
+
+    // Suppression pass: a justified `allow` on the finding's line or the
+    // line above silences it; an empty justification is itself an error.
+    for d in &lexed.directives {
+        match d {
+            Directive::Allow {
+                line,
+                rules,
+                justification,
+            } => {
+                if justification.is_empty() {
+                    push(
+                        *line,
+                        "S1",
+                        format!(
+                            "suppression of {} has no justification; write `-- <why>`",
+                            rules.join(", ")
+                        ),
+                        &mut findings,
+                    );
+                }
+                for f in findings.iter_mut() {
+                    let meta = f.rule == "S1" || f.rule == "C1";
+                    if !meta
+                        && !f.suppressed
+                        && (f.line == *line || f.line == line + 1)
+                        && rules.iter().any(|r| r == f.rule)
+                    {
+                        f.suppressed = true;
+                        f.justification = Some(justification.clone());
+                    }
+                }
+            }
+            Directive::Malformed { line, message } => {
+                push(*line, "S1", message.clone(), &mut findings);
+            }
+            Directive::Contract { .. } => {}
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Extracts the contract declaration from a crate root file, reporting
+/// `C1` findings for a missing/unknown declaration or for a named
+/// deterministic crate trying to declare itself `tooling`.
+pub fn declared_contract(
+    crate_name: &str,
+    rel_path: &str,
+    source: &str,
+) -> (Contract, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let declared = lex(source).directives.iter().find_map(|d| match d {
+        Directive::Contract { line, value } => Some((*line, value.clone())),
+        _ => None,
+    });
+    let must_be_deterministic = EXPECT_DETERMINISTIC.contains(&crate_name);
+    let contract = match declared {
+        Some((line, value)) => match Contract::parse(&value) {
+            Some(c) => {
+                if must_be_deterministic && c != Contract::Deterministic {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line,
+                        rule: "C1",
+                        message: format!(
+                            "crate `{crate_name}` is on the deterministic serving path and \
+                             cannot loosen its contract to `{value}`"
+                        ),
+                        suppressed: false,
+                        justification: None,
+                    });
+                }
+                c
+            }
+            None => {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line,
+                    rule: "C1",
+                    message: format!(
+                        "unknown contract `{value}` (expected `deterministic` or `tooling`)"
+                    ),
+                    suppressed: false,
+                    justification: None,
+                });
+                default_contract(must_be_deterministic)
+            }
+        },
+        None => {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: 1,
+                rule: "C1",
+                message: format!(
+                    "crate `{crate_name}` declares no determinism contract; add \
+                     `// detlint: contract = <deterministic|tooling>` to its root file"
+                ),
+                suppressed: false,
+                justification: None,
+            });
+            default_contract(must_be_deterministic)
+        }
+    };
+    (contract, findings)
+}
+
+fn default_contract(must_be_deterministic: bool) -> Contract {
+    // A crate that fails to declare still gets linted under the
+    // contract it should have had, so the C1 finding is not a bypass.
+    if must_be_deterministic {
+        Contract::Deterministic
+    } else {
+        Contract::Tooling
+    }
+}
+
+// ---------------------------------------------------------------------
+// D1: hash-order iteration
+// ---------------------------------------------------------------------
+
+/// Names of `let`-bound locals whose declaration statement mentions
+/// `HashMap`/`HashSet` (type annotation or initializer).
+fn hash_bound_names(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].kind == TokKind::Ident {
+                let name = toks[j].text.clone();
+                // Statement window: up to the next `;` (close enough —
+                // a nested `;` only shrinks the window).
+                let end = toks[j..]
+                    .iter()
+                    .position(|t| t.is_punct(';'))
+                    .map(|p| j + p)
+                    .unwrap_or(toks.len());
+                if toks[j..end]
+                    .iter()
+                    .any(|t| t.is_ident("HashMap") || t.is_ident("HashSet"))
+                {
+                    names.push(name);
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// Walks left from the `.` of a method call to the base identifier of
+/// the receiver chain: `a.b[c].keys()` → `a`.
+fn receiver_base(toks: &[Tok], dot_idx: usize) -> Option<&str> {
+    let mut k = dot_idx.checked_sub(1)?;
+    loop {
+        // Skip one trailing index/call group.
+        while toks[k].is_punct(']') || toks[k].is_punct(')') {
+            let close = if toks[k].is_punct(']') {
+                (']', '[')
+            } else {
+                (')', '(')
+            };
+            let mut depth = 0i32;
+            loop {
+                if toks[k].is_punct(close.0) {
+                    depth += 1;
+                } else if toks[k].is_punct(close.1) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = k.checked_sub(1)?;
+            }
+            k = k.checked_sub(1)?;
+        }
+        if toks[k].kind != TokKind::Ident {
+            return None;
+        }
+        match k.checked_sub(1) {
+            Some(p) if toks[p].is_punct('.') => {
+                k = p.checked_sub(1)?;
+            }
+            _ => return Some(&toks[k].text),
+        }
+    }
+}
+
+fn rule_d1(toks: &[Tok], findings: &mut Vec<Finding>, input: &FileInput) {
+    let marked = hash_bound_names(toks);
+    let is_marked = |name: &str| marked.binary_search(&name.to_string()).is_ok();
+
+    for i in 1..toks.len() {
+        // `<recv>.method(` where method escapes hash order.
+        if toks[i].kind == TokKind::Ident
+            && ITER_METHODS.contains(&toks[i].text.as_str())
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            if let Some(base) = receiver_base(toks, i - 1) {
+                if is_marked(base) {
+                    findings.push(Finding {
+                        file: input.rel_path.to_string(),
+                        line: toks[i].line,
+                        rule: "D1",
+                        message: format!(
+                            "`.{}()` on hash-ordered `{base}` escapes iteration order; \
+                             use a BTreeMap/BTreeSet or an index-ordered traversal",
+                            toks[i].text
+                        ),
+                        suppressed: false,
+                        justification: None,
+                    });
+                }
+            }
+        }
+        // `for … in [&[mut]] <marked> {` — by-value/by-ref loop over the
+        // whole collection.
+        if toks[i].is_ident("for") {
+            let horizon = (i + 1..toks.len().min(i + 24)).find(|&j| toks[j].is_ident("in"));
+            if let Some(mut j) = horizon {
+                j += 1;
+                while j < toks.len() && (toks[j].is_punct('&') || toks[j].is_ident("mut")) {
+                    j += 1;
+                }
+                if j + 1 < toks.len()
+                    && toks[j].kind == TokKind::Ident
+                    && is_marked(&toks[j].text)
+                    && toks[j + 1].is_punct('{')
+                {
+                    findings.push(Finding {
+                        file: input.rel_path.to_string(),
+                        line: toks[j].line,
+                        rule: "D1",
+                        message: format!(
+                            "`for … in {}` iterates a hash-ordered collection; \
+                             use a BTreeMap/BTreeSet or an index-ordered traversal",
+                            toks[j].text
+                        ),
+                        suppressed: false,
+                        justification: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D2: nondeterminism sources
+// ---------------------------------------------------------------------
+
+fn rule_d2(toks: &[Tok], findings: &mut Vec<Finding>, input: &FileInput) {
+    let mut push = |line: u32, what: &str| {
+        findings.push(Finding {
+            file: input.rel_path.to_string(),
+            line,
+            rule: "D2",
+            message: format!("{what} is a nondeterminism source in a deterministic crate"),
+            suppressed: false,
+            justification: None,
+        });
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            push(t.line, "`Instant::now()`");
+        }
+        if t.is_ident("SystemTime") {
+            push(t.line, "`SystemTime`");
+        }
+        if t.is_ident("thread_rng") {
+            push(t.line, "`thread_rng()` (use a seeded StdRng)");
+        }
+        if t.is_ident("env")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.is_ident("var") || t.is_ident("var_os") || t.is_ident("vars"))
+        {
+            push(t.line, "`std::env::var` (thread the value through config)");
+        }
+        if t.is_ident("as")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('*'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.is_ident("const") || t.is_ident("mut"))
+        {
+            push(t.line, "pointer cast (addresses are not stable keys)");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D3: float reductions next to parallel primitives
+// ---------------------------------------------------------------------
+
+fn rule_d3(toks: &[Tok], findings: &mut Vec<Finding>, input: &FileInput) {
+    if input.rel_path.ends_with(BLESSED_MERGE_FILE) {
+        return;
+    }
+    for i in 1..toks.len() {
+        let is_float_sum = toks[i].is_ident("sum")
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('<'))
+            && toks
+                .get(i + 4)
+                .is_some_and(|t| t.is_ident("f32") || t.is_ident("f64"));
+        let is_fold = toks[i].is_ident("fold")
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !is_float_sum && !is_fold {
+            continue;
+        }
+        // Statement window: previous `;`/`{`/`}` to next `;`.
+        let start = (0..i)
+            .rev()
+            .find(|&j| toks[j].is_punct(';') || toks[j].is_punct('{') || toks[j].is_punct('}'))
+            .map(|j| j + 1)
+            .unwrap_or(0);
+        let end = (i..toks.len())
+            .find(|&j| toks[j].is_punct(';'))
+            .unwrap_or(toks.len());
+        if toks[start..end]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && PAR_PRIMITIVES.contains(&t.text.as_str()))
+        {
+            findings.push(Finding {
+                file: input.rel_path.to_string(),
+                line: toks[i].line,
+                rule: "D3",
+                message: format!(
+                    "float reduction (`.{}`) in the same statement as a parallel primitive; \
+                     merge shard results through `socsense_matrix::parallel`'s in-order helpers",
+                    toks[i].text
+                ),
+                suppressed: false,
+                justification: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D4: NaN-poisoned comparators
+// ---------------------------------------------------------------------
+
+fn rule_d4(toks: &[Tok], findings: &mut Vec<Finding>, input: &FileInput) {
+    for i in 1..toks.len() {
+        if !(toks[i].is_ident("partial_cmp") && toks[i - 1].is_punct('.')) {
+            continue;
+        }
+        // Skip the argument list, then look for `.unwrap(` / `.expect(`.
+        let Some(open) = toks.get(i + 1).filter(|t| t.is_punct('(')).map(|_| i + 1) else {
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < toks.len() {
+            if toks[j].is_punct('(') {
+                depth += 1;
+            } else if toks[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if toks.get(j + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(j + 2)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+        {
+            findings.push(Finding {
+                file: input.rel_path.to_string(),
+                line: toks[i].line,
+                rule: "D4",
+                message: "`partial_cmp(…).unwrap()` panics on NaN; use `f64::total_cmp` or an \
+                          explicit `unwrap_or` with a deterministic tie-break"
+                    .into(),
+                suppressed: false,
+                justification: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D5: header audit + panicking calls on the serve path
+// ---------------------------------------------------------------------
+
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+/// Token index ranges lying inside `#[cfg(test)] mod … { … }` blocks.
+fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(')')
+            && toks[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip further attributes, then expect `[pub] mod name {`.
+        let mut j = i + 7;
+        while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < toks.len() {
+                if toks[k].is_punct('[') {
+                    depth += 1;
+                } else if toks[k].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        if toks.get(j).is_some_and(|t| t.is_ident("pub")) {
+            j += 1;
+        }
+        if toks.get(j).is_some_and(|t| t.is_ident("mod")) {
+            if let Some(brace) = (j..toks.len()).find(|&k| toks[k].is_punct('{')) {
+                let mut depth = 0i32;
+                let mut k = brace;
+                while k < toks.len() {
+                    if toks[k].is_punct('{') {
+                        depth += 1;
+                    } else if toks[k].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                ranges.push((i, k));
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn rule_d5_unwrap(toks: &[Tok], findings: &mut Vec<Finding>, input: &FileInput) {
+    let tests = test_ranges(toks);
+    let in_tests = |idx: usize| tests.iter().any(|&(a, b)| idx >= a && idx <= b);
+    for i in 1..toks.len() {
+        if (toks[i].is_ident("unwrap") || toks[i].is_ident("expect"))
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !in_tests(i)
+        {
+            findings.push(Finding {
+                file: input.rel_path.to_string(),
+                line: toks[i].line,
+                rule: "D5",
+                message: format!(
+                    "`.{}()` on the serve path: a panicking worker thread wedges every \
+                     client; propagate the error instead",
+                    toks[i].text
+                ),
+                suppressed: false,
+                justification: None,
+            });
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Rule-level fixture corpus for detlint.
+//!
+//! Each rule gets at least one known-bad snippet that must fire at an
+//! exact `file:line`, and a known-good sibling that must stay silent.
+//! The snippets live in raw strings — detlint's lexer strips string
+//! literals, so scanning this test file never trips over its own
+//! fixtures. Suppression round-trips (justified, empty, wrong-rule)
+//! and contract declaration errors are covered here too.
+
+use socsense_lint::{check_file, declared_contract, Contract, FileInput, Finding};
+
+fn check(contract: Contract, rel_path: &str, source: &str) -> Vec<Finding> {
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("socsense-core");
+    check_file(&FileInput {
+        crate_name,
+        rel_path,
+        is_crate_root: false,
+        contract,
+        source,
+    })
+}
+
+fn det(source: &str) -> Vec<Finding> {
+    check(
+        Contract::Deterministic,
+        "crates/socsense-core/src/x.rs",
+        source,
+    )
+}
+
+fn fired(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.suppressed)
+        .map(|f| f.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_fires_on_hashmap_for_loop_at_exact_line() {
+    let src = r#"use std::collections::HashMap;
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+}
+"#;
+    assert_eq!(fired(&det(src), "D1"), vec![4]);
+}
+
+#[test]
+fn d1_fires_on_keys_values_iter_drain() {
+    let src = r#"use std::collections::{HashMap, HashSet};
+fn f() {
+    let mut m = HashMap::<u32, u32>::new();
+    let s: HashSet<u32> = HashSet::new();
+    let _ = m.keys().count();
+    let _ = m.values().max();
+    let _ = s.iter().sum::<u32>();
+    for x in m.drain() {
+        let _ = x;
+    }
+}
+"#;
+    assert_eq!(fired(&det(src), "D1"), vec![5, 6, 7, 8]);
+}
+
+#[test]
+fn d1_fires_through_index_chains() {
+    let src = r#"use std::collections::HashMap;
+fn f(cu: usize) {
+    let tables: Vec<HashMap<u32, usize>> = vec![HashMap::new()];
+    let _ = tables[cu].iter().max_by_key(|(_, &n)| n);
+}
+"#;
+    assert_eq!(fired(&det(src), "D1"), vec![4]);
+}
+
+#[test]
+fn d1_fires_on_hashset_set_ops() {
+    let src = r#"fn f(a: &str, b: &str) -> usize {
+    let sa: std::collections::HashSet<&str> = a.split_whitespace().collect();
+    let sb: std::collections::HashSet<&str> = b.split_whitespace().collect();
+    sa.intersection(&sb).count()
+}
+"#;
+    assert_eq!(fired(&det(src), "D1"), vec![4]);
+}
+
+#[test]
+fn d1_silent_on_keyed_lookup_and_btreemap() {
+    let src = r#"use std::collections::{BTreeMap, HashMap};
+fn f() {
+    let mut m: HashMap<&str, u32> = HashMap::new();
+    m.insert("k", 1);
+    let _ = m.get("k");
+    let _ = m["k"];
+    let _ = m.len();
+    let _ = m.entry("x").or_insert(2);
+    let b: BTreeMap<u32, u32> = BTreeMap::new();
+    for (k, v) in &b {
+        let _ = (k, v);
+    }
+    let _ = b.keys().count();
+    let plain = vec![1, 2, 3];
+    let _ = plain.iter().sum::<i32>();
+}
+"#;
+    assert_eq!(det(src).len(), 0, "{:?}", det(src));
+}
+
+#[test]
+fn d1_silent_in_tooling_crates() {
+    let src = r#"use std::collections::HashMap;
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+}
+"#;
+    let f = check(Contract::Tooling, "crates/socsense-bench/src/x.rs", src);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_fires_on_each_nondeterminism_source() {
+    let src = r#"use std::time::{Instant, SystemTime};
+fn f() {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    let r = rand::thread_rng();
+    let v = std::env::var("SEED");
+    let _ = (t, s, r, v);
+}
+"#;
+    assert_eq!(fired(&det(src), "D2"), vec![1, 3, 4, 5, 6]);
+    // line 1: `SystemTime` in the use statement — any mention of the
+    // type is flagged, not just `::now()` calls.
+}
+
+#[test]
+fn d2_fires_on_pointer_cast() {
+    let src = r#"fn f(x: &u32) -> usize {
+    let p = x as *const u32;
+    p as usize
+}
+"#;
+    assert_eq!(fired(&det(src), "D2"), vec![2]);
+}
+
+#[test]
+fn d2_silent_on_seeded_rng_and_env_args() {
+    let src = r#"fn f() {
+    let rng = StdRng::seed_from_u64(42);
+    let arg = std::env::args().nth(1);
+    let _ = (rng, arg);
+}
+"#;
+    assert_eq!(det(src).len(), 0);
+}
+
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_fires_on_float_reduction_over_parallel_results() {
+    let src = r#"fn f(par: Parallelism, n: usize, xs: &[f64]) -> f64 {
+    let total = parallel::par_chunks(par, n, |r| chunk(xs, r))
+        .iter()
+        .map(|c| c.local_sum)
+        .sum::<f64>();
+    total
+}
+"#;
+    assert_eq!(fired(&det(src), "D3"), vec![5]);
+}
+
+#[test]
+fn d3_fires_on_fold_merge_of_shards() {
+    let src = r#"fn f(par: Parallelism, n: usize) -> f64 {
+    parallel::par_map_collect(par, n, eval).into_iter().fold(0.0, |a, b| a + b)
+}
+"#;
+    assert_eq!(fired(&det(src), "D3"), vec![2]);
+}
+
+#[test]
+fn d3_silent_on_serial_reductions_and_blessed_file() {
+    let serial = r#"fn f(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+"#;
+    assert_eq!(det(serial).len(), 0);
+
+    let merge = r#"fn merge(shards: Vec<f64>, par: Parallelism, n: usize) -> f64 {
+    parallel::par_chunks(par, n, eval).iter().sum::<f64>()
+}
+"#;
+    let blessed = check(
+        Contract::Deterministic,
+        "crates/socsense-matrix/src/parallel.rs",
+        merge,
+    );
+    assert!(blessed.is_empty(), "blessed merge helpers are exempt");
+}
+
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_fires_on_partial_cmp_unwrap_at_exact_line() {
+    let src = r#"fn f(scores: &mut Vec<f64>) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+}
+"#;
+    assert_eq!(fired(&det(src), "D4"), vec![2, 3]);
+}
+
+#[test]
+fn d4_silent_on_total_cmp_and_guarded_fallback() {
+    let src = r#"fn f(scores: &mut Vec<f64>, idx: &mut Vec<u32>) {
+    scores.sort_by(f64::total_cmp);
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+}
+"#;
+    assert_eq!(det(src).len(), 0, "{:?}", det(src));
+}
+
+// ---------------------------------------------------------------- D5
+
+#[test]
+fn d5_fires_on_missing_forbid_unsafe_header() {
+    let src = "pub fn f() {}\n";
+    let findings = check_file(&FileInput {
+        crate_name: "socsense-core",
+        rel_path: "crates/socsense-core/src/lib.rs",
+        is_crate_root: true,
+        contract: Contract::Deterministic,
+        source: src,
+    });
+    assert_eq!(fired(&findings, "D5"), vec![1]);
+
+    let good = "// detlint: contract = deterministic\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+    let findings = check_file(&FileInput {
+        crate_name: "socsense-core",
+        rel_path: "crates/socsense-core/src/lib.rs",
+        is_crate_root: true,
+        contract: Contract::Deterministic,
+        source: good,
+    });
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d5_fires_on_unwrap_in_serve_non_test_code_only() {
+    let src = r#"pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+pub fn g(x: Result<u32, ()>) -> u32 {
+    x.expect("present")
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let y: Option<u32> = Some(1);
+        y.unwrap();
+    }
+}
+"#;
+    let findings = check(
+        Contract::Deterministic,
+        "crates/socsense-serve/src/worker.rs",
+        src,
+    );
+    assert_eq!(fired(&findings, "D5"), vec![2, 5], "test mod exempt");
+
+    // The same code outside the serve/streaming scope is fine.
+    let elsewhere = check(
+        Contract::Deterministic,
+        "crates/socsense-core/src/em.rs",
+        src,
+    );
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
+
+    // streaming.rs is in scope.
+    let streaming = check(
+        Contract::Deterministic,
+        "crates/socsense-core/src/streaming.rs",
+        src,
+    );
+    assert_eq!(fired(&streaming, "D5"), vec![2, 5]);
+}
+
+// ------------------------------------------------------ suppressions
+
+#[test]
+fn suppression_with_justification_silences_same_and_next_line() {
+    let trailing = r#"use std::time::Instant;
+fn f() {
+    let t = Instant::now(); // detlint: allow(D2) -- bench-only timer
+    let _ = t;
+}
+"#;
+    let f = det(trailing);
+    assert_eq!(fired(&f, "D2"), Vec::<u32>::new(), "{f:?}");
+    assert!(f
+        .iter()
+        .any(|x| x.suppressed && x.justification.as_deref() == Some("bench-only timer")));
+
+    let preceding = r#"use std::time::Instant;
+fn f() {
+    // detlint: allow(D2) -- bench-only timer
+    let t = Instant::now();
+    let _ = t;
+}
+"#;
+    assert_eq!(fired(&det(preceding), "D2"), Vec::<u32>::new());
+}
+
+#[test]
+fn suppression_with_empty_justification_is_an_error() {
+    let src = r#"use std::time::Instant;
+fn f() {
+    // detlint: allow(D2)
+    let t = Instant::now();
+    let _ = t;
+}
+"#;
+    let f = det(src);
+    assert_eq!(fired(&f, "S1"), vec![3], "empty justification errors");
+    let bare = r#"use std::time::Instant;
+fn f() {
+    // detlint: allow(D2) --
+    let t = Instant::now();
+    let _ = t;
+}
+"#;
+    assert_eq!(fired(&det(bare), "S1"), vec![3], "bare `--` errors too");
+}
+
+#[test]
+fn suppression_for_the_wrong_rule_does_not_silence() {
+    let src = r#"use std::time::Instant;
+fn f() {
+    // detlint: allow(D1) -- not the rule that fires here
+    let t = Instant::now();
+    let _ = t;
+}
+"#;
+    assert_eq!(fired(&det(src), "D2"), vec![4]);
+}
+
+#[test]
+fn suppression_does_not_leak_past_the_next_line() {
+    let src = r#"use std::time::Instant;
+fn f() {
+    // detlint: allow(D2) -- covers only the next line
+    let a = Instant::now();
+    let b = Instant::now();
+    let _ = (a, b);
+}
+"#;
+    assert_eq!(fired(&det(src), "D2"), vec![5]);
+}
+
+#[test]
+fn malformed_directive_is_an_error() {
+    let src = "// detlint: allow D2 -- missing parens\nfn f() {}\n";
+    assert_eq!(fired(&det(src), "S1"), vec![1]);
+}
+
+// --------------------------------------------------------- contracts
+
+#[test]
+fn contract_declarations_parse_and_default() {
+    let (c, f) = declared_contract(
+        "socsense-core",
+        "crates/socsense-core/src/lib.rs",
+        "// detlint: contract = deterministic\n#![forbid(unsafe_code)]\n",
+    );
+    assert_eq!(c, Contract::Deterministic);
+    assert!(f.is_empty());
+
+    let (c, f) = declared_contract(
+        "socsense-bench",
+        "crates/socsense-bench/src/lib.rs",
+        "// detlint: contract = tooling\n",
+    );
+    assert_eq!(c, Contract::Tooling);
+    assert!(f.is_empty());
+}
+
+#[test]
+fn missing_contract_is_an_error_but_still_lints_strict() {
+    let (c, f) = declared_contract(
+        "socsense-core",
+        "crates/socsense-core/src/lib.rs",
+        "#![forbid(unsafe_code)]\n",
+    );
+    assert_eq!(c, Contract::Deterministic, "named crates stay strict");
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].rule, "C1");
+}
+
+#[test]
+fn serving_path_crates_cannot_loosen_to_tooling() {
+    let (c, f) = declared_contract(
+        "socsense-serve",
+        "crates/socsense-serve/src/lib.rs",
+        "// detlint: contract = tooling\n",
+    );
+    assert_eq!(c, Contract::Tooling, "declaration honoured…");
+    assert_eq!(f.len(), 1, "…but reported");
+    assert_eq!(f[0].rule, "C1");
+    assert!(f[0].message.contains("cannot loosen"));
+}

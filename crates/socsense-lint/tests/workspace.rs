@@ -1,0 +1,204 @@
+//! Live-workspace meta-test plus an end-to-end exercise of the
+//! `detlint` binary against a throwaway fake workspace.
+//!
+//! The meta-test is the teeth of the determinism contract: the real
+//! source tree must lint clean (zero *unsuppressed* findings, every
+//! suppression justified). The binary test is the negative control CI
+//! cannot express directly — it plants a known-bad file, asserts exit 1
+//! and a JSON finding at the right line, fixes the file, and asserts
+//! exit 0.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use serde_json::Value;
+use socsense_lint::scan_workspace;
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.as_object()
+        .unwrap_or_else(|| panic!("expected object with key {key}, got {v:?}"))
+        .get(key)
+        .unwrap_or_else(|| panic!("missing key {key} in {v:?}"))
+}
+
+fn as_bool(v: &Value) -> bool {
+    match v {
+        Value::Bool(b) => *b,
+        other => panic!("expected bool, got {other:?}"),
+    }
+}
+
+#[test]
+fn live_workspace_has_zero_unsuppressed_findings() {
+    let root = socsense_bench::workspace_root();
+    let report = scan_workspace(&root).expect("scanning the live workspace");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: {} files",
+        report.files_scanned
+    );
+
+    let loose: Vec<_> = report.findings.iter().filter(|f| !f.suppressed).collect();
+    assert!(
+        loose.is_empty(),
+        "live workspace has unsuppressed detlint findings:\n{:#?}",
+        loose
+    );
+    for f in report.findings.iter().filter(|f| f.suppressed) {
+        let why = f.justification.as_deref().unwrap_or("");
+        assert!(
+            !why.trim().is_empty(),
+            "suppression at {}:{} has an empty justification",
+            f.file,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn live_workspace_declares_every_expected_crate_deterministic() {
+    let root = socsense_bench::workspace_root();
+    let report = scan_workspace(&root).expect("scanning the live workspace");
+    for name in socsense_lint::rules::EXPECT_DETERMINISTIC {
+        let found = report
+            .crates
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("crate {name} missing from scan"));
+        assert_eq!(
+            found.1, "deterministic",
+            "crate {name} lost its deterministic contract"
+        );
+    }
+}
+
+/// Builds a minimal fake workspace under a unique temp dir and returns
+/// its root. Layout: `Cargo.toml` with `[workspace]`, one crate
+/// `crates/socsense-core` with the given `src/lib.rs` contents.
+fn fake_workspace(tag: &str, lib_rs: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("detlint-e2e-{tag}-{}", std::process::id()));
+    let src = root.join("crates/socsense-core/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(src.join("lib.rs"), lib_rs).unwrap();
+    root
+}
+
+fn detlint(root: &Path, format: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .args(["--root", &root.display().to_string(), "--format", format])
+        .output()
+        .expect("running detlint")
+}
+
+#[test]
+fn binary_flags_planted_violation_then_passes_after_fix() {
+    let bad = concat!(
+        "// detlint: contract = deterministic\n",
+        "#![forbid(unsafe_code)]\n",
+        "use std::collections::HashMap;\n",
+        "pub fn f() {\n",
+        "    let m: HashMap<u32, u32> = HashMap::new();\n",
+        "    for (k, v) in &m {\n",
+        "        let _ = (k, v);\n",
+        "    }\n",
+        "}\n"
+    );
+    let root = fake_workspace("bad", bad);
+
+    let out = detlint(&root, "json");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "planted D1 violation must fail the run; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json: Value =
+        serde_json::from_str(&stdout).expect("detlint --format json emits valid JSON");
+    assert_eq!(field(&json, "unsuppressed").as_f64(), Some(1.0));
+    let finding = &field(&json, "findings").as_array().unwrap()[0];
+    assert_eq!(field(finding, "rule").as_str(), Some("D1"));
+    assert_eq!(
+        field(finding, "file").as_str(),
+        Some("crates/socsense-core/src/lib.rs")
+    );
+    assert_eq!(
+        field(finding, "line").as_f64(),
+        Some(6.0),
+        "fires on the `for` line"
+    );
+    assert!(!as_bool(field(finding, "suppressed")));
+
+    // Fix: keyed lookup over a BTreeMap — the same shape the real
+    // apollo/twitter fixes took.
+    let good = concat!(
+        "// detlint: contract = deterministic\n",
+        "#![forbid(unsafe_code)]\n",
+        "use std::collections::BTreeMap;\n",
+        "pub fn f() {\n",
+        "    let m: BTreeMap<u32, u32> = BTreeMap::new();\n",
+        "    for (k, v) in &m {\n",
+        "        let _ = (k, v);\n",
+        "    }\n",
+        "}\n"
+    );
+    std::fs::write(root.join("crates/socsense-core/src/lib.rs"), good).unwrap();
+
+    let out = detlint(&root, "text");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "fixed tree must pass; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("(0 unsuppressed)"),
+        "summary line reports clean: {text}"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn binary_accepts_justified_suppression_but_rejects_empty_one() {
+    let justified = concat!(
+        "// detlint: contract = deterministic\n",
+        "#![forbid(unsafe_code)]\n",
+        "pub fn f() {\n",
+        "    // detlint: allow(D2) -- test fixture clock, output unused\n",
+        "    let t = std::time::Instant::now();\n",
+        "    let _ = t;\n",
+        "}\n"
+    );
+    let root = fake_workspace("sup", justified);
+    let out = detlint(&root, "text");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "justified suppression passes; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let empty = justified.replace(" -- test fixture clock, output unused", "");
+    std::fs::write(root.join("crates/socsense-core/src/lib.rs"), empty).unwrap();
+    let out = detlint(&root, "json");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "empty justification fails the run"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json: Value = serde_json::from_str(&stdout).unwrap();
+    let rules: Vec<&str> = field(&json, "findings")
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|f| !as_bool(field(f, "suppressed")))
+        .map(|f| field(f, "rule").as_str().unwrap())
+        .collect();
+    assert!(rules.contains(&"S1"), "S1 fires: {rules:?}");
+
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -34,6 +34,7 @@
 //! assert_eq!(sc.nnz(), 3);
 //! ```
 
+// detlint: contract = deterministic
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

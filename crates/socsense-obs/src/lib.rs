@@ -28,6 +28,9 @@
 //! deterministic even when emitted from deterministic parallel regions
 //! (gauges are last-write-wins and must only be set from serial code).
 
+// detlint: contract = tooling
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write;

@@ -58,6 +58,7 @@
 //! # Ok::<(), socsense_serve::ServeError>(())
 //! ```
 
+// detlint: contract = deterministic
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -81,12 +81,16 @@ pub struct ServeHandle {
 }
 
 impl ServeHandle {
+    // Clippy twin of the detlint allow(D2) below: the queue-entry
+    // timestamp is observation-only.
+    #[allow(clippy::disallowed_methods)]
     fn call(&self, req: Request) -> Result<Response, ServeError> {
         let (reply, rx) = mpsc::channel();
         self.depth.fetch_add(1, Ordering::Relaxed);
         let sent = self.tx.send(Envelope {
             req,
             reply,
+            // detlint: allow(D2) -- observation-only: feeds the queue-wait latency histogram; responses never read this clock
             queued: Instant::now(),
         });
         if sent.is_err() {
@@ -278,6 +282,7 @@ impl QueryService {
                 }
                 .run(rx)
             })
+            // detlint: allow(D5) -- construction-time: no client exists yet, so a failed spawn panics the caller, not a worker others wait on
             .expect("spawning the service worker thread");
         Ok(Self {
             tx,

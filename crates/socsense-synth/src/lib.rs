@@ -33,6 +33,7 @@
 //! # Ok::<(), socsense_synth::SynthError>(())
 //! ```
 
+// detlint: contract = deterministic
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

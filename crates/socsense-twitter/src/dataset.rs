@@ -1,7 +1,7 @@
 //! The packaged simulated dataset and its Table III-style summary.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use socsense_core::ClaimData;
 use socsense_graph::{FollowerGraph, TimedClaim};
@@ -124,7 +124,9 @@ impl TwitterDataset {
     /// Table III-style statistics of the generated campaign.
     pub fn summary(&self) -> DatasetSummary {
         // Earliest tweet per (source, assertion) decides originality.
-        let mut first: HashMap<(u32, u32), &Tweet> = HashMap::new();
+        // BTreeMap: the keys()/values() walks below must not depend on
+        // hash-iteration order.
+        let mut first: BTreeMap<(u32, u32), &Tweet> = BTreeMap::new();
         for t in &self.tweets {
             first
                 .entry((t.source, t.assertion))

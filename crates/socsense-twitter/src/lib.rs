@@ -36,6 +36,7 @@
 //! # Ok::<(), socsense_twitter::TwitterError>(())
 //! ```
 
+// detlint: contract = deterministic
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

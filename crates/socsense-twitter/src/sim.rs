@@ -105,7 +105,7 @@ pub(crate) fn run(cfg: &ScenarioConfig, seed: u64) -> SimOutput {
     }
     let sample_source = |rng: &mut StdRng| -> u32 {
         let u: f64 = rng.gen();
-        match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) | Err(i) => (i as u32).min(n - 1),
         }
     };

@@ -137,8 +137,8 @@ mod tests {
     use super::*;
 
     fn jaccard(a: &str, b: &str) -> f64 {
-        let sa: std::collections::HashSet<&str> = a.split_whitespace().collect();
-        let sb: std::collections::HashSet<&str> = b.split_whitespace().collect();
+        let sa: std::collections::BTreeSet<&str> = a.split_whitespace().collect();
+        let sb: std::collections::BTreeSet<&str> = b.split_whitespace().collect();
         let inter = sa.intersection(&sb).count() as f64;
         let union = sa.union(&sb).count() as f64;
         inter / union

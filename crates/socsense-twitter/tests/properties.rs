@@ -97,3 +97,23 @@ proptest! {
         }
     }
 }
+
+/// Regression for the `summary()` hash-map walk (detlint D1): the
+/// earliest-tweet table is now a `BTreeMap`, so repeated calls — and
+/// calls against a log whose tweets arrive in a different order —
+/// produce identical Table III rows. Time ties between tweets of the
+/// same claim resolve by log position, which both orders exercise.
+#[test]
+fn summary_is_identical_across_calls_and_log_orderings() {
+    let ds = TwitterDataset::simulate(&ScenarioConfig::ukraine().scaled(0.02), 11).unwrap();
+    let s = ds.summary();
+    assert_eq!(s, ds.summary(), "repeated calls must agree exactly");
+
+    let mut rev = ds.clone();
+    rev.tweets.reverse();
+    let sr = rev.summary();
+    assert_eq!(s.assertions, sr.assertions);
+    assert_eq!(s.sources, sr.sources);
+    assert_eq!(s.total_claims, sr.total_claims);
+    assert_eq!(s.original_claims, sr.original_claims);
+}

@@ -11,6 +11,11 @@
 //! cargo run --release --example error_bound_audit
 //! ```
 
+// Demo timing only: examples are outside the determinism contract
+// (detlint scans src/ and tests/), and the wall-clock readings here
+// never feed an estimate.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use socsense::core::{exact_bound, gibbs_bound, GibbsConfig};

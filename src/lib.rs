@@ -49,6 +49,7 @@
 //! # Ok::<(), socsense::core::SenseError>(())
 //! ```
 
+// detlint: contract = deterministic
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
