@@ -247,6 +247,7 @@ struct ServeArgs {
     refit_claims: usize,
     threads: Parallelism,
     metrics: Option<String>,
+    delta: bool,
 }
 
 fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -257,6 +258,7 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
         refit_claims: 1,
         threads: Parallelism::Auto,
         metrics: None,
+        delta: false,
     };
     let mut it = it;
     while let Some(flag) = it.next() {
@@ -285,10 +287,12 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
                     Parallelism::Threads(n)
                 };
             }
+            "--delta" => args.delta = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: apollo serve --input tweets.jsonl [--follows follows.csv] \
-                     [--batches N] [--refit-claims N] [--threads N] [--metrics PATH]"
+                     [--batches N] [--refit-claims N] [--threads N] [--delta] \
+                     [--metrics PATH]"
                         .into(),
                 )
             }
@@ -325,6 +329,11 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
         batches: args.batches,
         parallelism: args.threads,
         refit_pending_claims: args.refit_claims,
+        refit_mode: if args.delta {
+            socsense_core::RefitMode::Delta(socsense_core::DeltaConfig::default())
+        } else {
+            socsense_core::RefitMode::Full
+        },
         ..ServeOptions::default()
     };
     let (obs, rec) = metrics_obs(args.metrics.as_deref());
@@ -354,8 +363,14 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
     }
     let stats = session.finish().map_err(|e| e.to_string())?;
     eprintln!(
-        "shutdown: {} requests served, {} chain refits, {} probe refits, {} cache hits",
-        stats.requests_served, stats.chain_refits, stats.probe_refits, stats.probe_cache_hits
+        "shutdown: {} requests served, {} chain refits ({} delta, {} fallback), \
+         {} probe refits, {} cache hits",
+        stats.requests_served,
+        stats.chain_refits,
+        stats.delta_refits,
+        stats.fallback_refits,
+        stats.probe_refits,
+        stats.probe_cache_hits
     );
     dump_metrics(args.metrics.as_deref(), rec.as_deref())?;
     Ok(())

@@ -18,7 +18,7 @@
 //! The command layer lives in the library (rather than the binary) so
 //! the end-to-end path is testable without a subprocess.
 
-use socsense_core::{Obs, Parallelism};
+use socsense_core::{Obs, Parallelism, RefitMode};
 use socsense_graph::TimedClaim;
 use socsense_serve::{QueryService, ServeConfig, ServeError, ServeHandle, ServeStats};
 
@@ -34,6 +34,9 @@ pub struct ServeOptions {
     pub parallelism: Parallelism,
     /// Forwarded to [`ServeConfig::refit_pending_claims`].
     pub refit_pending_claims: usize,
+    /// Forwarded to [`ServeConfig::refit_mode`]: full warm refits per
+    /// batch, or delta-scoped E-steps with threshold-guarded fallback.
+    pub refit_mode: RefitMode,
     /// Text-clustering parameters.
     pub cluster: ClusterConfig,
 }
@@ -44,6 +47,7 @@ impl Default for ServeOptions {
             batches: 6,
             parallelism: Parallelism::Auto,
             refit_pending_claims: 1,
+            refit_mode: RefitMode::Full,
             cluster: ClusterConfig::default(),
         }
     }
@@ -125,6 +129,7 @@ impl ServeSession {
             ServeConfig {
                 refit_pending_claims: opts.refit_pending_claims,
                 parallelism: opts.parallelism,
+                refit_mode: opts.refit_mode,
                 ..ServeConfig::default()
             },
             extra,
@@ -233,9 +238,11 @@ impl ServeSession {
             "stats" => {
                 words_done(words)?;
                 let s = self.client.stats().map_err(|e| e.to_string())?;
+                let opt = |v: Option<usize>| v.map(|i| i.to_string()).unwrap_or_else(|| "-".into());
                 Ok(format!(
                     "claims={} pending={} requests={} chain_refits={} probe_refits={} \
-                     cache_hits={} warm={} last_iters={}",
+                     cache_hits={} warm={} delta={} fallbacks={} last_iters={} \
+                     last_touched={}/{}",
                     s.total_claims,
                     s.pending_claims,
                     s.requests_served,
@@ -243,9 +250,11 @@ impl ServeSession {
                     s.probe_refits,
                     s.probe_cache_hits,
                     s.warm_refits,
-                    s.last_refit_iterations
-                        .map(|i| i.to_string())
-                        .unwrap_or_else(|| "-".into()),
+                    s.delta_refits,
+                    s.fallback_refits,
+                    opt(s.last_refit_iterations),
+                    opt(s.last_touched_assertions),
+                    opt(s.last_touched_sources),
                 ))
             }
             "metrics" => {
@@ -361,6 +370,30 @@ mod tests {
         assert!(snap.counter("bound.assertions_total") >= 1);
         assert!(snap.histogram("serve.request.posterior.seconds").is_some());
         assert!(snap.counter("serve.requests_total") >= 2);
+    }
+
+    #[test]
+    fn delta_mode_session_serves_and_reports_mode_fields() {
+        use socsense_core::DeltaConfig;
+        let opts = ServeOptions {
+            refit_mode: RefitMode::Delta(DeltaConfig::default()),
+            ..ServeOptions::default()
+        };
+        let (session, _) = ServeSession::start(&corpus(), &opts).unwrap();
+        let ans = session.answer("stats").unwrap();
+        assert!(ans.contains("delta="), "{ans}");
+        assert!(ans.contains("fallbacks="), "{ans}");
+        assert!(ans.contains("last_touched="), "{ans}");
+        // Delta-mode answers match a Full-mode session: the default
+        // thresholds only ever swap in fallbacks, which are
+        // bit-identical to full warm refits.
+        let (full, _) = ServeSession::start(&corpus(), &ServeOptions::default()).unwrap();
+        assert_eq!(
+            session.answer("posterior 0").unwrap(),
+            full.answer("posterior 0").unwrap()
+        );
+        session.finish().unwrap();
+        full.finish().unwrap();
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Delta-refit harness: full warm refits vs delta-scoped E-steps on the
+//! streaming path.
+//!
+//! For each history size, a seeded claim stream is ingested into two
+//! [`StreamingEstimator`]s — one in [`RefitMode::Full`], one in
+//! [`RefitMode::Delta`] — both primed with one refit over the whole
+//! history. The harness then ingests identical small batches into each
+//! and times the per-batch refit with `median_timed`. Full mode re-runs
+//! warm EM over the entire log every batch; delta mode re-evaluates only
+//! the assertions the batch touched, so its latency should stay roughly
+//! flat as the history grows while the full path scales linearly.
+//! Writes `BENCH_delta.json` (repo root, or the path given as the first
+//! argument); CI's perf-gate checks the 50k-history speedup floor and
+//! that the measured window saw no fallback storm against
+//! `scripts/perf_gates.toml`.
+//!
+//! ```text
+//! cargo run --release -p socsense-bench --bin bench_delta [OUT.json]
+//! ```
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socsense_core::{DeltaConfig, EmConfig, Obs, RefitMode, RefitOutcome, StreamingEstimator};
+use socsense_graph::{FollowerGraph, TimedClaim};
+
+const N: u32 = 800;
+const M: u32 = 8000;
+const HISTORIES: [usize; 3] = [5_000, 15_000, 50_000];
+const BATCH: usize = 8;
+const REPS: usize = 5;
+const SEED: u64 = 2016;
+
+/// A reliable/unreliable two-camp claim stream, long enough to cover
+/// the largest history plus every measured batch (and the warm-up one).
+fn claim_stream(total: usize) -> Vec<TimedClaim> {
+    let truth: Vec<bool> = (0..M).map(|j| j < M / 2).collect();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut t = 0u64;
+    (0..total)
+        .map(|_| {
+            let s = rng.gen_range(0..N);
+            let honest = s < (N * 3) / 4;
+            let j = loop {
+                let j = rng.gen_range(0..M);
+                if truth[j as usize] == honest {
+                    break j;
+                }
+            };
+            t += 1;
+            TimedClaim::new(s, j, t)
+        })
+        .collect()
+}
+
+/// A sparse follow relation so the dependency matrix is non-trivial.
+fn graph() -> FollowerGraph {
+    let mut g = FollowerGraph::new(N);
+    for i in 1..N {
+        if i % 7 == 0 {
+            g.add_follow(i, i - 1);
+        }
+    }
+    g
+}
+
+struct ModeRun {
+    median_secs: f64,
+    prime_iterations: usize,
+    refits: Vec<RefitOutcome>,
+    last_touched_assertions: usize,
+    last_touched_sources: usize,
+}
+
+/// Primes one estimator over `prefix`, then times `REPS` batch refits
+/// (plus one untimed warm-up batch, consumed by `median_timed`).
+fn run_mode(
+    obs: &Obs,
+    timer_name: &str,
+    mode: RefitMode,
+    prefix: &[TimedClaim],
+    measured: &[Vec<TimedClaim>],
+) -> ModeRun {
+    let mut est =
+        StreamingEstimator::new(N, M, graph(), EmConfig::default()).expect("estimator spawns");
+    est.set_refit_mode(mode).expect("valid refit mode");
+    est.ingest(prefix).expect("prefix ingests");
+    let (_, prime) = est.estimate_with_stats().expect("priming refit");
+    let mut batches = measured.iter();
+    let mut stats = Vec::new();
+    let median_secs = socsense_obs::median_timed(obs, timer_name, REPS, || {
+        let batch = batches.next().expect("enough measured batches");
+        est.ingest(batch).expect("batch ingests");
+        let (_, s) = est.estimate_with_stats().expect("batch refit");
+        stats.push(s);
+    });
+    let last = stats.last().expect("at least one refit");
+    ModeRun {
+        median_secs,
+        prime_iterations: prime.iterations,
+        refits: stats.iter().map(|s| s.mode).collect(),
+        last_touched_assertions: last.touched_assertions,
+        last_touched_sources: last.touched_sources,
+    }
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        socsense_bench::workspace_root()
+            .join("BENCH_delta.json")
+            .display()
+            .to_string()
+    });
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (obs, rec) = Obs::recorder();
+
+    let biggest = HISTORIES[HISTORIES.len() - 1];
+    let stream = claim_stream(biggest + (REPS + 1) * BATCH);
+    let mut rows = Vec::new();
+    let mut delta_medians = Vec::new();
+    for history in HISTORIES {
+        let prefix = &stream[..history];
+        // Both modes see the exact same post-history batches.
+        let measured: Vec<Vec<TimedClaim>> = stream[history..history + (REPS + 1) * BATCH]
+            .chunks(BATCH)
+            .map(<[TimedClaim]>::to_vec)
+            .collect();
+        let full = run_mode(
+            &obs,
+            &format!("bench.delta.full.{history}.seconds"),
+            RefitMode::Full,
+            prefix,
+            &measured,
+        );
+        let delta = run_mode(
+            &obs,
+            &format!("bench.delta.delta.{history}.seconds"),
+            RefitMode::Delta(DeltaConfig::default()),
+            prefix,
+            &measured,
+        );
+        let fallbacks = delta
+            .refits
+            .iter()
+            .filter(|&&m| m == RefitOutcome::Fallback)
+            .count();
+        let scoped = delta
+            .refits
+            .iter()
+            .filter(|&&m| m == RefitOutcome::Delta)
+            .count();
+        let speedup = full.median_secs / delta.median_secs;
+        eprintln!(
+            "history {history}: full {:.6}s, delta {:.6}s ({speedup:.1}x, \
+             {scoped} scoped / {fallbacks} fallback refits, touched {}/{})",
+            full.median_secs,
+            delta.median_secs,
+            delta.last_touched_assertions,
+            delta.last_touched_sources,
+        );
+        delta_medians.push(delta.median_secs);
+        rows.push(serde_json::json!({
+            "history_claims": history,
+            "batch_claims": BATCH,
+            "full_median_secs": full.median_secs,
+            "delta_median_secs": delta.median_secs,
+            "speedup": speedup,
+            "delta_refits": scoped,
+            "fallback_refits": fallbacks,
+            "prime_iterations_full": full.prime_iterations,
+            "prime_iterations_delta": delta.prime_iterations,
+            "touched_assertions": delta.last_touched_assertions,
+            "touched_sources": delta.last_touched_sources,
+        }));
+    }
+
+    let delta_small = delta_medians[0];
+    let delta_big = delta_medians[delta_medians.len() - 1];
+    let mut payload = serde_json::json!({
+        "host": serde_json::json!({
+            "available_parallelism": cores,
+            "note": "single-process medians over identical seeded batches; \
+                     delta and full modes serve bit-identical numbers at \
+                     every fallback point (see DESIGN.md \u{00a7}10)",
+        }),
+        "workload": serde_json::json!({
+            "sources": N,
+            "assertions": M,
+            "histories": HISTORIES,
+            "claims_per_batch": BATCH,
+            "timed_refits_per_row": REPS,
+            "seed": SEED,
+        }),
+        "delta": serde_json::json!({
+            "rows": rows,
+            // History grows 10x between the first and last row; a
+            // sub-linear delta path keeps this ratio well under 10.
+            "scaling": serde_json::json!({
+                "history_ratio": HISTORIES[HISTORIES.len() - 1] as f64 / HISTORIES[0] as f64,
+                "delta_time_ratio": delta_big / delta_small,
+            }),
+        }),
+        "metrics": rec.snapshot(),
+    });
+    // The comparison itself is single-core-honest (both sides run the
+    // same default parallelism on the same host), but absolute
+    // latencies from a starved runner are not representative.
+    if cores < 4 {
+        if let serde_json::Value::Object(map) = &mut payload {
+            map.insert(
+                "warning".into(),
+                serde_json::json!(format!(
+                    "LOW-CORE HOST ({cores} < 4 cores): absolute refit \
+                     latencies are inflated by oversubscription; the \
+                     full-vs-delta speedup ratio remains meaningful, but \
+                     re-run on a >=4-core machine for representative \
+                     numbers."
+                )),
+            );
+        }
+    }
+    let json = serde_json::to_string_pretty(&payload).expect("serializes") + "\n";
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write results to {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

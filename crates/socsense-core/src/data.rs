@@ -60,6 +60,16 @@ impl ClaimData {
         Self { sc, d }
     }
 
+    /// Wraps matrices the caller has already built with a common shape —
+    /// the streaming snapshot's incremental rebuild path, which derives
+    /// both matrices from one [`socsense_graph::ClaimLogIndex`] and so
+    /// cannot produce mismatched dimensions.
+    pub(crate) fn from_parts(sc: SparseBinaryMatrix, d: SparseBinaryMatrix) -> Self {
+        debug_assert_eq!(sc.nrows(), d.nrows());
+        debug_assert_eq!(sc.ncols(), d.ncols());
+        Self { sc, d }
+    }
+
     /// Number of sources `n`.
     pub fn source_count(&self) -> usize {
         self.sc.nrows() as usize

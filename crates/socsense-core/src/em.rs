@@ -201,7 +201,11 @@ impl EmExt {
         self.run_em(data, theta)
     }
 
-    fn check_config(&self) -> Result<(), SenseError> {
+    /// Validates the configuration without running anything. Exposed
+    /// crate-internally so the delta refit path can reject a bad
+    /// configuration *before* mutating any incremental state (the
+    /// failed-refit-preserves-warm-state contract).
+    pub(crate) fn check_config(&self) -> Result<(), SenseError> {
         if self.config.max_iters == 0 {
             return Err(SenseError::BadConfig {
                 what: "max_iters must be positive",

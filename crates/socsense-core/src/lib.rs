@@ -50,6 +50,7 @@
 pub mod bound;
 mod confidence;
 mod data;
+mod delta;
 mod em;
 mod error;
 mod likelihood;
@@ -64,6 +65,7 @@ pub use bound::{
 };
 pub use confidence::{confidence_report, ConfidenceReport, RateInterval, SourceConfidence};
 pub use data::ClaimData;
+pub use delta::{DeltaConfig, RefitMode, RefitOutcome};
 pub use em::{EmConfig, EmExt, EmFit, InitStrategy};
 pub use error::SenseError;
 pub use likelihood::{

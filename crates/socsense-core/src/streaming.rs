@@ -12,14 +12,16 @@
 //!
 //! [`estimate`]: StreamingEstimator::estimate
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use socsense_graph::{FollowerGraph, TimedClaim};
+use socsense_graph::{CellChange, ClaimLogIndex, FollowerGraph, TimedClaim};
 use socsense_obs::Obs;
 
 use crate::data::ClaimData;
+use crate::delta::{DeltaConfig, DeltaEngine, RefitMode, RefitOutcome};
 use crate::em::{EmConfig, EmExt, EmFit};
 use crate::error::SenseError;
 use crate::model::Theta;
@@ -51,16 +53,29 @@ pub struct StreamingEstimator {
     m: u32,
     graph: FollowerGraph,
     config: EmConfig,
+    mode: RefitMode,
     claims: Vec<TimedClaim>,
+    /// Incrementally maintained earliest-claim index: rebuilds the
+    /// `SC`/`D` pair in `O(nnz)` (never re-walking the claim log) and
+    /// reports which cells each batch changed.
+    log_index: ClaimLogIndex,
     last_theta: Option<Theta>,
     /// Claims ingested since the last [`estimate`](Self::estimate).
     pending: usize,
     warm_blend: f64,
     /// `SC`/`D` built from the current log, keyed on the claim count it
     /// was built at (`None` until the first [`snapshot`](Self::snapshot)
-    /// after an ingest). Rebuilding is `O(claims)`, so long-lived readers
-    /// issuing many queries between batches share one build.
+    /// after an ingest). Long-lived readers issuing many queries between
+    /// batches share one build.
     snapshot_cache: Option<(usize, Arc<ClaimData>)>,
+    /// The delta refit engine, present in [`RefitMode::Delta`] once the
+    /// first (full) refit has seeded it.
+    engine: Option<DeltaEngine>,
+    /// Cell-membership changes since the last committed refit, not yet
+    /// folded into the engine.
+    pending_changes: Vec<CellChange>,
+    /// Sources that claimed since the last committed refit.
+    pending_sources: BTreeSet<u32>,
     obs: Obs,
 }
 
@@ -73,6 +88,15 @@ pub struct RefitStats {
     pub warm: bool,
     /// Total claims in the log after the refit.
     pub total_claims: usize,
+    /// Which code path served the refit: a full EM, a scoped delta
+    /// refit, or a delta chain falling back to the full path.
+    pub mode: RefitOutcome,
+    /// Assertions whose posterior this refit re-evaluated (`m` for the
+    /// full paths).
+    pub touched_assertions: usize,
+    /// Sources whose statistics this refit touched (`n` for the full
+    /// paths).
+    pub touched_sources: usize,
 }
 
 impl StreamingEstimator {
@@ -100,13 +124,45 @@ impl StreamingEstimator {
             m,
             graph,
             config,
+            mode: RefitMode::Full,
             claims: Vec::new(),
+            log_index: ClaimLogIndex::new(n, m),
             last_theta: None,
             pending: 0,
             warm_blend: 0.5,
             snapshot_cache: None,
+            engine: None,
+            pending_changes: Vec::new(),
+            pending_sources: BTreeSet::new(),
             obs: Obs::none(),
         })
+    }
+
+    /// Selects how subsequent refits run (see [`RefitMode`]).
+    ///
+    /// Switching modes — including replacing one [`DeltaConfig`] with
+    /// another — discards any delta engine state, so the next refit runs
+    /// the full path (and, in delta mode, re-seeds the engine from it).
+    /// The claim log and warm-start state are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SenseError::BadConfig`] when a [`DeltaConfig`]
+    /// threshold is negative or not finite.
+    pub fn set_refit_mode(&mut self, mode: RefitMode) -> Result<(), SenseError> {
+        if let RefitMode::Delta(cfg) = &mode {
+            cfg.validate()?;
+        }
+        self.mode = mode;
+        self.engine = None;
+        self.pending_changes.clear();
+        self.pending_sources.clear();
+        Ok(())
+    }
+
+    /// The active refit mode.
+    pub fn refit_mode(&self) -> RefitMode {
+        self.mode
     }
 
     /// Attaches a metrics handle; refits then report `stream.*` metrics
@@ -203,6 +259,13 @@ impl StreamingEstimator {
             }
         }
         self.claims.extend_from_slice(batch);
+        // The index ingest shares build_matrices' bounds contract; the
+        // loop above already guaranteed it cannot panic here.
+        let changes = self.log_index.ingest(&self.graph, batch);
+        if matches!(self.mode, RefitMode::Delta(_)) && self.engine.is_some() {
+            self.pending_changes.extend(changes);
+            self.pending_sources.extend(batch.iter().map(|c| c.source));
+        }
         self.pending += batch.len();
         self.obs
             .counter("stream.ingest.claims_total", batch.len() as u64);
@@ -223,19 +286,17 @@ impl StreamingEstimator {
     ///
     /// The snapshot is cached keyed on the claim count and invalidated by
     /// [`ingest`](Self::ingest): between batches, repeated calls (every
-    /// query of a serving layer goes through here) return the same
-    /// `Arc` instead of rebuilding the sparse matrices from the whole
-    /// log each time.
+    /// query of a serving layer goes through here) return the same `Arc`.
+    /// A rebuild after an ingest materialises the matrices from the
+    /// incrementally maintained claim-log index — `O(nnz)`, never
+    /// re-walking the whole log — and is structurally identical to a
+    /// fresh [`ClaimData::from_claims`] build (regression-tested).
     pub fn snapshot(&mut self) -> Arc<ClaimData> {
         match &self.snapshot_cache {
             Some((at, data)) if *at == self.claims.len() => Arc::clone(data),
             _ => {
-                let data = Arc::new(ClaimData::from_claims(
-                    self.n,
-                    self.m,
-                    &self.claims,
-                    &self.graph,
-                ));
+                let (sc, d) = self.log_index.build();
+                let data = Arc::new(ClaimData::from_parts(sc, d));
                 self.snapshot_cache = Some((self.claims.len(), Arc::clone(&data)));
                 data
             }
@@ -262,9 +323,11 @@ impl StreamingEstimator {
         // The refit is fallible (a bad configuration, for instance), so
         // the warm-start state and pending counter mutate only *after* it
         // succeeds: a failed refit must not demote later refits to cold.
-        let (fit, stats) = self.refit()?;
+        let (fit, stats) = self.refit_once()?;
         self.last_theta = Some(fit.theta.clone());
         self.pending = 0;
+        self.pending_changes.clear();
+        self.pending_sources.clear();
         Ok((fit, stats))
     }
 
@@ -282,13 +345,99 @@ impl StreamingEstimator {
     ///
     /// Propagates estimator errors.
     pub fn peek_estimate(&mut self) -> Result<(EmFit, RefitStats), SenseError> {
-        self.refit()
+        // In delta mode a refit advances the engine in place; peeking
+        // runs the identical computation on a transient copy and puts
+        // the original back, so peeks stay stateless and reproducible.
+        let saved = self.engine.clone();
+        let result = self.refit_once();
+        self.engine = saved;
+        result
     }
 
-    /// One refit over the current log: warm-started from the blended
-    /// previous `θ̂` when one exists, cold otherwise. Touches no state
-    /// beyond the snapshot cache.
-    fn refit(&mut self) -> Result<(EmFit, RefitStats), SenseError> {
+    /// One refit, dispatched by [`RefitMode`]. Advances the delta engine
+    /// (when one is active) but never the warm-start state or pending
+    /// buffers — those commit in
+    /// [`estimate_with_stats`](Self::estimate_with_stats) only.
+    fn refit_once(&mut self) -> Result<(EmFit, RefitStats), SenseError> {
+        let RefitMode::Delta(dcfg) = self.mode else {
+            return self.refit_full(RefitOutcome::Full);
+        };
+        // Validate before touching any incremental state: a failed refit
+        // must leave the warm-start state *and* the engine intact.
+        EmExt::new(self.config).check_config()?;
+        match self.engine.take() {
+            // First refit of the chain: run full to seed the engine.
+            None => self.full_and_seed(dcfg, RefitOutcome::Full),
+            Some(engine) if engine.pre_trigger(self.pending) => {
+                self.full_and_seed(dcfg, RefitOutcome::Fallback)
+            }
+            Some(mut engine) => {
+                let timer = self.obs.timer("stream.refit.seconds");
+                let changed = engine.apply_structure_changes(&self.pending_changes);
+                let mut sources: BTreeSet<u32> = self.pending_sources.clone();
+                sources.extend(self.pending_changes.iter().map(|c| c.source));
+                let sources: Vec<u32> = sources.into_iter().collect();
+                let touched = engine.touched_set(&changed, &sources);
+                let report = engine.refit(&self.config, &touched, &sources, self.pending)?;
+                if report.divergence_bound > dcfg.max_divergence {
+                    // Post-hoc trigger: the staleness bound crossed the
+                    // cap, so discard the scoped work (the taken engine
+                    // drops here) and serve the full warm path instead.
+                    return self.full_and_seed(dcfg, RefitOutcome::Fallback);
+                }
+                let fit = engine.fit(&report);
+                let stats = RefitStats {
+                    iterations: report.iterations,
+                    warm: true,
+                    total_claims: self.claims.len(),
+                    mode: RefitOutcome::Delta,
+                    touched_assertions: touched.len(),
+                    touched_sources: sources.len(),
+                };
+                if self.obs.enabled() {
+                    self.obs.counter("stream.refits_total", 1);
+                    self.obs.counter("stream.refit.delta_total", 1);
+                    self.obs
+                        .observe("stream.refit.iterations", report.iterations as f64);
+                    self.obs
+                        .observe("stream.delta.touched_assertions", touched.len() as f64);
+                    self.obs
+                        .observe("stream.delta.touched_sources", sources.len() as f64);
+                    self.obs.observe("stream.delta.drift", report.drift);
+                    self.obs
+                        .gauge("stream.delta.divergence_bound", report.divergence_bound);
+                    self.obs
+                        .gauge("stream.delta.accumulated_drift", engine.accumulated_drift());
+                    self.obs.gauge("stream.claims", self.claims.len() as f64);
+                    timer.stop();
+                }
+                self.engine = Some(engine);
+                Ok((fit, stats))
+            }
+        }
+    }
+
+    /// Runs the full path and (re)seeds the delta engine from its fit.
+    fn full_and_seed(
+        &mut self,
+        dcfg: DeltaConfig,
+        outcome: RefitOutcome,
+    ) -> Result<(EmFit, RefitStats), SenseError> {
+        let (fit, stats) = self.refit_full(outcome)?;
+        let data = self.snapshot();
+        self.engine = Some(DeltaEngine::init(dcfg, &data, &fit, self.claims.len()));
+        if outcome == RefitOutcome::Fallback {
+            self.obs.counter("stream.delta.fallbacks_total", 1);
+        }
+        Ok((fit, stats))
+    }
+
+    /// One full refit over the current log: warm-started from the
+    /// blended previous `θ̂` when one exists, cold otherwise. Touches no
+    /// state beyond the snapshot cache. This is the code path every
+    /// delta fallback re-enters, which is what makes fallback fits
+    /// bit-identical to [`RefitMode::Full`] fits.
+    fn refit_full(&mut self, outcome: RefitOutcome) -> Result<(EmFit, RefitStats), SenseError> {
         let timer = self.obs.timer("stream.refit.seconds");
         let data = self.snapshot();
         let em = EmExt::new(self.config).with_obs(self.obs.clone());
@@ -304,6 +453,9 @@ impl StreamingEstimator {
             iterations: fit.iterations,
             warm,
             total_claims: self.claims.len(),
+            mode: outcome,
+            touched_assertions: self.m as usize,
+            touched_sources: self.n as usize,
         };
         if self.obs.enabled() {
             self.obs.counter("stream.refits_total", 1);
@@ -322,9 +474,14 @@ impl StreamingEstimator {
     }
 
     /// Drops the warm-start state, forcing the next refit to start cold
-    /// (useful after a suspected regime change in the stream).
+    /// (useful after a suspected regime change in the stream). Any delta
+    /// engine is dropped with it — its `θ` is exactly the state being
+    /// disowned — so the next refit runs full and re-seeds.
     pub fn reset_warm_start(&mut self) {
         self.last_theta = None;
+        self.engine = None;
+        self.pending_changes.clear();
+        self.pending_sources.clear();
     }
 }
 
@@ -583,6 +740,187 @@ mod tests {
         // metrics land in the same sink.
         assert!(snap.counter("em.runs_total") >= 2);
         assert_eq!(snap.counter("em.warm_starts_total"), 1);
+    }
+
+    #[test]
+    fn delta_mode_seeds_full_then_refits_scoped() {
+        let (graph, batches, _) = stream_batches(4, 30);
+        let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        est.set_refit_mode(RefitMode::Delta(DeltaConfig {
+            // Thresholds far out of reach: every refit after the seed
+            // must run scoped.
+            max_drift: 1e9,
+            max_batch_fraction: 1e9,
+            max_divergence: 1e9,
+        }))
+        .unwrap();
+        let mut modes = Vec::new();
+        for batch in &batches {
+            est.ingest(batch).unwrap();
+            let (fit, stats) = est.estimate_with_stats().unwrap();
+            assert_eq!(fit.posterior.len(), 20);
+            modes.push(stats.mode);
+            if stats.mode == RefitOutcome::Delta {
+                assert!(stats.warm);
+                assert!(stats.touched_assertions <= 20);
+            } else {
+                assert_eq!(stats.touched_assertions, 20);
+                assert_eq!(stats.touched_sources, 10);
+            }
+        }
+        assert_eq!(modes[0], RefitOutcome::Full, "first refit seeds the engine");
+        assert!(
+            modes[1..].iter().all(|&m| m == RefitOutcome::Delta),
+            "unreachable thresholds must keep the chain scoped: {modes:?}"
+        );
+    }
+
+    #[test]
+    fn delta_zero_batch_fraction_is_bit_identical_to_full() {
+        // max_batch_fraction = 0 falls back on every batch, so the delta
+        // chain re-enters the full warm path each refit and must
+        // reproduce RefitMode::Full bit for bit — the fallback
+        // bit-identity contract.
+        let (graph, batches, _) = stream_batches(4, 25);
+        let mut full = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
+        let mut delta = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        delta
+            .set_refit_mode(RefitMode::Delta(DeltaConfig {
+                max_batch_fraction: 0.0,
+                ..DeltaConfig::default()
+            }))
+            .unwrap();
+        let bits = |fit: &EmFit| {
+            let mut v: Vec<u64> = fit.posterior.iter().map(|p| p.to_bits()).collect();
+            for s in fit.theta.sources() {
+                v.extend([s.a, s.b, s.f, s.g].map(f64::to_bits));
+            }
+            v
+        };
+        for (k, batch) in batches.iter().enumerate() {
+            full.ingest(batch).unwrap();
+            delta.ingest(batch).unwrap();
+            let (fa, sa) = full.estimate_with_stats().unwrap();
+            let (fb, sb) = delta.estimate_with_stats().unwrap();
+            assert_eq!(bits(&fa), bits(&fb), "batch {k}");
+            assert_eq!(fa.theta.z().to_bits(), fb.theta.z().to_bits());
+            assert_eq!(sa.iterations, sb.iterations);
+            let expected = if k == 0 {
+                RefitOutcome::Full
+            } else {
+                RefitOutcome::Fallback
+            };
+            assert_eq!(sb.mode, expected, "batch {k}");
+            assert_eq!(sa.mode, RefitOutcome::Full);
+        }
+    }
+
+    #[test]
+    fn delta_peek_is_stateless_and_matches_estimate() {
+        let (graph, batches, _) = stream_batches(3, 30);
+        let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        est.set_refit_mode(RefitMode::Delta(DeltaConfig::default()))
+            .unwrap();
+        est.ingest(&batches[0]).unwrap();
+        est.estimate().unwrap(); // seed the engine
+        est.ingest(&batches[1]).unwrap();
+        let bits = |fit: &EmFit| {
+            fit.posterior
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>()
+        };
+        let (peek_a, _) = est.peek_estimate().unwrap();
+        let (peek_b, _) = est.peek_estimate().unwrap();
+        assert_eq!(bits(&peek_a), bits(&peek_b), "delta peeks are reproducible");
+        let (fit, stats) = est.estimate_with_stats().unwrap();
+        assert_eq!(bits(&peek_a), bits(&fit), "peek = the estimate it previews");
+        assert!(matches!(
+            stats.mode,
+            RefitOutcome::Delta | RefitOutcome::Fallback
+        ));
+    }
+
+    #[test]
+    fn delta_failed_refit_preserves_engine_and_pending() {
+        let (graph, batches, _) = stream_batches(3, 30);
+        let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        est.set_refit_mode(RefitMode::Delta(DeltaConfig::default()))
+            .unwrap();
+        est.ingest(&batches[0]).unwrap();
+        est.estimate().unwrap();
+        est.ingest(&batches[1]).unwrap();
+        est.set_config(EmConfig {
+            max_iters: 0,
+            ..EmConfig::default()
+        });
+        assert!(matches!(
+            est.estimate_with_stats(),
+            Err(SenseError::BadConfig { .. })
+        ));
+        assert_eq!(est.pending(), batches[1].len());
+        assert!(est.last_theta().is_some());
+        est.set_config(EmConfig::default());
+        let (_, stats) = est.estimate_with_stats().unwrap();
+        assert!(
+            stats.mode == RefitOutcome::Delta || stats.mode == RefitOutcome::Fallback,
+            "the engine must survive the failed refit: {:?}",
+            stats.mode
+        );
+    }
+
+    #[test]
+    fn delta_mode_validates_config() {
+        let (graph, _, _) = stream_batches(1, 5);
+        let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        assert!(matches!(
+            est.set_refit_mode(RefitMode::Delta(DeltaConfig {
+                max_divergence: f64::NAN,
+                ..DeltaConfig::default()
+            })),
+            Err(SenseError::BadConfig { .. })
+        ));
+        assert_eq!(est.refit_mode(), RefitMode::Full, "rejected mode not set");
+    }
+
+    #[test]
+    fn delta_metrics_record_scoped_refits_and_fallbacks() {
+        let (graph, batches, _) = stream_batches(3, 30);
+        let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        let (obs, rec) = Obs::recorder();
+        est.set_obs(obs);
+        est.set_refit_mode(RefitMode::Delta(DeltaConfig {
+            max_drift: 1e9,
+            max_batch_fraction: 1e9,
+            max_divergence: 1e9,
+        }))
+        .unwrap();
+        for batch in &batches {
+            est.ingest(batch).unwrap();
+            est.estimate().unwrap();
+        }
+        // Force a fallback: unreachable thresholds replaced by an
+        // always-trip fraction.
+        est.set_refit_mode(RefitMode::Delta(DeltaConfig {
+            max_batch_fraction: 0.0,
+            ..DeltaConfig::default()
+        }))
+        .unwrap();
+        est.estimate().unwrap(); // re-seed (full)
+        est.ingest(&batches[0]).unwrap();
+        est.estimate().unwrap(); // fallback
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("stream.refit.delta_total"), 2);
+        assert_eq!(snap.counter("stream.delta.fallbacks_total"), 1);
+        assert_eq!(
+            snap.histogram("stream.delta.touched_assertions")
+                .unwrap()
+                .count,
+            2
+        );
+        assert_eq!(snap.histogram("stream.delta.drift").unwrap().count, 2);
+        assert!(snap.gauge("stream.delta.divergence_bound").is_some());
+        assert_eq!(snap.counter("stream.refits_total"), 5);
     }
 
     #[test]

@@ -83,12 +83,6 @@ pub fn build_matrices(
             .or_insert(c.time);
     }
 
-    let mut sc_builder = SparseBinaryMatrixBuilder::with_capacity(n, m, first_claim.len());
-    for &(s, a) in first_claim.keys() {
-        sc_builder.insert(s, a);
-    }
-    let sc = sc_builder.build();
-
     // Earliest ancestor claim time per (follower, assertion).
     let mut anc_time: BTreeMap<(u32, u32), u64> = BTreeMap::new();
     for (&(s, a), &t) in &first_claim {
@@ -100,8 +94,27 @@ pub fn build_matrices(
         }
     }
 
+    matrices_from_maps(n, m, &first_claim, &anc_time)
+}
+
+/// Materialises `(SC, D)` from the earliest-claim and earliest-ancestor
+/// maps. Shared by [`build_matrices`] and [`ClaimLogIndex::build`] so the
+/// batch and incremental paths cannot drift: identical maps produce
+/// identical (structurally `==`) matrices.
+fn matrices_from_maps(
+    n: u32,
+    m: u32,
+    first_claim: &BTreeMap<(u32, u32), u64>,
+    anc_time: &BTreeMap<(u32, u32), u64>,
+) -> (SparseBinaryMatrix, SparseBinaryMatrix) {
+    let mut sc_builder = SparseBinaryMatrixBuilder::with_capacity(n, m, first_claim.len());
+    for &(s, a) in first_claim.keys() {
+        sc_builder.insert(s, a);
+    }
+    let sc = sc_builder.build();
+
     let mut d_builder = SparseBinaryMatrixBuilder::with_capacity(n, m, anc_time.len());
-    for (&(f, a), &t_anc) in &anc_time {
+    for (&(f, a), &t_anc) in anc_time {
         match first_claim.get(&(f, a)) {
             // Claim cell: dependent only if an ancestor spoke strictly first.
             Some(&t_own) if t_anc >= t_own => {}
@@ -109,6 +122,161 @@ pub fn build_matrices(
         }
     }
     (sc, d_builder.build())
+}
+
+/// The `(SC, D)` membership of one `(source, assertion)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellState {
+    /// `SC[i, j] = 1` — the source has claimed the assertion.
+    pub claimed: bool,
+    /// `D[i, j] = 1` — the (actual or would-be) claim is dependent.
+    pub dependent: bool,
+}
+
+/// One cell whose `SC`/`D` membership changed during an
+/// [`ingest`](ClaimLogIndex::ingest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellChange {
+    /// Row (source id) of the changed cell.
+    pub source: u32,
+    /// Column (assertion id) of the changed cell.
+    pub assertion: u32,
+    /// Membership before the batch.
+    pub before: CellState,
+    /// Membership after the batch.
+    pub after: CellState,
+}
+
+/// Incrementally maintained claim-log index: the earliest-own-claim and
+/// earliest-ancestor-claim maps behind [`build_matrices`], kept up to
+/// date batch by batch.
+///
+/// Both maps are *min-merges* over the log, so their contents depend only
+/// on the set of claims seen — never on how the log was split into
+/// batches. [`build`](Self::build) therefore produces matrices
+/// structurally equal to a fresh [`build_matrices`] over the whole log,
+/// at `O(nnz)` instead of `O(claims)` cost, and
+/// [`ingest`](Self::ingest) reports exactly which cells changed `SC`/`D`
+/// membership — the seed of a delta refit's touched set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimLogIndex {
+    n: u32,
+    m: u32,
+    first_claim: BTreeMap<(u32, u32), u64>,
+    anc_time: BTreeMap<(u32, u32), u64>,
+}
+
+impl ClaimLogIndex {
+    /// Creates an empty index over `n` sources and `m` assertions.
+    pub fn new(n: u32, m: u32) -> Self {
+        Self {
+            n,
+            m,
+            first_claim: BTreeMap::new(),
+            anc_time: BTreeMap::new(),
+        }
+    }
+
+    /// Number of sources.
+    pub fn source_count(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of assertions.
+    pub fn assertion_count(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of distinct `(source, assertion)` claim cells (`nnz(SC)`).
+    pub fn claim_cell_count(&self) -> usize {
+        self.first_claim.len()
+    }
+
+    /// Current `SC`/`D` membership of cell `(i, j)`.
+    pub fn cell_state(&self, i: u32, j: u32) -> CellState {
+        let own = self.first_claim.get(&(i, j));
+        let dependent = match (self.anc_time.get(&(i, j)), own) {
+            // Claim cell: dependent only if an ancestor spoke strictly
+            // first (build_matrices' rule; ties stay independent).
+            (Some(&t_anc), Some(&t_own)) => t_anc < t_own,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        CellState {
+            claimed: own.is_some(),
+            dependent,
+        }
+    }
+
+    /// Folds a batch of claims into the index, returning every cell whose
+    /// `SC`/`D` membership changed (deduplicated, in `(source,
+    /// assertion)` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a claim references `source >= n` or `assertion >= m` —
+    /// the same contract as [`build_matrices`]. Validate first when the
+    /// batch must be rejected atomically.
+    pub fn ingest(&mut self, graph: &FollowerGraph, batch: &[TimedClaim]) -> Vec<CellChange> {
+        // Pass 1: snapshot the prior state of every cell this batch can
+        // touch — the claim cells themselves plus each claimant's
+        // follower cells (the only rows of `anc_time` a claim reaches).
+        let mut before: BTreeMap<(u32, u32), CellState> = BTreeMap::new();
+        for c in batch {
+            assert!(
+                c.source < self.n && c.assertion < self.m,
+                "claim ({}, {}) out of bounds for {}x{}",
+                c.source,
+                c.assertion,
+                self.n,
+                self.m
+            );
+            before
+                .entry((c.source, c.assertion))
+                .or_insert_with(|| self.cell_state(c.source, c.assertion));
+            for &f in graph.followers(c.source) {
+                before
+                    .entry((f, c.assertion))
+                    .or_insert_with(|| self.cell_state(f, c.assertion));
+            }
+        }
+
+        // Pass 2: min-merge the batch into both maps.
+        for c in batch {
+            self.first_claim
+                .entry((c.source, c.assertion))
+                .and_modify(|t| *t = (*t).min(c.time))
+                .or_insert(c.time);
+            for &f in graph.followers(c.source) {
+                self.anc_time
+                    .entry((f, c.assertion))
+                    .and_modify(|t| *t = (*t).min(c.time))
+                    .or_insert(c.time);
+            }
+        }
+
+        // Pass 3: report the cells whose membership actually changed.
+        before
+            .into_iter()
+            .filter_map(|((i, j), prior)| {
+                let after = self.cell_state(i, j);
+                (after != prior).then_some(CellChange {
+                    source: i,
+                    assertion: j,
+                    before: prior,
+                    after,
+                })
+            })
+            .collect()
+    }
+
+    /// Materialises the current `(SC, D)` pair.
+    ///
+    /// Structurally equal to [`build_matrices`] over the full log the
+    /// index has ingested, but `O(nnz)` — it never re-walks the claims.
+    pub fn build(&self) -> (SparseBinaryMatrix, SparseBinaryMatrix) {
+        matrices_from_maps(self.n, self.m, &self.first_claim, &self.anc_time)
+    }
 }
 
 /// The sorted set of assertions claimed by any ancestor of `source`.
@@ -230,5 +398,114 @@ mod tests {
         let (sc, d) = build_matrices(3, 2, &[], &g);
         assert_eq!(sc.nnz(), 0);
         assert_eq!(d.nnz(), 0);
+    }
+
+    #[test]
+    fn index_matches_batch_build_on_fig1() {
+        let (g, claims) = fig1();
+        let mut index = ClaimLogIndex::new(3, 2);
+        // Ingest claim by claim — the least favourable batching.
+        for c in &claims {
+            index.ingest(&g, std::slice::from_ref(c));
+        }
+        assert_eq!(index.build(), build_matrices(3, 2, &claims, &g));
+        assert_eq!(index.claim_cell_count(), 4);
+    }
+
+    #[test]
+    fn index_is_batching_invariant() {
+        // Min-merges are order-independent, so any split of the log into
+        // batches — including time-travelling late arrivals — must land
+        // on the same maps and therefore the same matrices.
+        let mut g = FollowerGraph::new(4);
+        g.add_follow(0, 1);
+        g.add_follow(2, 1);
+        g.add_follow(3, 2);
+        let claims = vec![
+            TimedClaim::new(1, 0, 4),
+            TimedClaim::new(0, 0, 6),
+            TimedClaim::new(2, 0, 2), // earlier than its ancestor: independent
+            TimedClaim::new(1, 1, 9),
+            TimedClaim::new(3, 1, 10),
+            TimedClaim::new(1, 0, 1), // late-arriving earlier duplicate
+        ];
+        let fresh = build_matrices(4, 2, &claims, &g);
+        for split in 0..=claims.len() {
+            let mut index = ClaimLogIndex::new(4, 2);
+            index.ingest(&g, &claims[..split]);
+            index.ingest(&g, &claims[split..]);
+            assert_eq!(index.build(), fresh, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn ingest_reports_membership_changes_only() {
+        let mut g = FollowerGraph::new(2);
+        g.add_follow(0, 1);
+        let mut index = ClaimLogIndex::new(2, 1);
+        // Ancestor speaks: its own cell joins SC; the silent follower
+        // cell becomes dependent.
+        let changes = index.ingest(&g, &[TimedClaim::new(1, 0, 5)]);
+        assert_eq!(
+            changes,
+            vec![
+                CellChange {
+                    source: 0,
+                    assertion: 0,
+                    before: CellState {
+                        claimed: false,
+                        dependent: false
+                    },
+                    after: CellState {
+                        claimed: false,
+                        dependent: true
+                    },
+                },
+                CellChange {
+                    source: 1,
+                    assertion: 0,
+                    before: CellState {
+                        claimed: false,
+                        dependent: false
+                    },
+                    after: CellState {
+                        claimed: true,
+                        dependent: false
+                    },
+                },
+            ]
+        );
+        // A later repeat by the ancestor changes nothing.
+        assert!(index.ingest(&g, &[TimedClaim::new(1, 0, 9)]).is_empty());
+        // The follower then speaks (after the ancestor): claimed and
+        // still dependent.
+        let changes = index.ingest(&g, &[TimedClaim::new(0, 0, 7)]);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(
+            changes[0].after,
+            CellState {
+                claimed: true,
+                dependent: true
+            }
+        );
+        // A late earlier copy of the follower's claim flips the cell
+        // back to independent.
+        let changes = index.ingest(&g, &[TimedClaim::new(0, 0, 2)]);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(
+            changes[0].after,
+            CellState {
+                claimed: true,
+                dependent: false
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_ingest_panics_out_of_bounds() {
+        let g = FollowerGraph::new(1);
+        let mut index = ClaimLogIndex::new(1, 1);
+        index.ingest(&g, &[TimedClaim::new(0, 7, 0)]);
     }
 }

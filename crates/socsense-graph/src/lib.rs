@@ -49,7 +49,9 @@ mod follow;
 mod forest;
 mod prefattach;
 
-pub use claims::{build_matrices, dependent_assertions, TimedClaim};
+pub use claims::{
+    build_matrices, dependent_assertions, CellChange, CellState, ClaimLogIndex, TimedClaim,
+};
 pub use error::GraphError;
 pub use follow::FollowerGraph;
 pub use forest::DependencyForest;

@@ -5,7 +5,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use socsense_core::{BoundMethod, EmConfig, SenseError, SourceParams};
+use socsense_core::{BoundMethod, EmConfig, RefitMode, SenseError, SourceParams};
 use socsense_matrix::Parallelism;
 
 /// Configuration for a [`QueryService`](crate::QueryService).
@@ -37,6 +37,12 @@ pub struct ServeConfig {
     /// Bound method used when a [`Bound`](crate::ServeHandle::bound)
     /// request does not carry its own.
     pub bound: BoundMethod,
+    /// How ingest-driven refits run: [`RefitMode::Full`] re-runs warm EM
+    /// over the whole log every time; [`RefitMode::Delta`] scopes each
+    /// E-step to the assertions the batch touched, falling back to a
+    /// full warm refit when the configured drift/staleness thresholds
+    /// trip (see [`socsense_core::DeltaConfig`]).
+    pub refit_mode: RefitMode,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +53,7 @@ impl Default for ServeConfig {
             refit_pending_claims: 1,
             parallelism: Parallelism::Auto,
             bound: BoundMethod::default(),
+            refit_mode: RefitMode::Full,
         }
     }
 }
@@ -137,6 +144,20 @@ pub struct ServeStats {
     pub failed_refits: u64,
     /// Refits (chain or probe) that warm-started from a previous `θ̂`.
     pub warm_refits: u64,
+    /// Refits the delta engine answered with a scoped, `O(touched)`
+    /// E-step (only in [`RefitMode::Delta`](socsense_core::RefitMode)).
+    pub delta_refits: u64,
+    /// Delta-mode refits that tripped a threshold and fell back to a
+    /// full warm refit (bit-identical to what `RefitMode::Full` would
+    /// have produced).
+    pub fallback_refits: u64,
     /// EM iterations of the most recent successful refit.
     pub last_refit_iterations: Option<usize>,
+    /// Assertions the most recent successful refit re-evaluated (`m`
+    /// for full and fallback refits, the touched-set size for delta
+    /// refits).
+    pub last_touched_assertions: Option<usize>,
+    /// Sources whose M-step rows the most recent successful refit
+    /// re-derived (`n` for full and fallback refits).
+    pub last_touched_sources: Option<usize>,
 }

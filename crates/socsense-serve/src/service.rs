@@ -8,7 +8,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use socsense_core::{
-    bound_for_assertions_traced, BoundMethod, BoundResult, EmFit, SenseError, StreamingEstimator,
+    bound_for_assertions_traced, BoundMethod, BoundResult, EmFit, RefitOutcome, RefitStats,
+    SenseError, StreamingEstimator,
 };
 use socsense_graph::{FollowerGraph, TimedClaim};
 use socsense_obs::{MetricsSnapshot, Obs, Recorder, Tee};
@@ -263,6 +264,7 @@ impl QueryService {
         };
         let mut est = StreamingEstimator::new(n, m, graph, config.em)?;
         est.set_warm_blend(config.warm_blend)?;
+        est.set_refit_mode(config.refit_mode)?;
         est.set_obs(obs.clone());
         let depth = Arc::new(AtomicUsize::new(0));
         let worker_depth = Arc::clone(&depth);
@@ -466,11 +468,7 @@ impl Worker {
             Ok((fit, stats)) => {
                 self.stats.chain_refits += 1;
                 self.obs.counter("serve.refit.chain_total", 1);
-                if stats.warm {
-                    self.stats.warm_refits += 1;
-                    self.obs.counter("serve.refit.warm_total", 1);
-                }
-                self.stats.last_refit_iterations = Some(stats.iterations);
+                self.note_refit(&stats);
                 self.chain_fit = Some(Arc::new(fit));
                 Ok(())
             }
@@ -502,11 +500,7 @@ impl Worker {
             Ok((fit, stats)) => {
                 self.stats.probe_refits += 1;
                 self.obs.counter("serve.refit.probe_total", 1);
-                if stats.warm {
-                    self.stats.warm_refits += 1;
-                    self.obs.counter("serve.refit.warm_total", 1);
-                }
-                self.stats.last_refit_iterations = Some(stats.iterations);
+                self.note_refit(&stats);
                 let fit = Arc::new(fit);
                 self.probe_fit = Some((self.est.claim_count(), Arc::clone(&fit)));
                 Ok(fit)
@@ -517,6 +511,29 @@ impl Worker {
                 Err(ServeError::Sense(e))
             }
         }
+    }
+
+    /// Per-refit bookkeeping shared by chain and probe refits: warm and
+    /// delta-mode counters, plus the last refit's shape.
+    fn note_refit(&mut self, stats: &RefitStats) {
+        if stats.warm {
+            self.stats.warm_refits += 1;
+            self.obs.counter("serve.refit.warm_total", 1);
+        }
+        match stats.mode {
+            RefitOutcome::Full => {}
+            RefitOutcome::Delta => {
+                self.stats.delta_refits += 1;
+                self.obs.counter("serve.refit.delta_total", 1);
+            }
+            RefitOutcome::Fallback => {
+                self.stats.fallback_refits += 1;
+                self.obs.counter("serve.refit.fallback_total", 1);
+            }
+        }
+        self.stats.last_refit_iterations = Some(stats.iterations);
+        self.stats.last_touched_assertions = Some(stats.touched_assertions);
+        self.stats.last_touched_sources = Some(stats.touched_sources);
     }
 
     fn stats_snapshot(&self) -> ServeStats {
@@ -684,6 +701,69 @@ mod tests {
         assert_eq!(stats.probe_refits, 1, "one probe covers all three queries");
         assert_eq!(stats.probe_cache_hits, 2);
         svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn delta_mode_counts_scoped_refits_and_surfaces_metrics() {
+        use socsense_core::{DeltaConfig, RefitMode};
+        let svc = QueryService::spawn(
+            4,
+            6,
+            FollowerGraph::new(4),
+            ServeConfig {
+                // Thresholds out of reach: after the seeding full refit,
+                // every ingest-driven refit must run scoped.
+                refit_mode: RefitMode::Delta(DeltaConfig {
+                    max_drift: 1e9,
+                    max_batch_fraction: 1e9,
+                    max_divergence: 1e9,
+                }),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let client = svc.handle();
+        for t in 0..6u64 {
+            client
+                .ingest(vec![TimedClaim::new((t % 4) as u32, (t % 6) as u32, t + 1)])
+                .unwrap();
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.chain_refits, 6);
+        assert_eq!(
+            stats.delta_refits, 5,
+            "first refit seeds, the rest are scoped"
+        );
+        assert_eq!(stats.fallback_refits, 0);
+        assert!(stats.last_touched_assertions.unwrap_or(usize::MAX) <= 6);
+        assert!(stats.last_touched_sources.unwrap_or(usize::MAX) <= 4);
+        let metrics = client.metrics().unwrap();
+        assert_eq!(metrics.counter("serve.refit.delta_total"), 5);
+        assert_eq!(metrics.counter("stream.refit.delta_total"), 5);
+        assert!(metrics
+            .histogram("stream.delta.touched_assertions")
+            .is_some());
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn spawn_rejects_invalid_delta_config() {
+        use socsense_core::{DeltaConfig, RefitMode};
+        assert!(matches!(
+            QueryService::spawn(
+                2,
+                2,
+                FollowerGraph::new(2),
+                ServeConfig {
+                    refit_mode: RefitMode::Delta(DeltaConfig {
+                        max_drift: -1.0,
+                        ..DeltaConfig::default()
+                    }),
+                    ..ServeConfig::default()
+                }
+            ),
+            Err(ServeError::Sense(SenseError::BadConfig { .. }))
+        ));
     }
 
     #[test]

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_delta.json: full-vs-delta refit latency on the
+# streaming path across history sizes, plus fallback counts and the
+# touched-set sizes of the last scoped refit. Run from the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_delta.json}"
+mkdir -p "$(dirname "$out")"
+cargo run --release -p socsense-bench --bin bench_delta -- "$out"
