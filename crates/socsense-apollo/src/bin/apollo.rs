@@ -248,6 +248,7 @@ struct ServeArgs {
     threads: Parallelism,
     metrics: Option<String>,
     delta: bool,
+    shards: usize,
 }
 
 fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -259,6 +260,7 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
         threads: Parallelism::Auto,
         metrics: None,
         delta: false,
+        shards: 0,
     };
     let mut it = it;
     while let Some(flag) = it.next() {
@@ -288,11 +290,21 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
                 };
             }
             "--delta" => args.delta = true,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("bad --shards: need at least 1 shard (omit the flag for \
+                                the single-worker service)"
+                        .into());
+                }
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: apollo serve --input tweets.jsonl [--follows follows.csv] \
                      [--batches N] [--refit-claims N] [--threads N] [--delta] \
-                     [--metrics PATH]"
+                     [--shards N] [--metrics PATH]"
                         .into(),
                 )
             }
@@ -334,18 +346,25 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
         } else {
             socsense_core::RefitMode::Full
         },
+        shards: args.shards,
         ..ServeOptions::default()
     };
     let (obs, rec) = metrics_obs(args.metrics.as_deref());
     let (session, summary) =
         ServeSession::start_with_obs(&corpus, &opts, obs).map_err(|e| e.to_string())?;
+    let backend = if args.shards == 0 {
+        "single worker".to_string()
+    } else {
+        format!("{} shards", args.shards)
+    };
     eprintln!(
-        "serving {}: {} sources, {} assertion clusters, {} claims replayed in {} batches",
+        "serving {}: {} sources, {} assertion clusters, {} claims replayed in {} batches \
+         ({backend})",
         args.input, summary.sources, summary.assertions, summary.claims, summary.batches
     );
     eprintln!(
         "ready; commands: posterior <id> | top-sources <k> | bound [<id> ...] | stats | \
-         metrics | quit"
+         metrics | topology | quit"
     );
     for line in std::io::stdin().lock().lines() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;

@@ -20,7 +20,9 @@
 
 use socsense_core::{Obs, Parallelism, RefitMode};
 use socsense_graph::TimedClaim;
-use socsense_serve::{QueryService, ServeConfig, ServeError, ServeHandle, ServeStats};
+use socsense_serve::{
+    QueryService, ServeConfig, ServeError, ServeHandle, ServeStats, ShardedHandle, ShardedService,
+};
 
 use crate::cluster::{cluster_texts_traced, ClusterConfig};
 use crate::ingest::Corpus;
@@ -37,6 +39,12 @@ pub struct ServeOptions {
     /// Forwarded to [`ServeConfig::refit_mode`]: full warm refits per
     /// batch, or delta-scoped E-steps with threshold-guarded fallback.
     pub refit_mode: RefitMode,
+    /// Serving backend: `0` runs the single-worker [`QueryService`];
+    /// `N ≥ 1` runs the horizontally sharded tier ([`ShardedService`])
+    /// with `N` worker shards. Answers are bit-identical either way on
+    /// fully connected corpora, and bit-identical across shard counts
+    /// always.
+    pub shards: usize,
     /// Text-clustering parameters.
     pub cluster: ClusterConfig,
 }
@@ -48,6 +56,7 @@ impl Default for ServeOptions {
             parallelism: Parallelism::Auto,
             refit_pending_claims: 1,
             refit_mode: RefitMode::Full,
+            shards: 0,
             cluster: ClusterConfig::default(),
         }
     }
@@ -66,11 +75,20 @@ pub struct ReplaySummary {
     pub batches: usize,
 }
 
+/// The backend a session runs on (see [`ServeOptions::shards`]).
+#[derive(Debug)]
+enum Backend {
+    Single(QueryService),
+    Sharded(ShardedService),
+}
+
 /// A live query session over a replayed corpus.
 #[derive(Debug)]
 pub struct ServeSession {
-    service: QueryService,
+    backend: Backend,
     client: ServeHandle,
+    /// Present only on the sharded backend; serves `topology` queries.
+    sharded_client: Option<ShardedHandle>,
     usernames: Vec<String>,
     sample_text: Vec<String>,
     assertion_count: u32,
@@ -122,19 +140,35 @@ impl ServeSession {
             .map(|(t, &c)| TimedClaim::new(t.source, c, t.time))
             .collect();
 
-        let service = QueryService::spawn_with_obs(
-            corpus.source_count(),
-            m,
-            corpus.graph.clone(),
-            ServeConfig {
-                refit_pending_claims: opts.refit_pending_claims,
-                parallelism: opts.parallelism,
-                refit_mode: opts.refit_mode,
-                ..ServeConfig::default()
-            },
-            extra,
-        )?;
-        let client = service.handle();
+        let config = ServeConfig {
+            refit_pending_claims: opts.refit_pending_claims,
+            parallelism: opts.parallelism,
+            refit_mode: opts.refit_mode,
+            ..ServeConfig::default()
+        };
+        let (backend, client, sharded_client) = if opts.shards == 0 {
+            let service = QueryService::spawn_with_obs(
+                corpus.source_count(),
+                m,
+                corpus.graph.clone(),
+                config,
+                extra,
+            )?;
+            let client = service.handle();
+            (Backend::Single(service), client, None)
+        } else {
+            let service = ShardedService::spawn_with_obs(
+                corpus.source_count(),
+                m,
+                corpus.graph.clone(),
+                config,
+                opts.shards,
+                extra,
+            )?;
+            let sharded = service.handle();
+            let client = (*sharded).clone();
+            (Backend::Sharded(service), client, Some(sharded))
+        };
 
         let batches = opts.batches.max(1);
         // Corpus tweets are time-ordered, so index chunks replay the
@@ -153,8 +187,9 @@ impl ServeSession {
         };
         Ok((
             Self {
-                service,
+                backend,
                 client,
+                sharded_client,
                 usernames: corpus.usernames.clone(),
                 sample_text,
                 assertion_count: m,
@@ -267,8 +302,29 @@ impl ServeSession {
                     Ok(text)
                 }
             }
+            "topology" => {
+                words_done(words)?;
+                let client = self
+                    .sharded_client
+                    .as_ref()
+                    .ok_or("topology needs the sharded backend; restart with --shards N")?;
+                let t = client.topology().map_err(|e| e.to_string())?;
+                let mut out = format!(
+                    "{} shards, epoch {}, {} clusters:",
+                    t.shards,
+                    t.epoch,
+                    t.clusters.len()
+                );
+                for c in &t.clusters {
+                    out.push_str(&format!(
+                        "\n  cluster {} -> shard {}  ({} sources, {} assertions)",
+                        c.key, c.shard, c.sources, c.assertions
+                    ));
+                }
+                Ok(out)
+            }
             "help" => Ok("commands: posterior <assertion-id> | top-sources <k> | \
-                          bound [<assertion-id> ...] | stats | metrics | quit"
+                          bound [<assertion-id> ...] | stats | metrics | topology | quit"
                 .into()),
             other => Err(format!("unknown command `{other}`; try `help`")),
         }
@@ -280,7 +336,10 @@ impl ServeSession {
     ///
     /// Propagates [`ServeError::Closed`] when the worker already died.
     pub fn finish(self) -> Result<ServeStats, ServeError> {
-        self.service.shutdown()
+        match self.backend {
+            Backend::Single(service) => service.shutdown(),
+            Backend::Sharded(service) => service.shutdown(),
+        }
     }
 }
 
@@ -394,6 +453,46 @@ mod tests {
         );
         session.finish().unwrap();
         full.finish().unwrap();
+    }
+
+    #[test]
+    fn sharded_session_matches_single_worker_session() {
+        // This corpus is one connected cluster (sally claims both
+        // assertions), so the sharded tier must reproduce the
+        // single-worker answers exactly — at any shard count.
+        let (single, _) = ServeSession::start(&corpus(), &ServeOptions::default()).unwrap();
+        for shards in [1usize, 2, 4] {
+            let opts = ServeOptions {
+                shards,
+                ..ServeOptions::default()
+            };
+            let (session, summary) = ServeSession::start(&corpus(), &opts).unwrap();
+            assert_eq!(summary.claims, 5);
+            assert_eq!(
+                single.answer("posterior 0").unwrap(),
+                session.answer("posterior 0").unwrap(),
+                "shards={shards}"
+            );
+            assert_eq!(
+                single.answer("posterior 1").unwrap(),
+                session.answer("posterior 1").unwrap()
+            );
+            assert_eq!(
+                single.answer("bound").unwrap(),
+                session.answer("bound").unwrap()
+            );
+            assert_eq!(
+                single.answer("top-sources 4").unwrap(),
+                session.answer("top-sources 4").unwrap()
+            );
+            let topo = session.answer("topology").unwrap();
+            assert!(topo.contains(&format!("{shards} shards")), "{topo}");
+            assert!(topo.contains("1 clusters"), "{topo}");
+            session.finish().unwrap();
+        }
+        let err = single.answer("topology").unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        single.finish().unwrap();
     }
 
     #[test]

@@ -1,24 +1,29 @@
-//! Latency harness for the `socsense-serve` query service.
+//! Latency harness for the `socsense-serve` query service — unsharded
+//! and sharded.
 //!
 //! Spawns a [`QueryService`], replays a seeded claim stream in batches,
 //! fires a fixed query mix (posterior / posteriors / top-sources /
 //! stats), and reports per-request-type latency quantiles straight from
 //! the service's own `serve.request.<type>.seconds` histograms — the
-//! same numbers a live `Metrics` request returns. Writes
-//! `BENCH_serve.json` (repo root, or the path given as the first
-//! argument); CI's perf-gate checks the posterior p99 against
-//! `scripts/perf_gates.toml`.
+//! same numbers a live `Metrics` request returns. Then exercises the
+//! sharded tier: a single-cluster workload pits `Shards(1)` against the
+//! unsharded worker (the `sharded.shard_overhead_ratio` the perf-gate
+//! floors), and a four-camp workload walks shard counts {1, 2, 4}.
+//! Writes `BENCH_serve.json` (repo root, or the path given as the first
+//! argument); CI's perf-gate checks the posterior p99 and the shard
+//! overhead against `scripts/perf_gates.toml`.
 //!
 //! ```text
 //! cargo run --release -p socsense-bench --bin bench_serve [OUT.json]
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use socsense_graph::{FollowerGraph, TimedClaim};
-use socsense_serve::{MetricsSnapshot, QueryService, ServeConfig};
+use socsense_serve::{MetricsSnapshot, QueryService, ServeConfig, ServeStats, ShardedService};
 
 const N: u32 = 30;
 const M: u32 = 40;
@@ -26,6 +31,30 @@ const BATCHES: usize = 8;
 const PER_BATCH: usize = 50;
 const QUERY_ROUNDS: usize = 100;
 const SEED: u64 = 2016;
+
+/// Overhead-pair repetitions; each side keeps its best wall-clock so
+/// the ratio compares steady-state work, not scheduler noise.
+const OVERHEAD_REPS: usize = 7;
+
+/// Query rounds in the overhead pair: enough to exercise the query
+/// path, few enough that the ratio measures the ingest/refit path
+/// rather than per-request channel round trips (which the latency
+/// histograms already report per request type).
+const OVERHEAD_QUERIES: usize = 25;
+
+/// Overhead-pair world: big enough that each pass spends tens of
+/// milliseconds in refits, so the wall-clock ratio is estimator-bound
+/// (shared work) rather than scheduler noise.
+const ON: u32 = 200;
+const OM: u32 = 240;
+const OBATCHES: usize = 24;
+const OPER_BATCH: usize = 600;
+
+/// Four-camp workload shape: `CAMPS` disjoint clusters over `SN`
+/// sources and `SM` assertions.
+const CAMPS: u32 = 4;
+const SN: u32 = 32;
+const SM: u32 = 40;
 
 /// A reliable/unreliable two-camp claim stream (the construction the
 /// serve tests use), seeded for reproducibility.
@@ -53,6 +82,224 @@ fn stream_batches() -> Vec<Vec<TimedClaim>> {
         .collect()
 }
 
+/// A two-camp stream with a connecting bootstrap batch in front:
+/// source 0 claims every assertion and every source claims once, so the
+/// whole world is ONE cluster from the first batch on. On this workload
+/// `Shards(1)` runs exactly the unsharded estimator (identity id remap)
+/// plus routing overhead — which is what the overhead gate measures.
+/// Sized (`ON`×`OM`, `OBATCHES`×`OPER_BATCH`) so estimator work — the
+/// shared part — dominates the fixed per-request channel hops.
+fn single_cluster_batches() -> Vec<Vec<TimedClaim>> {
+    let truth: Vec<bool> = (0..OM).map(|j| j < OM / 2).collect();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x51C7);
+    let mut t = 0u64;
+    let mut bootstrap = Vec::new();
+    for j in 0..OM {
+        t += 1;
+        bootstrap.push(TimedClaim::new(0, j, t));
+    }
+    for s in 1..ON {
+        t += 1;
+        bootstrap.push(TimedClaim::new(s, s % OM, t));
+    }
+    let mut batches = vec![bootstrap];
+    for _ in 0..OBATCHES {
+        batches.push(
+            (0..OPER_BATCH)
+                .map(|_| {
+                    let s = rng.gen_range(0..ON);
+                    let honest = s < (ON * 3) / 4;
+                    let j = loop {
+                        let j = rng.gen_range(0..OM);
+                        if truth[j as usize] == honest {
+                            break j;
+                        }
+                    };
+                    t += 1;
+                    TimedClaim::new(s, j, t)
+                })
+                .collect(),
+        );
+    }
+    batches
+}
+
+/// Four disjoint camps (cluster c: sources `8c..8c+8`, assertions
+/// `10c..10c+10`), each bootstrapped in batch one so membership is
+/// pinned early and later batches are pure appends — the shape a
+/// sharded deployment scales on.
+fn four_camp_batches() -> Vec<Vec<TimedClaim>> {
+    let spc = SN / CAMPS; // sources per camp
+    let apc = SM / CAMPS; // assertions per camp
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xCA3F);
+    let mut t = 0u64;
+    let mut bootstrap = Vec::new();
+    for c in 0..CAMPS {
+        for j in 0..apc {
+            t += 1;
+            bootstrap.push(TimedClaim::new(c * spc, c * apc + j, t));
+        }
+        for s in 1..spc {
+            t += 1;
+            bootstrap.push(TimedClaim::new(c * spc + s, c * apc + s % apc, t));
+        }
+    }
+    let mut batches = vec![bootstrap];
+    for _ in 0..BATCHES {
+        batches.push(
+            (0..PER_BATCH)
+                .map(|_| {
+                    let c = rng.gen_range(0..CAMPS);
+                    t += 1;
+                    TimedClaim::new(
+                        c * spc + rng.gen_range(0..spc),
+                        c * apc + rng.gen_range(0..apc),
+                        t,
+                    )
+                })
+                .collect(),
+        );
+    }
+    batches
+}
+
+/// One full workload pass: ingest every batch, fire the query mix,
+/// snapshot metrics, shut down. Returns the wall-clock seconds of the
+/// whole pass plus the service's own numbers and the final posterior
+/// bits (for the cross-backend equality check).
+struct PassResult {
+    wall_secs: f64,
+    metrics: MetricsSnapshot,
+    stats: ServeStats,
+    posterior_bits: Vec<u64>,
+}
+
+trait Client {
+    fn ingest(&self, batch: Vec<TimedClaim>);
+    fn posterior(&self, j: u32) -> f64;
+    fn posteriors(&self) -> Vec<f64>;
+    fn fanout(&self);
+    fn metrics(&self) -> MetricsSnapshot;
+}
+
+struct Unsharded(socsense_serve::ServeHandle);
+struct Sharded(socsense_serve::ShardedHandle);
+
+impl Client for Unsharded {
+    fn ingest(&self, batch: Vec<TimedClaim>) {
+        self.0.ingest(batch).expect("ingest succeeds");
+    }
+    fn posterior(&self, j: u32) -> f64 {
+        self.0.posterior(j).expect("posterior succeeds")
+    }
+    fn posteriors(&self) -> Vec<f64> {
+        self.0.posteriors().expect("posteriors succeeds")
+    }
+    fn fanout(&self) {
+        self.0.top_sources(5).expect("top-sources succeeds");
+        self.0.stats().expect("stats succeeds");
+    }
+    fn metrics(&self) -> MetricsSnapshot {
+        self.0.metrics().expect("metrics snapshot")
+    }
+}
+
+impl Client for Sharded {
+    fn ingest(&self, batch: Vec<TimedClaim>) {
+        self.0.ingest(batch).expect("ingest succeeds");
+    }
+    fn posterior(&self, j: u32) -> f64 {
+        self.0.posterior(j).expect("posterior succeeds")
+    }
+    fn posteriors(&self) -> Vec<f64> {
+        self.0.posteriors().expect("posteriors succeeds")
+    }
+    fn fanout(&self) {
+        self.0.top_sources(5).expect("top-sources succeeds");
+        self.0.stats().expect("stats succeeds");
+    }
+    fn metrics(&self) -> MetricsSnapshot {
+        self.0.metrics().expect("metrics snapshot")
+    }
+}
+
+fn drive(
+    client: &dyn Client,
+    batches: &[Vec<TimedClaim>],
+    m: u32,
+    query_rounds: usize,
+) -> (MetricsSnapshot, Vec<u64>) {
+    for batch in batches {
+        client.ingest(batch.clone());
+    }
+    for round in 0..query_rounds {
+        client.posterior(round as u32 % m);
+        if round % 10 == 0 {
+            client.posteriors();
+            client.fanout();
+        }
+    }
+    let bits = client.posteriors().iter().map(|p| p.to_bits()).collect();
+    (client.metrics(), bits)
+}
+
+/// Refit on every batch, to tight convergence: the heaviest-estimator
+/// setting, which both overhead-pair sides share so the wall-clock
+/// ratio reflects routing overhead on top of real refit work.
+fn eager_config() -> ServeConfig {
+    let mut cfg = ServeConfig {
+        refit_pending_claims: 1,
+        ..ServeConfig::default()
+    };
+    cfg.em.tol = 1e-10;
+    cfg.em.max_iters = 200;
+    cfg
+}
+
+// Clippy twin of detlint's D2: a bench binary's whole job is reading
+// the wall clock; served numbers never depend on it.
+#[allow(clippy::disallowed_methods)]
+fn run_unsharded(
+    n: u32,
+    m: u32,
+    config: ServeConfig,
+    batches: &[Vec<TimedClaim>],
+    query_rounds: usize,
+) -> PassResult {
+    let started = Instant::now();
+    let svc = QueryService::spawn(n, m, FollowerGraph::new(n), config).expect("spawns");
+    let (metrics, posterior_bits) = drive(&Unsharded(svc.handle()), batches, m, query_rounds);
+    let stats = svc.shutdown().expect("clean shutdown");
+    PassResult {
+        wall_secs: started.elapsed().as_secs_f64(),
+        metrics,
+        stats,
+        posterior_bits,
+    }
+}
+
+// Clippy twin of detlint's D2 (see `run_unsharded`).
+#[allow(clippy::disallowed_methods)]
+fn run_sharded(
+    n: u32,
+    m: u32,
+    config: ServeConfig,
+    shards: usize,
+    batches: &[Vec<TimedClaim>],
+    query_rounds: usize,
+) -> PassResult {
+    let started = Instant::now();
+    let svc = ShardedService::spawn(n, m, FollowerGraph::new(n), config, shards).expect("spawns");
+    let (metrics, posterior_bits) = drive(&Sharded(svc.handle()), batches, m, query_rounds);
+    let stats = svc.shutdown().expect("clean shutdown");
+    PassResult {
+        wall_secs: started.elapsed().as_secs_f64(),
+        metrics,
+        stats,
+        posterior_bits,
+    }
+}
+
 /// `{count, p50_secs, p99_secs, mean_secs}` for one request type, from
 /// the service's own histogram.
 fn latency_row(metrics: &MetricsSnapshot, request: &str) -> serde_json::Value {
@@ -78,24 +325,87 @@ fn main() -> ExitCode {
         .map(|n| n.get())
         .unwrap_or(1);
 
-    let svc = QueryService::spawn(N, M, FollowerGraph::new(N), ServeConfig::default())
-        .expect("service spawns");
-    let client = svc.handle();
-    for batch in stream_batches() {
-        client.ingest(batch).expect("ingest succeeds");
-    }
-    for round in 0..QUERY_ROUNDS {
-        client
-            .posterior(round as u32 % M)
-            .expect("posterior succeeds");
-        if round % 10 == 0 {
-            client.posteriors().expect("posteriors succeeds");
-            client.top_sources(5).expect("top-sources succeeds");
-            client.stats().expect("stats succeeds");
+    // ---- Unsharded baseline: the pre-sharding harness, unchanged. ----
+    let base = run_unsharded(
+        N,
+        M,
+        ServeConfig::default(),
+        &stream_batches(),
+        QUERY_ROUNDS,
+    );
+    let metrics = &base.metrics;
+    let stats = &base.stats;
+
+    // ---- Shard-overhead pair: single-cluster world, Shards(1) vs the
+    // unsharded worker doing identical estimator work. Best-of-reps on
+    // each side keeps the ratio a routing-overhead measure.
+    let overhead_batches = single_cluster_batches();
+    let mut unsharded_secs = f64::INFINITY;
+    let mut sharded1_secs = f64::INFINITY;
+    for _ in 0..OVERHEAD_REPS {
+        let u = run_unsharded(ON, OM, eager_config(), &overhead_batches, OVERHEAD_QUERIES);
+        let s = run_sharded(
+            ON,
+            OM,
+            eager_config(),
+            1,
+            &overhead_batches,
+            OVERHEAD_QUERIES,
+        );
+        if u.posterior_bits != s.posterior_bits {
+            eprintln!(
+                "error: Shards(1) diverged from the unsharded service on a single-cluster world"
+            );
+            return ExitCode::FAILURE;
         }
+        unsharded_secs = unsharded_secs.min(u.wall_secs);
+        sharded1_secs = sharded1_secs.min(s.wall_secs);
     }
-    let metrics = client.metrics().expect("metrics snapshot");
-    let stats = svc.shutdown().expect("clean shutdown");
+    let shard_overhead_ratio = sharded1_secs / unsharded_secs;
+
+    // ---- Shard-count rows: four-camp world at shards {1, 2, 4}. ----
+    let camp_batches = four_camp_batches();
+    let mut rows = Vec::new();
+    let mut reference_bits: Option<Vec<u64>> = None;
+    for shards in [1usize, 2, 4] {
+        let pass = run_sharded(
+            SN,
+            SM,
+            ServeConfig::default(),
+            shards,
+            &camp_batches,
+            QUERY_ROUNDS,
+        );
+        match &reference_bits {
+            None => reference_bits = Some(pass.posterior_bits.clone()),
+            Some(want) => {
+                if want != &pass.posterior_bits {
+                    eprintln!("error: shard count {shards} changed served bits");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let mut row = serde_json::json!({
+            "shards": shards,
+            "wall_secs": pass.wall_secs,
+            "posterior": latency_row(&pass.metrics, "posterior"),
+            "ingest": latency_row(&pass.metrics, "ingest"),
+            "chain_refits": pass.stats.chain_refits,
+        });
+        if shards > 1 && cores < 4 {
+            // Multi-shard wall-clock on a small host measures contention,
+            // not scaling; flag the row so downstream tooling can skip it.
+            if let serde_json::Value::Object(map) = &mut row {
+                map.insert(
+                    "warning".to_string(),
+                    serde_json::json!(format!(
+                        "only {cores} cores available; multi-shard timings are not a scaling signal"
+                    )),
+                );
+            }
+        }
+        rows.push(row);
+    }
 
     let payload = serde_json::json!({
         "host": serde_json::json!({
@@ -113,11 +423,11 @@ fn main() -> ExitCode {
             "seed": SEED,
         }),
         "latency": serde_json::json!({
-            "ingest": latency_row(&metrics, "ingest"),
-            "posterior": latency_row(&metrics, "posterior"),
-            "posteriors": latency_row(&metrics, "posteriors"),
-            "top_sources": latency_row(&metrics, "top_sources"),
-            "stats": latency_row(&metrics, "stats"),
+            "ingest": latency_row(metrics, "ingest"),
+            "posterior": latency_row(metrics, "posterior"),
+            "posteriors": latency_row(metrics, "posteriors"),
+            "top_sources": latency_row(metrics, "top_sources"),
+            "stats": latency_row(metrics, "stats"),
         }),
         "service": serde_json::json!({
             "requests_total": metrics.counter("serve.requests_total"),
@@ -129,6 +439,25 @@ fn main() -> ExitCode {
             "claims_ingested": metrics.counter("stream.ingest.claims_total"),
             "requests_served": stats.requests_served,
         }),
+        "sharded": serde_json::json!({
+            "shard_overhead_ratio": shard_overhead_ratio,
+            "overhead": serde_json::json!({
+                "unsharded_secs": unsharded_secs,
+                "sharded1_secs": sharded1_secs,
+                "reps": OVERHEAD_REPS,
+                "note": "single-cluster workload: Shards(1) runs the identical \
+                         estimator trajectory, so the ratio isolates routing \
+                         overhead",
+            }),
+            "workload": serde_json::json!({
+                "camps": CAMPS,
+                "sources": SN,
+                "assertions": SM,
+                "batches": BATCHES + 1,
+                "claims_per_batch": PER_BATCH,
+            }),
+            "rows": rows,
+        }),
         "metrics": metrics,
     });
     let json = serde_json::to_string_pretty(&payload).expect("serializes") + "\n";
@@ -137,7 +466,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "wrote {out_path} (posterior p50 {:.6}s, p99 {:.6}s over {} queries)",
+        "wrote {out_path} (posterior p50 {:.6}s, p99 {:.6}s over {} queries; \
+         shard overhead x{shard_overhead_ratio:.3})",
         metrics
             .histogram("serve.request.posterior.seconds")
             .expect("posterior histogram")

@@ -172,9 +172,13 @@ pub(crate) struct DeltaEngine {
     /// Incremental M-step statistics.
     sums: Vec<SourceSums>,
     sum_z: f64,
-    /// Upper bound on `|SC-col(j) ∪ D-col(j)|` over every column: exact
-    /// at seed time, max-updated on cell insertions, deliberately left
-    /// stale (an upper bound) on removals.
+    /// `|SC-col(j) ∪ D-col(j)|` per column, kept exact across structure
+    /// changes.
+    col_entries: Vec<usize>,
+    /// `max(col_entries)`, kept exact: max-updated on insertions and
+    /// recomputed (compacted) whenever a column at the maximum shrinks,
+    /// so removals tighten the staleness bound instead of leaving a
+    /// stale upper bound behind.
     max_col_entries: usize,
     /// Total logit-shift accumulator `Λ`: every refit adds an upper
     /// bound on how far an *untouched* assertion's posterior log-odds
@@ -238,10 +242,8 @@ impl DeltaEngine {
             }
         }
         let sum_z: f64 = fit.posterior.iter().sum();
-        let max_col_entries = (0..m)
-            .map(|j| union_len(&sc_cols[j], &d_cols[j]))
-            .max()
-            .unwrap_or(0);
+        let col_entries: Vec<usize> = (0..m).map(|j| union_len(&sc_cols[j], &d_cols[j])).collect();
+        let max_col_entries = col_entries.iter().copied().max().unwrap_or(0);
 
         Self {
             cfg,
@@ -255,6 +257,7 @@ impl DeltaEngine {
             d_cols,
             sums,
             sum_z,
+            col_entries,
             max_col_entries,
             lambda: 0.0,
             stamp: vec![0.0; m],
@@ -354,8 +357,16 @@ impl DeltaEngine {
                 toggle(&mut self.d_cols[j], ch.source, ch.after.dependent);
             }
             let entries = union_len(&self.sc_cols[j], &self.d_cols[j]);
+            let before = self.col_entries[j];
+            self.col_entries[j] = entries;
             if entries > self.max_col_entries {
                 self.max_col_entries = entries;
+            } else if entries < before && before == self.max_col_entries {
+                // A column at the maximum shrank: compact instead of
+                // carrying the stale upper bound into every future
+                // `refit_shift` (ties at the old maximum survive the
+                // rescan unchanged).
+                self.max_col_entries = self.col_entries.iter().copied().max().unwrap_or(0);
             }
             cols.push(ch.assertion);
         }
@@ -909,6 +920,117 @@ mod tests {
                 .validate(),
                 Err(SenseError::BadConfig { .. })
             ));
+        }
+    }
+
+    /// Synthetic removal changes for every cell of one column, matching
+    /// the engine's current state so the incremental sums stay exact.
+    fn remove_column_cells(e: &DeltaEngine, j: u32) -> Vec<socsense_graph::CellChange> {
+        let mut sources: Vec<u32> = e.sc_cols[j as usize].clone();
+        sources.extend_from_slice(&e.d_cols[j as usize]);
+        sources.sort_unstable();
+        sources.dedup();
+        sources
+            .into_iter()
+            .map(|i| socsense_graph::CellChange {
+                source: i,
+                assertion: j,
+                before: socsense_graph::CellState {
+                    claimed: e.sc_cols[j as usize].binary_search(&i).is_ok(),
+                    dependent: e.d_cols[j as usize].binary_search(&i).is_ok(),
+                },
+                after: socsense_graph::CellState {
+                    claimed: false,
+                    dependent: false,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn removals_compact_max_col_entries() {
+        let (g, claims) = world();
+        let (mut engine, _) = engine_for(&claims, &g);
+        let exact_max = |e: &DeltaEngine| {
+            (0..12)
+                .map(|j| union_len(&e.sc_cols[j], &e.d_cols[j]))
+                .max()
+                .unwrap()
+        };
+        assert_eq!(engine.max_col_entries, exact_max(&engine), "exact at seed");
+        // Empty out every column sitting at the maximum (they may tie):
+        // the bound must compact to the true new maximum, not keep the
+        // stale one.
+        let before = engine.max_col_entries;
+        let widest: Vec<u32> = (0..12u32)
+            .filter(|&j| {
+                union_len(&engine.sc_cols[j as usize], &engine.d_cols[j as usize]) == before
+            })
+            .collect();
+        let mut changes = Vec::new();
+        for &j in &widest {
+            changes.extend(remove_column_cells(&engine, j));
+        }
+        assert!(!changes.is_empty());
+        engine.apply_structure_changes(&changes);
+        assert_sums_consistent(&engine);
+        assert_eq!(engine.max_col_entries, exact_max(&engine), "compacted");
+        assert!(
+            engine.max_col_entries < before,
+            "removing the widest column must tighten the bound \
+             ({before} -> {})",
+            engine.max_col_entries
+        );
+        // Re-inserting cells max-updates back up.
+        let reinsert: Vec<socsense_graph::CellChange> = changes
+            .iter()
+            .map(|ch| socsense_graph::CellChange {
+                before: ch.after,
+                after: ch.before,
+                ..*ch
+            })
+            .collect();
+        engine.apply_structure_changes(&reinsert);
+        assert_eq!(engine.max_col_entries, before);
+        assert_sums_consistent(&engine);
+    }
+
+    #[test]
+    fn staleness_bound_still_holds_after_removal_compaction() {
+        let (g, claims) = world();
+        let (mut engine, _) = engine_for(&claims, &g);
+        let widest = (0..12u32)
+            .max_by_key(|&j| union_len(&engine.sc_cols[j as usize], &engine.d_cols[j as usize]))
+            .unwrap();
+        let removals = remove_column_cells(&engine, widest);
+        let mut sources: Vec<u32> = removals.iter().map(|ch| ch.source).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let cols = engine.apply_structure_changes(&removals);
+        let touched = engine.touched_set(&cols, &sources);
+        engine
+            .refit(&EmConfig::default(), &touched, &sources, 0)
+            .unwrap();
+        assert_sums_consistent(&engine);
+        // Rebuild the data the engine now mirrors and check every cached
+        // posterior against the proven (now tighter) staleness bound.
+        let entries = |rows: &[Vec<u32>]| -> Vec<(u32, u32)> {
+            rows.iter()
+                .enumerate()
+                .flat_map(|(i, r)| r.iter().map(move |&j| (i as u32, j)))
+                .collect()
+        };
+        let sc = socsense_matrix::SparseBinaryMatrix::from_entries(6, 12, entries(&engine.sc_rows));
+        let d = socsense_matrix::SparseBinaryMatrix::from_entries(6, 12, entries(&engine.d_rows));
+        let data = ClaimData::new(sc, d).unwrap();
+        let fresh = assertion_posteriors(&data, &engine.theta).unwrap();
+        for (j, fresh_z) in fresh.iter().enumerate() {
+            let bound = 0.25 * (engine.lambda - engine.stamp[j]) + 1e-12;
+            assert!(
+                (engine.posterior[j] - fresh_z).abs() <= bound,
+                "assertion {j}: cached {} vs fresh {fresh_z} exceeds bound {bound}",
+                engine.posterior[j],
+            );
         }
     }
 

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod bound;
+mod cluster;
 mod confidence;
 mod data;
 mod delta;
@@ -63,6 +64,7 @@ pub use bound::{
     importance_bound, mismatched_decision_error, BoundMethod, BoundResult, GibbsConfig,
     GibbsEstimator, GibbsOutcome, ImportanceConfig, ImportanceOutcome,
 };
+pub use cluster::{cluster_partition, ClusterMembers, ClusterTracker, ClusterUpdate, ClusterWorld};
 pub use confidence::{confidence_report, ConfidenceReport, RateInterval, SourceConfidence};
 pub use data::ClaimData;
 pub use delta::{DeltaConfig, RefitMode, RefitOutcome};

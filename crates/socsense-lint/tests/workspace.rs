@@ -202,3 +202,52 @@ fn binary_accepts_justified_suppression_but_rejects_empty_one() {
 
     std::fs::remove_dir_all(&root).ok();
 }
+
+#[test]
+fn sharded_tier_modules_stay_under_the_deterministic_contract() {
+    let root = socsense_bench::workspace_root();
+    let report = scan_workspace(&root).expect("scanning the live workspace");
+
+    // The sharded serving tier lives in socsense-serve; its contract
+    // must not quietly loosen to `tooling` now that router/shard
+    // modules carry thread spawns and channel plumbing.
+    let serve = report
+        .crates
+        .iter()
+        .find(|(n, _)| n == "socsense-serve")
+        .expect("socsense-serve missing from scan");
+    assert_eq!(
+        serve.1, "deterministic",
+        "socsense-serve lost its deterministic contract"
+    );
+
+    // The router's construction-time `.expect()`s are justified
+    // suppressions; their presence in the report proves the new module
+    // is actually scanned under the strict rule set rather than
+    // skipped. (A rule change that stops flagging them at all would
+    // also trip this, which is the point: coverage must be explicit.)
+    let router_suppressed = report
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("socsense-serve/src/router.rs") && f.suppressed)
+        .count();
+    assert!(
+        router_suppressed >= 2,
+        "expected the router's justified suppressions in the scan, found {router_suppressed}"
+    );
+
+    // And neither new module may carry an unsuppressed finding.
+    let loose: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            !f.suppressed
+                && (f.file.ends_with("socsense-serve/src/router.rs")
+                    || f.file.ends_with("socsense-serve/src/shard.rs"))
+        })
+        .collect();
+    assert!(
+        loose.is_empty(),
+        "sharded-tier modules have unsuppressed detlint findings:\n{loose:#?}"
+    );
+}

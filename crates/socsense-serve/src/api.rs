@@ -123,6 +123,33 @@ pub struct SourceRank {
     pub params: SourceParams,
 }
 
+/// The partition map of a sharded service: which shard hosts each
+/// assertion cluster, at which ingest epoch the map was read.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTopology {
+    /// Configured shard (worker) count.
+    pub shards: usize,
+    /// Ingest batches processed when the map was snapshot.
+    pub epoch: u64,
+    /// One entry per live cluster, ascending by key.
+    pub clusters: Vec<ClusterAssignment>,
+}
+
+/// One cluster's placement in a [`ShardTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterAssignment {
+    /// Cluster key: the smallest member assertion id.
+    pub key: u32,
+    /// Owning shard index.
+    pub shard: usize,
+    /// Member sources: claimants plus followers linked by dependency
+    /// cells — every source whose behaviour the cluster's fit
+    /// estimates.
+    pub sources: usize,
+    /// Member assertions.
+    pub assertions: usize,
+}
+
 /// Operating statistics of a running (or just-shut-down) service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ServeStats {

@@ -40,6 +40,18 @@
 //! byte-identical no matter how many clients query concurrently, or
 //! when. The service integration tests pin exactly this.
 //!
+//! # Scaling out: the sharded tier
+//!
+//! [`ShardedService`] serves the same request surface from a router
+//! thread over `N` worker shards, partitioned by *assertion cluster*
+//! (connected components of claim co-occurrence — the granularity at
+//! which the dependency model factorizes). Each cluster runs its own
+//! compacted [`StreamingEstimator`](socsense_core::StreamingEstimator);
+//! cross-shard answers merge in fixed order, so results are
+//! `f64::to_bits`-identical at every shard count. See the
+//! [`router`](ShardedService) docs for the epoch/drain protocol and
+//! the determinism argument.
+//!
 //! # Example
 //!
 //! ```
@@ -63,9 +75,14 @@
 #![warn(missing_docs)]
 
 mod api;
+mod router;
 mod service;
+mod shard;
 
-pub use api::{IngestAck, ServeConfig, ServeError, ServeStats, SourceRank};
+pub use api::{
+    ClusterAssignment, IngestAck, ServeConfig, ServeError, ServeStats, ShardTopology, SourceRank,
+};
+pub use router::{ShardedHandle, ShardedService};
 pub use service::{QueryService, ServeHandle};
 
 // Re-exported so clients can name bound methods and read metrics

@@ -1,0 +1,861 @@
+//! The cluster-partitioned router of the sharded serving tier.
+//!
+//! A [`ShardedService`] owns one router thread and `N` shard worker
+//! threads ([`ShardWorker`](crate::shard::ShardWorker)). The router is
+//! the single writer of the partition map: it tracks assertion clusters
+//! with a [`ClusterTracker`] (union-find over claim co-occurrence),
+//! assigns each *new* cluster to a shard by a deterministic rendezvous
+//! hash of its key (the smallest assertion id), fans ingest batches out
+//! by cluster, and merges fan-out answers in fixed shard/key order —
+//! so every served number is a pure function of the ingest sequence and
+//! the query parameters, independent of the shard count.
+//!
+//! # Epoch / drain protocol
+//!
+//! The router stamps every ingest batch with a fresh epoch. Shards
+//! involved in the batch receive the cluster operations and must ack
+//! (the drain barrier); uninvolved shards receive a bare epoch marker
+//! over the same FIFO channel, which is delivered — and therefore
+//! applied — before any later query. Queries carry the epoch the router
+//! expects; a shard answering at a different epoch reports a protocol
+//! error instead of mixing epochs into a fan-out.
+//!
+//! # Determinism argument
+//!
+//! Cluster membership, per-cluster claim sub-streams, and per-cluster
+//! batch boundaries are all derived from the global ingest sequence
+//! alone — never from the shard count or query timing. Each cluster's
+//! estimator state is a pure function of `(membership, batch history)`
+//! because membership changes rebuild the cluster by replaying its
+//! history under the live refit policy. Fan-out replies are merged
+//! after sorting by shard index, folding in ascending cluster-key
+//! order, so the merge order is fixed too. Hence `Shards(1)`,
+//! `Shards(2)`, and `Shards(4)` produce `f64::to_bits`-identical
+//! answers.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use socsense_core::{
+    exact_bound, BoundResult, ClusterTracker, SenseError, SourceParams, StreamingEstimator,
+};
+use socsense_graph::{FollowerGraph, TimedClaim};
+use socsense_obs::{Obs, Recorder, Tee};
+
+use crate::api::{
+    ClusterAssignment, IngestAck, ServeConfig, ServeError, ServeStats, ShardTopology, SourceRank,
+};
+use crate::service::{Envelope, Request, Response, ServeHandle};
+use crate::shard::{
+    ClusterOp, LastRefit, ShardMsg, ShardQuery, ShardReply, ShardReturn, ShardWorker,
+};
+
+/// SplitMix64 finalizer: a full-avalanche mix of one 64-bit word.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Rendezvous (highest-random-weight) assignment of a cluster key to a
+/// shard: every participant computes the same winner from the key
+/// alone, with no assignment table to coordinate. Strict `>` keeps the
+/// lowest shard index on (astronomically unlikely) weight ties.
+pub(crate) fn rendezvous_shard(key: u32, shards: usize) -> usize {
+    let mut best = 0usize;
+    let mut best_weight = 0u64;
+    for s in 0..shards {
+        let weight = splitmix64(((key as u64) << 32) ^ (s as u64 + 1));
+        if s == 0 || weight > best_weight {
+            best = s;
+            best_weight = weight;
+        }
+    }
+    best
+}
+
+/// The Bayes-risk contribution of an assertion no source ever claimed:
+/// with no claim pattern to condition on, the optimal decision is the
+/// prior coin flip.
+fn neutral_bound() -> BoundResult {
+    exact_bound(&[], 0.5).unwrap_or(BoundResult {
+        error: 0.5,
+        false_positive: 0.5,
+        false_negative: 0.0,
+    })
+}
+
+/// What the router knows about one live cluster.
+struct RecordedCluster {
+    shard: usize,
+    n_sources: usize,
+    n_assertions: usize,
+    /// Pending-claim count from the owning shard's last ack.
+    pending: usize,
+}
+
+/// One entry of a cluster's claim history: `(ingest epoch, position in
+/// that epoch's batch, the claim)`. The pair orders entries globally.
+type HistoryEntry = (u64, u32, TimedClaim);
+
+/// Groups a sorted cluster history back into its original ingest
+/// batches (one `Vec` per epoch, batch order preserved) so a rebuild
+/// replays the refit policy over the exact boundaries the live path saw.
+fn history_batches(history: &[HistoryEntry]) -> Vec<Vec<TimedClaim>> {
+    let mut out: Vec<Vec<TimedClaim>> = Vec::new();
+    let mut current = None;
+    for &(seq, _, claim) in history {
+        if current != Some(seq) {
+            out.push(Vec::new());
+            current = Some(seq);
+        }
+        if let Some(last) = out.last_mut() {
+            last.push(claim);
+        }
+    }
+    out
+}
+
+/// A sharded drop-in for [`QueryService`](crate::QueryService): the
+/// same request surface, served by a router thread over `N` worker
+/// shards partitioned by assertion cluster.
+///
+/// Answers are `f64::to_bits`-identical at every shard count: sharding
+/// changes wall-clock behaviour, never served numbers. See the module
+/// docs for the protocol and the determinism argument.
+#[derive(Debug)]
+pub struct ShardedService {
+    tx: Sender<Envelope>,
+    depth: Arc<AtomicUsize>,
+    router: Option<JoinHandle<()>>,
+    shards: usize,
+}
+
+/// A cheap, cloneable client of a [`ShardedService`].
+///
+/// Dereferences to [`ServeHandle`], so every unsharded client method
+/// (ingest, posterior, bound, …) works unchanged; adds
+/// [`topology`](Self::topology) for inspecting the partition map.
+#[derive(Debug, Clone)]
+pub struct ShardedHandle {
+    inner: ServeHandle,
+}
+
+impl std::ops::Deref for ShardedHandle {
+    type Target = ServeHandle;
+
+    fn deref(&self) -> &ServeHandle {
+        &self.inner
+    }
+}
+
+impl ShardedHandle {
+    /// The current partition map: shard count, ingest epoch, and each
+    /// live cluster's key, owning shard, and member counts (keys
+    /// ascending).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] when the service is gone.
+    pub fn topology(&self) -> Result<ShardTopology, ServeError> {
+        match self.inner.call(Request::Topology)? {
+            Response::Topology(t) => Ok(*t),
+            _ => Err(ServeError::Protocol("expected Topology")),
+        }
+    }
+}
+
+impl ShardedService {
+    /// Spawns the router and `shards` worker threads over `n` sources
+    /// and `m` assertions with the given follow relation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Sense`] for an invalid shape or configuration —
+    /// the same construction-error surface as
+    /// [`QueryService::spawn`](crate::QueryService::spawn) — or a zero
+    /// shard count.
+    pub fn spawn(
+        n: u32,
+        m: u32,
+        graph: FollowerGraph,
+        config: ServeConfig,
+        shards: usize,
+    ) -> Result<Self, ServeError> {
+        Self::spawn_with_obs(n, m, graph, config, shards, Obs::none())
+    }
+
+    /// As [`spawn`](Self::spawn), additionally teeing every metric the
+    /// router and shards emit into `extra`. Metrics are
+    /// observation-only and never change served numbers.
+    ///
+    /// # Errors
+    ///
+    /// See [`spawn`](Self::spawn).
+    pub fn spawn_with_obs(
+        n: u32,
+        m: u32,
+        graph: FollowerGraph,
+        config: ServeConfig,
+        shards: usize,
+        extra: Obs,
+    ) -> Result<Self, ServeError> {
+        if shards == 0 {
+            return Err(ServeError::Sense(SenseError::BadConfig {
+                what: "sharded service needs at least one shard",
+            }));
+        }
+        // Probe construction: surface exactly the shape/config errors
+        // the unsharded service would, before any thread exists.
+        {
+            let mut probe = StreamingEstimator::new(n, m, graph.clone(), config.em)?;
+            probe.set_warm_blend(config.warm_blend)?;
+            probe.set_refit_mode(config.refit_mode)?;
+        }
+        let tracker = ClusterTracker::new(n, m, graph.clone())?;
+        let rec = Arc::new(Recorder::new());
+        let obs = match extra.sink() {
+            Some(sink) => Obs::new(Arc::new(Tee::new(rec.clone(), sink))),
+            None => Obs::new(rec.clone()),
+        };
+        let mut shard_tx = Vec::with_capacity(shards);
+        let mut shard_depth = Vec::with_capacity(shards);
+        let mut shard_workers = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = mpsc::channel::<ShardMsg>();
+            let depth = Arc::new(AtomicUsize::new(0));
+            let worker =
+                ShardWorker::new(i, config.clone(), graph.clone(), obs.clone(), depth.clone());
+            let handle = std::thread::Builder::new()
+                .name(format!("socsense-shard-{i}"))
+                .spawn(move || worker.run(rx))
+                // detlint: allow(D5) -- construction-time: no client exists yet, so a failed spawn panics the caller, not a worker others wait on
+                .expect("spawning a shard worker thread");
+            shard_tx.push(tx);
+            shard_depth.push(depth);
+            shard_workers.push(handle);
+        }
+        let depth = Arc::new(AtomicUsize::new(0));
+        let router_depth = Arc::clone(&depth);
+        let (tx, rx) = mpsc::channel::<Envelope>();
+        let router = Router {
+            cfg: config,
+            tracker,
+            epoch: 0,
+            total_claims: 0,
+            requests_served: 0,
+            recorded: BTreeMap::new(),
+            history: BTreeMap::new(),
+            shard_tx,
+            shard_depth,
+            shard_workers,
+            rec,
+            obs,
+            depth: router_depth,
+        };
+        let router = std::thread::Builder::new()
+            .name("socsense-router".into())
+            .spawn(move || router.run(rx))
+            // detlint: allow(D5) -- construction-time: no client exists yet, so a failed spawn panics the caller, not a worker others wait on
+            .expect("spawning the router thread");
+        Ok(Self {
+            tx,
+            depth,
+            router: Some(router),
+            shards,
+        })
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// A new client handle. Handles stay valid until shutdown.
+    pub fn handle(&self) -> ShardedHandle {
+        ShardedHandle {
+            inner: ServeHandle::internal(self.tx.clone(), Arc::clone(&self.depth)),
+        }
+    }
+
+    /// Shuts the tier down gracefully: requests already queued are
+    /// still answered, then the shards and the router exit and are
+    /// joined. Returns the final operating statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] when the router was already gone.
+    pub fn shutdown(mut self) -> Result<ServeStats, ServeError> {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&mut self) -> Result<ServeStats, ServeError> {
+        let stats = match self.handle().inner.call(Request::Shutdown) {
+            Ok(Response::ShuttingDown(stats)) => Ok(stats),
+            Ok(_) => Err(ServeError::Protocol("expected ShuttingDown")),
+            Err(e) => Err(e),
+        };
+        if let Some(router) = self.router.take() {
+            let _ = router.join();
+        }
+        stats
+    }
+}
+
+impl Drop for ShardedService {
+    fn drop(&mut self) {
+        if self.router.is_some() {
+            let _ = self.shutdown_impl();
+        }
+    }
+}
+
+/// The single-threaded owner of the partition map and shard channels.
+struct Router {
+    cfg: ServeConfig,
+    tracker: ClusterTracker,
+    /// Ingest batches processed; every shard state and query is pinned
+    /// to an epoch.
+    epoch: u64,
+    total_claims: usize,
+    requests_served: u64,
+    recorded: BTreeMap<u32, RecordedCluster>,
+    /// Per-cluster claim history in `(epoch, position)` order — the
+    /// replay source for membership-change rebuilds.
+    history: BTreeMap<u32, Vec<HistoryEntry>>,
+    shard_tx: Vec<Sender<ShardMsg>>,
+    shard_depth: Vec<Arc<AtomicUsize>>,
+    shard_workers: Vec<JoinHandle<()>>,
+    rec: Arc<Recorder>,
+    obs: Obs,
+    depth: Arc<AtomicUsize>,
+}
+
+impl Router {
+    fn run(mut self, rx: Receiver<Envelope>) {
+        while let Ok(env) = rx.recv() {
+            let shutting_down = matches!(env.req, Request::Shutdown);
+            self.answer(env);
+            if shutting_down {
+                // Graceful drain: everything already queued is answered
+                // (the shards are still up); senders arriving after the
+                // channel closes get `Closed`.
+                while let Ok(env) = rx.try_recv() {
+                    self.answer(env);
+                }
+                break;
+            }
+        }
+        self.stop_shards();
+    }
+
+    fn stop_shards(&mut self) {
+        for (i, tx) in self.shard_tx.iter().enumerate() {
+            self.shard_depth[i].fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for handle in self.shard_workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn answer(&mut self, env: Envelope) {
+        let waiting = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.obs.gauge("serve.queue.depth", waiting as f64);
+        self.obs.gauge("serve.router.queue.depth", waiting as f64);
+        self.obs.observe(
+            "serve.queue.wait_seconds",
+            env.queued.elapsed().as_secs_f64(),
+        );
+        self.requests_served += 1;
+        self.obs.counter("serve.requests_total", 1);
+        let label = env.req.label();
+        let timer = self.obs.timer(&format!("serve.request.{label}.seconds"));
+        let result = self.dispatch(env.req);
+        timer.stop();
+        if result.is_err() {
+            self.obs.counter("serve.request_errors_total", 1);
+        }
+        // A client that gave up on its reply is not an error.
+        let _ = env.reply.send(result);
+    }
+
+    fn dispatch(&mut self, req: Request) -> Result<Response, ServeError> {
+        match req {
+            Request::Ingest(batch) => self.ingest(batch),
+            Request::Posterior(j) => self.posterior(j),
+            Request::Posteriors => self.posteriors(),
+            Request::TopSources(k) => self.top_sources(k),
+            Request::Bound { assertions, method } => self.bound(assertions, method),
+            Request::Stats => Ok(Response::Stats(self.stats_snapshot()?)),
+            Request::Metrics => Ok(Response::Metrics(Box::new(self.rec.snapshot()))),
+            Request::Topology => Ok(Response::Topology(Box::new(self.topology()))),
+            Request::Shutdown => Ok(Response::ShuttingDown(self.stats_snapshot()?)),
+        }
+    }
+
+    /// Fans an ingest batch out by cluster and waits for every involved
+    /// shard's ack (the drain barrier) before acknowledging the client.
+    fn ingest(&mut self, batch: Vec<TimedClaim>) -> Result<Response, ServeError> {
+        // Atomic validation: a rejected batch changes nothing, and the
+        // epoch does not advance.
+        let update = self.tracker.ingest(&batch)?;
+        self.epoch += 1;
+        self.total_claims += batch.len();
+        self.obs.gauge("serve.router.epoch", self.epoch as f64);
+
+        // Clusters merged away hand their history to the surviving key.
+        let mut merged_into: BTreeSet<u32> = BTreeSet::new();
+        for &gone in &update.removed {
+            if let Some(src) = self.history.remove(&gone) {
+                let winner = self
+                    .tracker
+                    .cluster_key_of(src[0].2.assertion)
+                    .ok_or(ServeError::Protocol("merged cluster has no live key"))?;
+                let dst = self.history.entry(winner).or_default();
+                dst.extend(src);
+                // (epoch, position) pairs are unique, so this sort is
+                // a deterministic merge of two sorted runs.
+                dst.sort_unstable_by_key(|&(seq, pos, _)| (seq, pos));
+                merged_into.insert(winner);
+            }
+        }
+
+        // Partition the batch by owning cluster, preserving batch order
+        // inside each sub-stream. One map probe per claim; the history
+        // log extends once per involved cluster afterwards.
+        let mut per_key: BTreeMap<u32, Vec<(u32, TimedClaim)>> = BTreeMap::new();
+        for (pos, &claim) in batch.iter().enumerate() {
+            let key = self
+                .tracker
+                .cluster_key_of(claim.assertion)
+                .ok_or(ServeError::Protocol("ingested claim has no cluster"))?;
+            per_key.entry(key).or_default().push((pos as u32, claim));
+        }
+        for (&key, positioned) in &per_key {
+            self.history
+                .entry(key)
+                .or_default()
+                .extend(positioned.iter().map(|&(pos, c)| (self.epoch, pos, c)));
+        }
+
+        // Cluster operations, grouped per shard in ascending key order.
+        let mut ops: BTreeMap<usize, Vec<ClusterOp>> = BTreeMap::new();
+        for &gone in &update.removed {
+            if let Some(rc) = self.recorded.remove(&gone) {
+                ops.entry(rc.shard)
+                    .or_default()
+                    .push(ClusterOp::Drop { key: gone });
+            }
+        }
+        for (&key, claims) in &per_key {
+            let members = self
+                .tracker
+                .members(key)
+                .ok_or(ServeError::Protocol("claimed cluster is not tracked"))?;
+            let sizes = (members.sources().len(), members.assertions().len());
+            let (shard, needs_build, was_recorded) = match self.recorded.get(&key) {
+                None => (rendezvous_shard(key, self.shard_tx.len()), true, false),
+                Some(rc) => (
+                    rc.shard,
+                    merged_into.contains(&key) || (rc.n_sources, rc.n_assertions) != sizes,
+                    true,
+                ),
+            };
+            let op = if needs_build {
+                if was_recorded {
+                    self.obs.counter("serve.router.rebuilds_total", 1);
+                }
+                ClusterOp::Build {
+                    key,
+                    sources: members.sources().to_vec(),
+                    assertions: members.assertions().to_vec(),
+                    batches: history_batches(&self.history[&key]),
+                }
+            } else {
+                ClusterOp::Append {
+                    key,
+                    claims: claims.iter().map(|&(_, c)| c).collect(),
+                }
+            };
+            ops.entry(shard).or_default().push(op);
+            let pending = self.recorded.get(&key).map_or(0, |rc| rc.pending);
+            self.recorded.insert(
+                key,
+                RecordedCluster {
+                    shard,
+                    n_sources: sizes.0,
+                    n_assertions: sizes.1,
+                    pending,
+                },
+            );
+        }
+        self.obs
+            .gauge("serve.router.clusters", self.recorded.len() as f64);
+
+        // Dispatch: involved shards get their operations and must ack;
+        // the rest get a bare epoch marker over the same FIFO channel.
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let mut involved = 0usize;
+        for (i, tx) in self.shard_tx.iter().enumerate() {
+            self.shard_depth[i].fetch_add(1, Ordering::Relaxed);
+            let msg = match ops.remove(&i) {
+                Some(ops) => {
+                    involved += 1;
+                    ShardMsg::Ingest {
+                        epoch: self.epoch,
+                        ops,
+                        reply: ack_tx.clone(),
+                    }
+                }
+                None => ShardMsg::Epoch(self.epoch),
+            };
+            tx.send(msg).map_err(|_| ServeError::Closed)?;
+        }
+        drop(ack_tx);
+        let mut returns = Vec::with_capacity(involved);
+        for _ in 0..involved {
+            returns.push(ack_rx.recv().map_err(|_| ServeError::Closed)?);
+        }
+        returns.sort_by_key(|r| r.shard);
+
+        let mut refitted = false;
+        let mut first_error: Option<SenseError> = None;
+        for ret in returns {
+            for ack in ret.payload? {
+                if let Some(rc) = self.recorded.get_mut(&ack.key) {
+                    rc.pending = ack.pending;
+                }
+                refitted |= ack.refitted;
+                if first_error.is_none() {
+                    first_error = ack.error;
+                }
+            }
+        }
+        // Mirror the unsharded service: a failed eager refit surfaces as
+        // an error, but the claims stay ingested.
+        if let Some(e) = first_error {
+            return Err(ServeError::Sense(e));
+        }
+        Ok(Response::Ingested(IngestAck {
+            total_claims: self.total_claims,
+            pending_claims: self.recorded.values().map(|rc| rc.pending).sum(),
+            refitted,
+        }))
+    }
+
+    /// Sends each `(shard, query)` pair and collects the replies sorted
+    /// by shard index, verifying no fan-out mixes epochs.
+    fn scatter(
+        &self,
+        targets: Vec<(usize, ShardQuery)>,
+    ) -> Result<Vec<(usize, ShardReply)>, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        let expected = targets.len();
+        for (shard, query) in targets {
+            self.shard_depth[shard].fetch_add(1, Ordering::Relaxed);
+            self.shard_tx[shard]
+                .send(ShardMsg::Query {
+                    epoch: self.epoch,
+                    query,
+                    reply: tx.clone(),
+                })
+                .map_err(|_| ServeError::Closed)?;
+        }
+        drop(tx);
+        let mut returns: Vec<ShardReturn<ShardReply>> = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            returns.push(rx.recv().map_err(|_| ServeError::Closed)?);
+        }
+        returns.sort_by_key(|r| r.shard);
+        let mut out = Vec::with_capacity(returns.len());
+        for ret in returns {
+            if ret.epoch != self.epoch {
+                return Err(ServeError::Protocol("fan-out reply from a different epoch"));
+            }
+            out.push((ret.shard, ret.payload?));
+        }
+        Ok(out)
+    }
+
+    fn all_shards(&self, query: impl Fn() -> ShardQuery) -> Vec<(usize, ShardQuery)> {
+        (0..self.shard_tx.len()).map(|i| (i, query())).collect()
+    }
+
+    fn posterior(&mut self, j: u32) -> Result<Response, ServeError> {
+        let m = self.tracker.assertion_count();
+        if j >= m {
+            return Err(ServeError::Sense(SenseError::DimensionMismatch {
+                what: "query assertion id vs m",
+                expected: m as usize,
+                actual: j as usize,
+            }));
+        }
+        let Some(key) = self.tracker.cluster_key_of(j) else {
+            // Never claimed: no cluster owns it, the posterior is the
+            // neutral prior.
+            return Ok(Response::Posterior(0.5));
+        };
+        let shard = self.owning_shard(key)?;
+        let replies = self.scatter(vec![(shard, ShardQuery::Posterior { key, assertion: j })])?;
+        match replies.into_iter().next() {
+            Some((_, ShardReply::Posterior(p))) => Ok(Response::Posterior(p)),
+            _ => Err(ServeError::Protocol("expected shard Posterior")),
+        }
+    }
+
+    fn posteriors(&mut self) -> Result<Response, ServeError> {
+        let m = self.tracker.assertion_count() as usize;
+        let mut out = vec![0.5; m];
+        for (_, reply) in self.scatter(self.all_shards(|| ShardQuery::Posteriors))? {
+            let ShardReply::Posteriors(list) = reply else {
+                return Err(ServeError::Protocol("expected shard Posteriors"));
+            };
+            for (j, p) in list {
+                out[j as usize] = p;
+            }
+        }
+        Ok(Response::Posteriors(out))
+    }
+
+    fn top_sources(&mut self, k: usize) -> Result<Response, ServeError> {
+        let n = self.tracker.source_count();
+        let mut ranks: Vec<SourceRank> = Vec::with_capacity(n as usize);
+        for (_, reply) in self.scatter(self.all_shards(|| ShardQuery::TopSources))? {
+            let ShardReply::TopSources(list) = reply else {
+                return Err(ServeError::Protocol("expected shard TopSources"));
+            };
+            ranks.extend(list);
+        }
+        // Sources in no cluster rank with neutral behaviour parameters,
+        // exactly the prior a fit has nothing to move away from.
+        for i in 0..n {
+            if !self.tracker.is_active_source(i) {
+                ranks.push(SourceRank {
+                    source: i,
+                    precision: 0.5,
+                    params: SourceParams {
+                        a: 0.5,
+                        b: 0.5,
+                        f: 0.5,
+                        g: 0.5,
+                    },
+                });
+            }
+        }
+        ranks.sort_by(|x, y| {
+            y.precision
+                .partial_cmp(&x.precision)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.source.cmp(&y.source))
+        });
+        ranks.truncate(k);
+        Ok(Response::TopSources(ranks))
+    }
+
+    fn bound(
+        &mut self,
+        assertions: Vec<u32>,
+        method: Option<socsense_core::BoundMethod>,
+    ) -> Result<Response, ServeError> {
+        let m = self.tracker.assertion_count();
+        let assertions: Vec<u32> = if assertions.is_empty() {
+            (0..m).collect()
+        } else {
+            assertions
+        };
+        for &j in &assertions {
+            if j >= m {
+                return Err(ServeError::Sense(SenseError::DimensionMismatch {
+                    what: "bound assertion id vs m",
+                    expected: m as usize,
+                    actual: j as usize,
+                }));
+            }
+        }
+        let method = method.unwrap_or_else(|| self.cfg.bound.clone());
+        let mut groups: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut unowned = 0usize;
+        for &j in &assertions {
+            match self.tracker.cluster_key_of(j) {
+                Some(key) => groups.entry(key).or_default().push(j),
+                None => unowned += 1,
+            }
+        }
+        // Single-group fast path: return the shard's result verbatim,
+        // avoiding even the `(mean·k)/k` rounding of the merge below.
+        if unowned == 0 {
+            if let Some((&key, js)) = (groups.len() == 1).then(|| groups.iter().next()).flatten() {
+                let shard = self.owning_shard(key)?;
+                let replies = self.scatter(vec![(
+                    shard,
+                    ShardQuery::Bound {
+                        groups: vec![(key, js.clone())],
+                        method,
+                    },
+                )])?;
+                return match replies.into_iter().next() {
+                    Some((_, ShardReply::Bound(mut list))) if list.len() == 1 => match list.pop() {
+                        Some((_, result, _)) => Ok(Response::Bound(result)),
+                        None => Err(ServeError::Protocol("expected one shard Bound group")),
+                    },
+                    _ => Err(ServeError::Protocol("expected one shard Bound group")),
+                };
+            }
+        }
+        let mut per_shard: BTreeMap<usize, Vec<(u32, Vec<u32>)>> = BTreeMap::new();
+        for (key, js) in groups {
+            per_shard
+                .entry(self.owning_shard(key)?)
+                .or_default()
+                .push((key, js));
+        }
+        let targets: Vec<(usize, ShardQuery)> = per_shard
+            .into_iter()
+            .map(|(shard, groups)| {
+                (
+                    shard,
+                    ShardQuery::Bound {
+                        groups,
+                        method: method.clone(),
+                    },
+                )
+            })
+            .collect();
+        let mut parts: BTreeMap<u32, (BoundResult, usize)> = BTreeMap::new();
+        for (_, reply) in self.scatter(targets)? {
+            let ShardReply::Bound(list) = reply else {
+                return Err(ServeError::Protocol("expected shard Bound"));
+            };
+            for (key, bound, count) in list {
+                parts.insert(key, (bound, count));
+            }
+        }
+        // Fixed-order weighted merge: ascending cluster key, then the
+        // never-claimed block. The fold order is shard-count-invariant.
+        let mut error = 0.0;
+        let mut false_positive = 0.0;
+        let mut false_negative = 0.0;
+        let mut total = 0usize;
+        for (bound, count) in parts.into_values() {
+            error += bound.error * count as f64;
+            false_positive += bound.false_positive * count as f64;
+            false_negative += bound.false_negative * count as f64;
+            total += count;
+        }
+        if unowned > 0 {
+            let neutral = neutral_bound();
+            error += neutral.error * unowned as f64;
+            false_positive += neutral.false_positive * unowned as f64;
+            false_negative += neutral.false_negative * unowned as f64;
+            total += unowned;
+        }
+        Ok(Response::Bound(BoundResult {
+            error: error / total as f64,
+            false_positive: false_positive / total as f64,
+            false_negative: false_negative / total as f64,
+        }))
+    }
+
+    fn stats_snapshot(&mut self) -> Result<ServeStats, ServeError> {
+        let mut stats = ServeStats {
+            total_claims: self.total_claims,
+            requests_served: self.requests_served,
+            ..ServeStats::default()
+        };
+        let mut last: Option<LastRefit> = None;
+        for (_, reply) in self.scatter(self.all_shards(|| ShardQuery::Stats))? {
+            let ShardReply::Stats(p) = reply else {
+                return Err(ServeError::Protocol("expected shard Stats"));
+            };
+            stats.pending_claims += p.pending;
+            stats.chain_refits += p.chain_refits;
+            stats.probe_refits += p.probe_refits;
+            stats.probe_cache_hits += p.probe_cache_hits;
+            stats.failed_refits += p.failed_refits;
+            stats.warm_refits += p.warm_refits;
+            stats.delta_refits += p.delta_refits;
+            stats.fallback_refits += p.fallback_refits;
+            last = last.max(p.last_refit);
+        }
+        if let Some(last) = last {
+            stats.last_refit_iterations = Some(last.iterations);
+            stats.last_touched_assertions = Some(last.touched_assertions);
+            stats.last_touched_sources = Some(last.touched_sources);
+        }
+        Ok(stats)
+    }
+
+    fn topology(&self) -> ShardTopology {
+        ShardTopology {
+            shards: self.shard_tx.len(),
+            epoch: self.epoch,
+            clusters: self
+                .recorded
+                .iter()
+                .map(|(&key, rc)| ClusterAssignment {
+                    key,
+                    shard: rc.shard,
+                    sources: rc.n_sources,
+                    assertions: rc.n_assertions,
+                })
+                .collect(),
+        }
+    }
+
+    fn owning_shard(&self, key: u32) -> Result<usize, ServeError> {
+        self.recorded
+            .get(&key)
+            .map(|rc| rc.shard)
+            .ok_or(ServeError::Protocol("tracked cluster is not recorded"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_is_deterministic_and_balanced_enough() {
+        for key in 0..64u32 {
+            assert_eq!(rendezvous_shard(key, 1), 0, "one shard owns everything");
+            let s4 = rendezvous_shard(key, 4);
+            assert!(s4 < 4);
+            assert_eq!(
+                s4,
+                rendezvous_shard(key, 4),
+                "assignment is a pure function"
+            );
+        }
+        // Sanity: with 256 keys over 4 shards, no shard is starved.
+        let mut counts = [0usize; 4];
+        for key in 0..256u32 {
+            counts[rendezvous_shard(key, 4)] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 16),
+            "gross imbalance: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn history_batches_preserve_epoch_boundaries() {
+        let c = |t: u64| TimedClaim::new(0, 0, t);
+        let history = vec![(1, 0, c(1)), (1, 1, c(2)), (3, 0, c(3)), (7, 2, c(4))];
+        let batches = history_batches(&history);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 2);
+        assert_eq!(batches[1].len(), 1);
+        assert_eq!(batches[2].len(), 1);
+    }
+
+    #[test]
+    fn neutral_bound_is_the_prior_coin_flip() {
+        let b = neutral_bound();
+        assert!((b.error - 0.5).abs() < 1e-12);
+    }
+}

@@ -14,10 +14,12 @@ use socsense_core::{
 use socsense_graph::{FollowerGraph, TimedClaim};
 use socsense_obs::{MetricsSnapshot, Obs, Recorder, Tee};
 
-use crate::api::{IngestAck, ServeConfig, ServeError, ServeStats, SourceRank};
+use crate::api::{IngestAck, ServeConfig, ServeError, ServeStats, ShardTopology, SourceRank};
 
-/// A typed request, one per client call.
-enum Request {
+/// A typed request, one per client call. Shared verbatim by the
+/// unsharded worker and the sharded router, so both backends present
+/// the same client surface.
+pub(crate) enum Request {
     Ingest(Vec<TimedClaim>),
     Posterior(u32),
     Posteriors,
@@ -28,12 +30,14 @@ enum Request {
     },
     Stats,
     Metrics,
+    /// Partition map of the sharded tier; the unsharded worker has none.
+    Topology,
     Shutdown,
 }
 
 impl Request {
     /// Stable label used in `serve.request.<label>.seconds` metrics.
-    fn label(&self) -> &'static str {
+    pub(crate) fn label(&self) -> &'static str {
         match self {
             Request::Ingest(_) => "ingest",
             Request::Posterior(_) => "posterior",
@@ -42,13 +46,14 @@ impl Request {
             Request::Bound { .. } => "bound",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::Topology => "topology",
             Request::Shutdown => "shutdown",
         }
     }
 }
 
 /// The worker's reply to one request.
-enum Response {
+pub(crate) enum Response {
     Ingested(IngestAck),
     Posterior(f64),
     Posteriors(Vec<f64>),
@@ -56,15 +61,16 @@ enum Response {
     Bound(BoundResult),
     Stats(ServeStats),
     Metrics(Box<MetricsSnapshot>),
+    Topology(Box<ShardTopology>),
     ShuttingDown(ServeStats),
 }
 
-struct Envelope {
-    req: Request,
-    reply: Sender<Result<Response, ServeError>>,
+pub(crate) struct Envelope {
+    pub(crate) req: Request,
+    pub(crate) reply: Sender<Result<Response, ServeError>>,
     /// When the client enqueued the request (feeds
     /// `serve.queue.wait_seconds`).
-    queued: Instant,
+    pub(crate) queued: Instant,
 }
 
 /// A cheap, cloneable client of a [`QueryService`].
@@ -82,10 +88,17 @@ pub struct ServeHandle {
 }
 
 impl ServeHandle {
+    /// A handle over an already-running request channel (the sharded
+    /// router speaks the same envelope protocol as the unsharded
+    /// worker).
+    pub(crate) fn internal(tx: Sender<Envelope>, depth: Arc<AtomicUsize>) -> Self {
+        Self { tx, depth }
+    }
+
     // Clippy twin of the detlint allow(D2) below: the queue-entry
     // timestamp is observation-only.
     #[allow(clippy::disallowed_methods)]
-    fn call(&self, req: Request) -> Result<Response, ServeError> {
+    pub(crate) fn call(&self, req: Request) -> Result<Response, ServeError> {
         let (reply, rx) = mpsc::channel();
         self.depth.fetch_add(1, Ordering::Relaxed);
         let sent = self.tx.send(Envelope {
@@ -455,6 +468,12 @@ impl Worker {
             }
             Request::Stats => Ok(Response::Stats(self.stats_snapshot())),
             Request::Metrics => Ok(Response::Metrics(Box::new(self.rec.snapshot()))),
+            // Only the sharded router keeps a partition map; the
+            // unsharded worker cannot answer this (and no public
+            // `ServeHandle` method sends it).
+            Request::Topology => Err(ServeError::Protocol(
+                "topology is only served by the sharded tier",
+            )),
             Request::Shutdown => Ok(Response::ShuttingDown(self.stats_snapshot())),
         }
     }
