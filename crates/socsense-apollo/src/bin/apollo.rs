@@ -13,7 +13,8 @@
 //!
 //! # live query service: replay a JSONL trace, answer queries on stdin
 //! apollo serve --input tweets.jsonl [--follows follows.csv]
-//!        [--batches N] [--refit-claims N] [--threads N] [--metrics PATH]
+//!        [--batches N] [--refit-claims N] [--threads N] [--shards N]
+//!        [--data-dir DIR] [--metrics PATH]
 //! ```
 //!
 //! `--metrics PATH` attaches an in-memory metrics recorder to the whole
@@ -249,6 +250,7 @@ struct ServeArgs {
     metrics: Option<String>,
     delta: bool,
     shards: usize,
+    data_dir: Option<String>,
 }
 
 fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -261,6 +263,7 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
         metrics: None,
         delta: false,
         shards: 0,
+        data_dir: None,
     };
     let mut it = it;
     while let Some(flag) = it.next() {
@@ -290,6 +293,7 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
                 };
             }
             "--delta" => args.delta = true,
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
             "--shards" => {
                 args.shards = value("--shards")?
                     .parse()
@@ -304,7 +308,7 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> Result<ServeArgs, Strin
                 return Err(
                     "usage: apollo serve --input tweets.jsonl [--follows follows.csv] \
                      [--batches N] [--refit-claims N] [--threads N] [--delta] \
-                     [--shards N] [--metrics PATH]"
+                     [--shards N] [--data-dir DIR] [--metrics PATH]"
                         .into(),
                 )
             }
@@ -347,6 +351,7 @@ fn run_serve(it: impl Iterator<Item = String>) -> Result<(), String> {
             socsense_core::RefitMode::Full
         },
         shards: args.shards,
+        data_dir: args.data_dir.as_ref().map(std::path::PathBuf::from),
         ..ServeOptions::default()
     };
     let (obs, rec) = metrics_obs(args.metrics.as_deref());

@@ -18,10 +18,13 @@
 //! The command layer lives in the library (rather than the binary) so
 //! the end-to-end path is testable without a subprocess.
 
+use std::path::PathBuf;
+
 use socsense_core::{Obs, Parallelism, RefitMode};
 use socsense_graph::TimedClaim;
 use socsense_serve::{
-    QueryService, ServeConfig, ServeError, ServeHandle, ServeStats, ShardedHandle, ShardedService,
+    PersistConfig, QueryService, ServeConfig, ServeError, ServeHandle, ServeStats, ShardedHandle,
+    ShardedService,
 };
 
 use crate::cluster::{cluster_texts_traced, ClusterConfig};
@@ -45,6 +48,11 @@ pub struct ServeOptions {
     /// fully connected corpora, and bit-identical across shard counts
     /// always.
     pub shards: usize,
+    /// Durable serve state: when set, the session write-ahead-logs every
+    /// ingested batch and checkpoints under this directory, and a
+    /// restart over the same directory recovers bit-identical state
+    /// (see [`PersistConfig`]).
+    pub data_dir: Option<PathBuf>,
     /// Text-clustering parameters.
     pub cluster: ClusterConfig,
 }
@@ -57,6 +65,7 @@ impl Default for ServeOptions {
             refit_pending_claims: 1,
             refit_mode: RefitMode::Full,
             shards: 0,
+            data_dir: None,
             cluster: ClusterConfig::default(),
         }
     }
@@ -69,7 +78,8 @@ pub struct ReplaySummary {
     pub sources: u32,
     /// Assertion clusters found in the corpus.
     pub assertions: u32,
-    /// Claims replayed.
+    /// Claims replayed (`0` when a durable session recovered already
+    /// ingested state instead of replaying).
     pub claims: usize,
     /// Ingest batches used.
     pub batches: usize,
@@ -144,6 +154,7 @@ impl ServeSession {
             refit_pending_claims: opts.refit_pending_claims,
             parallelism: opts.parallelism,
             refit_mode: opts.refit_mode,
+            persist: opts.data_dir.as_deref().map(PersistConfig::at),
             ..ServeConfig::default()
         };
         let (backend, client, sharded_client) = if opts.shards == 0 {
@@ -171,18 +182,26 @@ impl ServeSession {
         };
 
         let batches = opts.batches.max(1);
+        // A recovered data directory already holds the replayed stream:
+        // re-ingesting the corpus would double every claim. Replay only
+        // into a fresh service.
+        let recovered = client.stats()?.total_claims;
         // Corpus tweets are time-ordered, so index chunks replay the
         // stream in arrival order.
         let chunk = claims.len().div_ceil(batches).max(1);
         let mut used = 0usize;
-        for batch in claims.chunks(chunk) {
-            client.ingest(batch.to_vec())?;
-            used += 1;
+        let mut replayed = 0usize;
+        if recovered == 0 {
+            for batch in claims.chunks(chunk) {
+                client.ingest(batch.to_vec())?;
+                used += 1;
+            }
+            replayed = claims.len();
         }
         let summary = ReplaySummary {
             sources: corpus.source_count(),
             assertions: m,
-            claims: claims.len(),
+            claims: replayed,
             batches: used,
         };
         Ok((
@@ -274,10 +293,15 @@ impl ServeSession {
                 words_done(words)?;
                 let s = self.client.stats().map_err(|e| e.to_string())?;
                 let opt = |v: Option<usize>| v.map(|i| i.to_string()).unwrap_or_else(|| "-".into());
+                let exact = match s.last_ll_exact {
+                    None => "-",
+                    Some(true) => "exact",
+                    Some(false) => "approx",
+                };
                 Ok(format!(
                     "claims={} pending={} requests={} chain_refits={} probe_refits={} \
                      cache_hits={} warm={} delta={} fallbacks={} last_iters={} \
-                     last_touched={}/{}",
+                     last_touched={}/{} last_ll={exact}",
                     s.total_claims,
                     s.pending_claims,
                     s.requests_served,
@@ -443,6 +467,7 @@ mod tests {
         assert!(ans.contains("delta="), "{ans}");
         assert!(ans.contains("fallbacks="), "{ans}");
         assert!(ans.contains("last_touched="), "{ans}");
+        assert!(ans.contains("last_ll="), "{ans}");
         // Delta-mode answers match a Full-mode session: the default
         // thresholds only ever swap in fallbacks, which are
         // bit-identical to full warm refits.
@@ -493,6 +518,29 @@ mod tests {
         let err = single.answer("topology").unwrap_err();
         assert!(err.contains("--shards"), "{err}");
         single.finish().unwrap();
+    }
+
+    #[test]
+    fn durable_session_recovers_without_replaying_the_corpus() {
+        let dir = std::env::temp_dir().join(format!("apollo-serve-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ServeOptions {
+            data_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+        let (a, summary) = ServeSession::start(&corpus(), &opts).unwrap();
+        assert_eq!(summary.claims, 5);
+        let want_posterior = a.answer("posterior 0").unwrap();
+        let want_bound = a.answer("bound").unwrap();
+        a.finish().unwrap();
+
+        let (b, summary) = ServeSession::start(&corpus(), &opts).unwrap();
+        assert_eq!(summary.claims, 0, "recovered state is not re-replayed");
+        assert_eq!(b.answer("posterior 0").unwrap(), want_posterior);
+        assert_eq!(b.answer("bound").unwrap(), want_bound);
+        let stats = b.finish().unwrap();
+        assert_eq!(stats.total_claims, 5);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

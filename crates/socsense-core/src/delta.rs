@@ -27,7 +27,7 @@
 use serde::{Deserialize, Serialize};
 
 use socsense_matrix::logprob::{log_sum_exp2, normalize_log_pair, safe_ln, safe_ln_1m};
-use socsense_matrix::parallel::{par_map_collect, Parallelism};
+use socsense_matrix::parallel::{par_map_collect, par_map_reduce, Parallelism};
 
 use crate::data::ClaimData;
 use crate::em::{EmConfig, EmFit};
@@ -65,6 +65,16 @@ pub struct DeltaConfig {
     /// posterior (the engine's per-column `¼·(Λ − stamp)` staleness
     /// bound — see `DeltaEngine::divergence_bound`) exceeds this.
     pub max_divergence: f64,
+    /// Refresh the *exact* observed-data log-likelihood after every
+    /// scoped refit (one `O(nnz)` pass, amortised against the scoped
+    /// E-step savings) instead of serving the bounded-stale sum of
+    /// per-assertion terms at their last evaluation. Off by default;
+    /// posteriors are unaffected either way — this only changes the
+    /// `log_likelihood` a delta fit reports, and
+    /// [`RefitStats::ll_exact`](crate::RefitStats::ll_exact) records
+    /// which form was served.
+    #[serde(default)]
+    pub exact_ll: bool,
 }
 
 impl Default for DeltaConfig {
@@ -73,6 +83,7 @@ impl Default for DeltaConfig {
             max_drift: 0.05,
             max_batch_fraction: 0.25,
             max_divergence: 0.05,
+            exact_ll: false,
         }
     }
 }
@@ -193,6 +204,11 @@ pub(crate) struct DeltaEngine {
     claims_since_full: usize,
     /// Log size at the last full refit (the batch-fraction denominator).
     claims_at_full: usize,
+    /// Exact log-likelihood computed at the end of the last scoped refit
+    /// when [`DeltaConfig::exact_ll`] is on; `None` otherwise. Never
+    /// persisted — every `fit()` call follows a `refit()` in the same
+    /// dispatch, which recomputes it.
+    last_exact_ll: Option<f64>,
 }
 
 impl DeltaEngine {
@@ -264,6 +280,7 @@ impl DeltaEngine {
             acc_drift: 0.0,
             claims_since_full: 0,
             claims_at_full: total_claims.max(1),
+            last_exact_ll: None,
         }
     }
 
@@ -437,6 +454,15 @@ impl DeltaEngine {
         self.acc_drift += drift;
         self.claims_since_full += new_claims;
 
+        // Optional amortised exact-ℓℓ refresh: one full pass under the
+        // final θ, bit-identical to what the full path would report over
+        // the same data (see `exact_log_likelihood`).
+        self.last_exact_ll = if self.cfg.exact_ll {
+            Some(self.exact_log_likelihood(em.parallelism))
+        } else {
+            None
+        };
+
         Ok(DeltaRefitReport {
             iterations,
             converged,
@@ -448,13 +474,17 @@ impl DeltaEngine {
     /// Assembles the fit served after a scoped refit.
     ///
     /// `posterior` / `log_odds` mix fresh (touched) and cached
-    /// (bounded-stale) entries; `log_likelihood` sums the per-assertion
-    /// terms at each one's last evaluation, so it is approximate in the
-    /// same bounded sense. `ll_history` carries only that final value —
-    /// a scoped refit never walks the whole log to reconstruct the
-    /// trajectory.
+    /// (bounded-stale) entries. Without [`DeltaConfig::exact_ll`],
+    /// `log_likelihood` sums the per-assertion terms at each one's last
+    /// evaluation, so it is approximate in the same bounded sense; with
+    /// it, the refit's exact refresh is served instead. `ll_history`
+    /// carries only that final value — a scoped refit never walks the
+    /// whole log to reconstruct the trajectory.
     pub(crate) fn fit(&self, report: &DeltaRefitReport) -> EmFit {
-        let log_likelihood: f64 = self.ll_terms.iter().sum();
+        let log_likelihood: f64 = match self.last_exact_ll {
+            Some(ll) => ll,
+            None => self.ll_terms.iter().sum(),
+        };
         EmFit {
             theta: self.theta.clone(),
             posterior: self.posterior.clone(),
@@ -464,6 +494,147 @@ impl DeltaEngine {
             ll_history: vec![log_likelihood],
             log_odds: self.log_odds.clone(),
         }
+    }
+
+    /// Serializes the complete engine state, floats as `to_bits` (see
+    /// [`DeltaEngineState`](crate::state::DeltaEngineState)).
+    pub(crate) fn export_state(&self) -> crate::state::DeltaEngineState {
+        use crate::state::{bits_of, SourceSumsState, ThetaBits};
+        crate::state::DeltaEngineState {
+            cfg_max_drift: self.cfg.max_drift.to_bits(),
+            cfg_max_batch_fraction: self.cfg.max_batch_fraction.to_bits(),
+            cfg_max_divergence: self.cfg.max_divergence.to_bits(),
+            cfg_exact_ll: self.cfg.exact_ll,
+            theta: ThetaBits::from_theta(&self.theta),
+            posterior: bits_of(&self.posterior),
+            log_odds: bits_of(&self.log_odds),
+            ll_terms: bits_of(&self.ll_terms),
+            sc_rows: self.sc_rows.clone(),
+            sc_cols: self.sc_cols.clone(),
+            d_rows: self.d_rows.clone(),
+            d_cols: self.d_cols.clone(),
+            sums: self
+                .sums
+                .iter()
+                .map(|s| SourceSumsState {
+                    sc_cells: s.sc_cells,
+                    sc_dep: s.sc_dep,
+                    dep_cells: s.dep_cells,
+                    dep_z: s.dep_z.to_bits(),
+                    num_a: s.num_a.to_bits(),
+                    num_f: s.num_f.to_bits(),
+                })
+                .collect(),
+            sum_z: self.sum_z.to_bits(),
+            col_entries: self.col_entries.clone(),
+            max_col_entries: self.max_col_entries,
+            lambda: self.lambda.to_bits(),
+            stamp: bits_of(&self.stamp),
+            acc_drift: self.acc_drift.to_bits(),
+            claims_since_full: self.claims_since_full,
+            claims_at_full: self.claims_at_full,
+        }
+    }
+
+    /// Reconstructs an engine from serialized state, verbatim — every
+    /// incrementally maintained float is restored from its bits rather
+    /// than recomputed, so a restored engine's next refit is
+    /// bit-identical to the uninterrupted one's.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BadConfig`] when the encoded `θ` or thresholds fail
+    /// validation, or the vector shapes are inconsistent.
+    pub(crate) fn from_state(
+        state: &crate::state::DeltaEngineState,
+        n: usize,
+        m: usize,
+    ) -> Result<Self, SenseError> {
+        use crate::state::floats_of;
+        let cfg = DeltaConfig {
+            max_drift: f64::from_bits(state.cfg_max_drift),
+            max_batch_fraction: f64::from_bits(state.cfg_max_batch_fraction),
+            max_divergence: f64::from_bits(state.cfg_max_divergence),
+            exact_ll: state.cfg_exact_ll,
+        };
+        cfg.validate()?;
+        let theta = state.theta.to_theta()?;
+        let shape_ok = theta.source_count() == n
+            && state.posterior.len() == m
+            && state.log_odds.len() == m
+            && state.ll_terms.len() == m
+            && state.sc_rows.len() == n
+            && state.sc_cols.len() == m
+            && state.d_rows.len() == n
+            && state.d_cols.len() == m
+            && state.sums.len() == n
+            && state.col_entries.len() == m
+            && state.stamp.len() == m;
+        if !shape_ok {
+            return Err(SenseError::BadConfig {
+                what: "delta engine state: vector shapes inconsistent with n/m",
+            });
+        }
+        Ok(Self {
+            cfg,
+            theta,
+            posterior: floats_of(&state.posterior),
+            log_odds: floats_of(&state.log_odds),
+            ll_terms: floats_of(&state.ll_terms),
+            sc_rows: state.sc_rows.clone(),
+            sc_cols: state.sc_cols.clone(),
+            d_rows: state.d_rows.clone(),
+            d_cols: state.d_cols.clone(),
+            sums: state
+                .sums
+                .iter()
+                .map(|s| SourceSums {
+                    sc_cells: s.sc_cells,
+                    sc_dep: s.sc_dep,
+                    dep_cells: s.dep_cells,
+                    dep_z: f64::from_bits(s.dep_z),
+                    num_a: f64::from_bits(s.num_a),
+                    num_f: f64::from_bits(s.num_f),
+                })
+                .collect(),
+            sum_z: f64::from_bits(state.sum_z),
+            col_entries: state.col_entries.clone(),
+            max_col_entries: state.max_col_entries,
+            lambda: f64::from_bits(state.lambda),
+            stamp: floats_of(&state.stamp),
+            acc_drift: f64::from_bits(state.acc_drift),
+            claims_since_full: state.claims_since_full,
+            claims_at_full: state.claims_at_full,
+            last_exact_ll: None,
+        })
+    }
+
+    /// The exact observed-data log-likelihood (Eq. 7) of the engine's
+    /// current adjacency mirror under its current `θ`.
+    ///
+    /// Replicates `data_log_likelihood_with` exactly — same kernel, same
+    /// fixed-chunk `par_map_reduce` fold — so the result is bit-identical
+    /// to what the full warm path would report over the same data, at
+    /// every parallelism level.
+    fn exact_log_likelihood(&self, par: Parallelism) -> f64 {
+        let tables = LikelihoodTables::new(&self.theta);
+        let ln_z = safe_ln(self.theta.z());
+        let ln_1z = safe_ln_1m(self.theta.z());
+        par_map_reduce(
+            par,
+            self.posterior.len(),
+            0.0,
+            |range| {
+                let mut sum = 0.0;
+                for j in range {
+                    let (ln1, ln0) =
+                        tables.column_log_likelihood(&self.sc_cols[j], &self.d_cols[j]);
+                    sum += log_sum_exp2(ln1 + ln_z, ln0 + ln_1z);
+                }
+                sum
+            },
+            |a, b| a + b,
+        )
     }
 
     /// Re-evaluates `Z_j` (and the log-odds / log-likelihood caches) for
@@ -1032,6 +1203,106 @@ mod tests {
                 engine.posterior[j],
             );
         }
+    }
+
+    #[test]
+    fn exact_ll_refresh_matches_full_evaluation_bitwise() {
+        // With `exact_ll` on, the ℓℓ a scoped refit serves must be
+        // bit-identical to `data_log_likelihood_with` over the same data
+        // under the final θ — the full path's exact value.
+        let (g, claims) = world();
+        let (mut engine, _) = engine_for(&claims, &g);
+        engine.cfg.exact_ll = true;
+        let mut index = ClaimLogIndex::new(6, 12);
+        index.ingest(&g, &claims);
+        let batch = [TimedClaim::new(1, 3, 500), TimedClaim::new(2, 7, 501)];
+        let changes = index.ingest(&g, &batch);
+        let cols = engine.apply_structure_changes(&changes);
+        let touched = engine.touched_set(&cols, &[1, 2]);
+        let em = EmConfig::default();
+        let report = engine.refit(&em, &touched, &[1, 2], batch.len()).unwrap();
+        let fit = engine.fit(&report);
+        let data = {
+            let (sc, d) = index.build();
+            ClaimData::new(sc, d).unwrap()
+        };
+        let exact =
+            crate::likelihood::data_log_likelihood_with(&data, &engine.theta, em.parallelism)
+                .unwrap();
+        assert_eq!(fit.log_likelihood.to_bits(), exact.to_bits());
+        assert_eq!(fit.ll_history, vec![exact]);
+    }
+
+    #[test]
+    fn exact_ll_refresh_is_parallelism_invariant() {
+        let (g, claims) = world();
+        let run = |par: Parallelism| {
+            let (mut engine, _) = engine_for(&claims, &g);
+            engine.cfg.exact_ll = true;
+            let mut index = ClaimLogIndex::new(6, 12);
+            index.ingest(&g, &claims);
+            let batch = [TimedClaim::new(0, 2, 800)];
+            let changes = index.ingest(&g, &batch);
+            let cols = engine.apply_structure_changes(&changes);
+            let touched = engine.touched_set(&cols, &[0]);
+            let em = EmConfig {
+                parallelism: par,
+                ..EmConfig::default()
+            };
+            let report = engine.refit(&em, &touched, &[0], batch.len()).unwrap();
+            engine.fit(&report).log_likelihood.to_bits()
+        };
+        let serial = run(Parallelism::Serial);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4)] {
+            assert_eq!(serial, run(par), "{par:?}");
+        }
+    }
+
+    #[test]
+    fn engine_state_round_trip_preserves_refit_bitwise() {
+        // Export → (JSON) → restore must reproduce the next scoped refit
+        // bit for bit: posteriors, served ℓℓ, and the staleness chain.
+        let (g, claims) = world();
+        let (engine, _) = engine_for(&claims, &g);
+        let state = engine.export_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let decoded: crate::state::DeltaEngineState = serde_json::from_str(&json).unwrap();
+        assert_eq!(decoded, state, "JSON round trip must be lossless");
+        let restored = DeltaEngine::from_state(&decoded, 6, 12).unwrap();
+        let run = |mut e: DeltaEngine| {
+            let mut index = ClaimLogIndex::new(6, 12);
+            index.ingest(&g, &claims);
+            let batch = [TimedClaim::new(4, 1, 900), TimedClaim::new(5, 9, 901)];
+            let changes = index.ingest(&g, &batch);
+            let cols = e.apply_structure_changes(&changes);
+            let touched = e.touched_set(&cols, &[4, 5]);
+            let report = e
+                .refit(&EmConfig::default(), &touched, &[4, 5], batch.len())
+                .unwrap();
+            let fit = e.fit(&report);
+            (
+                fit.posterior
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect::<Vec<_>>(),
+                fit.log_likelihood.to_bits(),
+                e.lambda.to_bits(),
+                e.stamp.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(engine), run(restored));
+    }
+
+    #[test]
+    fn engine_state_rejects_inconsistent_shapes() {
+        let (g, claims) = world();
+        let (engine, _) = engine_for(&claims, &g);
+        let state = engine.export_state();
+        assert!(DeltaEngine::from_state(&state, 6, 11).is_err());
+        assert!(DeltaEngine::from_state(&state, 5, 12).is_err());
+        let mut bad = state.clone();
+        bad.stamp.pop();
+        assert!(DeltaEngine::from_state(&bad, 6, 12).is_err());
     }
 
     #[test]

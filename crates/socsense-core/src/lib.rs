@@ -56,6 +56,7 @@ mod em;
 mod error;
 mod likelihood;
 mod model;
+pub mod state;
 mod streaming;
 
 pub use bound::{
@@ -75,6 +76,7 @@ pub use likelihood::{
     assertion_posteriors_with, data_log_likelihood, data_log_likelihood_with, LikelihoodTables,
 };
 pub use model::{classify, SourceParams, Theta};
+pub use state::{DeltaEngineState, EmFitBits, StreamingState, ThetaBits};
 pub use streaming::{RefitStats, StreamingEstimator};
 
 // The parallelism knob these APIs take, re-exported for convenience.

@@ -25,6 +25,7 @@ use crate::delta::{DeltaConfig, DeltaEngine, RefitMode, RefitOutcome};
 use crate::em::{EmConfig, EmExt, EmFit};
 use crate::error::SenseError;
 use crate::model::Theta;
+use crate::state::{StreamingState, ThetaBits};
 
 /// Incremental fact-finder over a growing claim stream.
 ///
@@ -97,6 +98,12 @@ pub struct RefitStats {
     /// Sources whose statistics this refit touched (`n` for the full
     /// paths).
     pub touched_sources: usize,
+    /// Whether the fit's `log_likelihood` is the exact observed-data
+    /// value. Always `true` for the full paths (including fallbacks); a
+    /// scoped delta refit serves a bounded-stale sum unless
+    /// [`DeltaConfig::exact_ll`] requests the amortised exact refresh.
+    #[serde(default)]
+    pub ll_exact: bool,
 }
 
 impl StreamingEstimator {
@@ -393,6 +400,7 @@ impl StreamingEstimator {
                     mode: RefitOutcome::Delta,
                     touched_assertions: touched.len(),
                     touched_sources: sources.len(),
+                    ll_exact: dcfg.exact_ll,
                 };
                 if self.obs.enabled() {
                     self.obs.counter("stream.refits_total", 1);
@@ -456,6 +464,7 @@ impl StreamingEstimator {
             mode: outcome,
             touched_assertions: self.m as usize,
             touched_sources: self.n as usize,
+            ll_exact: true,
         };
         if self.obs.enabled() {
             self.obs.counter("stream.refits_total", 1);
@@ -482,6 +491,83 @@ impl StreamingEstimator {
         self.engine = None;
         self.pending_changes.clear();
         self.pending_sources.clear();
+    }
+
+    /// Serializes the complete estimator state for a durability snapshot
+    /// (see [`StreamingState`]): the full claim log, the warm-start
+    /// chain, any delta engine, and the pending buffers — everything
+    /// [`restore_state`](Self::restore_state) needs to reproduce this
+    /// estimator bit for bit.
+    pub fn export_state(&self) -> StreamingState {
+        StreamingState {
+            n: self.n,
+            m: self.m,
+            claims: self.claims.clone(),
+            last_theta: self.last_theta.as_ref().map(ThetaBits::from_theta),
+            pending: self.pending,
+            engine: self.engine.as_ref().map(DeltaEngine::export_state),
+            pending_changes: self.pending_changes.clone(),
+            pending_sources: self.pending_sources.iter().copied().collect(),
+        }
+    }
+
+    /// Restores a snapshot onto this estimator, which must be freshly
+    /// constructed (no claims ingested) over the same `n`, `m`, graph,
+    /// and configuration as the estimator the snapshot was exported
+    /// from.
+    ///
+    /// The claim log replays through the normal ingest path (rebuilding
+    /// the claim-log index), and every float of the warm-start chain and
+    /// delta engine is installed verbatim from its bits — so the
+    /// restored estimator's subsequent refits and queries are
+    /// `f64::to_bits`-identical to the uninterrupted estimator's.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BadConfig`] when this estimator already holds
+    /// claims, the shapes disagree, or the snapshot carries a delta
+    /// engine while this estimator is not in delta mode (a configuration
+    /// mismatch that would silently change served numbers);
+    /// [`SenseError::DimensionMismatch`] when a snapshot claim is out of
+    /// range.
+    pub fn restore_state(&mut self, state: &StreamingState) -> Result<(), SenseError> {
+        if !self.claims.is_empty() || self.pending != 0 {
+            return Err(SenseError::BadConfig {
+                what: "restore_state requires a freshly constructed estimator",
+            });
+        }
+        if state.n != self.n || state.m != self.m {
+            return Err(SenseError::BadConfig {
+                what: "streaming state shape does not match this estimator",
+            });
+        }
+        if state.engine.is_some() && !matches!(self.mode, RefitMode::Delta(_)) {
+            return Err(SenseError::BadConfig {
+                what: "snapshot carries a delta engine but the estimator is not in delta mode",
+            });
+        }
+        let engine = state
+            .engine
+            .as_ref()
+            .map(|e| DeltaEngine::from_state(e, self.n as usize, self.m as usize))
+            .transpose()?;
+        let last_theta = state
+            .last_theta
+            .as_ref()
+            .map(ThetaBits::to_theta)
+            .transpose()?;
+        // Replay the whole log as one batch: the claim-log index is
+        // batching-invariant, and with no engine installed yet the
+        // replay records no pending changes (the snapshot's own pending
+        // buffers are installed verbatim below).
+        self.ingest(&state.claims)?;
+        self.last_theta = last_theta;
+        self.engine = engine;
+        self.pending = state.pending;
+        self.pending_changes = state.pending_changes.clone();
+        self.pending_sources = state.pending_sources.iter().copied().collect();
+        self.snapshot_cache = None;
+        Ok(())
     }
 }
 
@@ -752,6 +838,7 @@ mod tests {
             max_drift: 1e9,
             max_batch_fraction: 1e9,
             max_divergence: 1e9,
+            ..DeltaConfig::default()
         }))
         .unwrap();
         let mut modes = Vec::new();
@@ -893,6 +980,7 @@ mod tests {
             max_drift: 1e9,
             max_batch_fraction: 1e9,
             max_divergence: 1e9,
+            ..DeltaConfig::default()
         }))
         .unwrap();
         for batch in &batches {
@@ -921,6 +1009,195 @@ mod tests {
         assert_eq!(snap.histogram("stream.delta.drift").unwrap().count, 2);
         assert!(snap.gauge("stream.delta.divergence_bound").is_some());
         assert_eq!(snap.counter("stream.refits_total"), 5);
+    }
+
+    #[test]
+    fn fallback_restores_exact_ll_and_stats_flag_it() {
+        use crate::likelihood::data_log_likelihood_with;
+        // Scoped refits serve a bounded-stale ℓℓ and must say so; a
+        // fallback re-enters the full path and must restore the exact
+        // value (bit-equal to a fresh full evaluation under its θ).
+        let (graph, batches, _) = stream_batches(3, 30);
+        let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        est.set_refit_mode(RefitMode::Delta(DeltaConfig {
+            max_drift: 1e9,
+            max_batch_fraction: 1e9,
+            max_divergence: 1e9,
+            ..DeltaConfig::default()
+        }))
+        .unwrap();
+        est.ingest(&batches[0]).unwrap();
+        let (seed_fit, seed_stats) = est.estimate_with_stats().unwrap();
+        assert_eq!(seed_stats.mode, RefitOutcome::Full);
+        assert!(seed_stats.ll_exact, "a full refit's ℓℓ is exact");
+        let exact = |est: &mut StreamingEstimator, theta: &Theta| {
+            let data = est.snapshot();
+            data_log_likelihood_with(&data, theta, EmConfig::default().parallelism).unwrap()
+        };
+        assert_eq!(
+            seed_fit.log_likelihood.to_bits(),
+            exact(&mut est, &seed_fit.theta).to_bits()
+        );
+        est.ingest(&batches[1]).unwrap();
+        let (_, delta_stats) = est.estimate_with_stats().unwrap();
+        assert_eq!(delta_stats.mode, RefitOutcome::Delta);
+        assert!(
+            !delta_stats.ll_exact,
+            "a scoped refit without exact_ll serves the stale sum and must be flagged"
+        );
+        // Now force a fallback: the full path must restore exactness.
+        est.set_refit_mode(RefitMode::Delta(DeltaConfig {
+            max_batch_fraction: 0.0,
+            ..DeltaConfig::default()
+        }))
+        .unwrap();
+        est.estimate().unwrap(); // re-seed after the mode switch
+        est.ingest(&batches[2]).unwrap();
+        let (fb_fit, fb_stats) = est.estimate_with_stats().unwrap();
+        assert_eq!(fb_stats.mode, RefitOutcome::Fallback);
+        assert!(fb_stats.ll_exact, "a fallback restores the exact ℓℓ");
+        assert_eq!(
+            fb_fit.log_likelihood.to_bits(),
+            exact(&mut est, &fb_fit.theta).to_bits()
+        );
+    }
+
+    #[test]
+    fn exact_ll_mode_serves_exact_ll_from_scoped_refits() {
+        use crate::likelihood::data_log_likelihood_with;
+        let (graph, batches, _) = stream_batches(3, 30);
+        let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        est.set_refit_mode(RefitMode::Delta(DeltaConfig {
+            max_drift: 1e9,
+            max_batch_fraction: 1e9,
+            max_divergence: 1e9,
+            exact_ll: true,
+        }))
+        .unwrap();
+        est.ingest(&batches[0]).unwrap();
+        est.estimate().unwrap(); // seed
+        est.ingest(&batches[1]).unwrap();
+        let (fit, stats) = est.estimate_with_stats().unwrap();
+        assert_eq!(stats.mode, RefitOutcome::Delta);
+        assert!(stats.ll_exact);
+        let data = est.snapshot();
+        let exact =
+            data_log_likelihood_with(&data, &fit.theta, EmConfig::default().parallelism).unwrap();
+        assert_eq!(
+            fit.log_likelihood.to_bits(),
+            exact.to_bits(),
+            "exact_ll scoped refit must match the full evaluation bit for bit"
+        );
+    }
+
+    #[test]
+    fn export_restore_round_trip_is_bit_identical_full_mode() {
+        let (graph, batches, _) = stream_batches(4, 30);
+        let mut est = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
+        est.ingest(&batches[0]).unwrap();
+        est.estimate().unwrap();
+        est.ingest(&batches[1]).unwrap(); // left pending: mid-debounce kill
+        let state = est.export_state();
+
+        let mut restored = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.claim_count(), est.claim_count());
+        assert_eq!(restored.pending(), est.pending());
+
+        let bits = |fit: &EmFit| {
+            let mut v: Vec<u64> = fit.posterior.iter().map(|p| p.to_bits()).collect();
+            for s in fit.theta.sources() {
+                v.extend([s.a, s.b, s.f, s.g].map(f64::to_bits));
+            }
+            v.push(fit.log_likelihood.to_bits());
+            v
+        };
+        for batch in &batches[2..] {
+            est.ingest(batch).unwrap();
+            restored.ingest(batch).unwrap();
+            let (fa, sa) = est.estimate_with_stats().unwrap();
+            let (fb, sb) = restored.estimate_with_stats().unwrap();
+            assert_eq!(bits(&fa), bits(&fb));
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn export_restore_round_trip_is_bit_identical_delta_mode() {
+        let (graph, batches, _) = stream_batches(5, 25);
+        let mode = RefitMode::Delta(DeltaConfig {
+            max_drift: 1e9,
+            max_batch_fraction: 1e9,
+            max_divergence: 1e9,
+            ..DeltaConfig::default()
+        });
+        let mut est = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
+        est.set_refit_mode(mode).unwrap();
+        est.ingest(&batches[0]).unwrap();
+        est.estimate().unwrap(); // seed the engine
+        est.ingest(&batches[1]).unwrap();
+        est.estimate().unwrap(); // scoped refit advances Λ/stamps
+        est.ingest(&batches[2]).unwrap(); // pending changes not yet folded
+        let state = est.export_state();
+
+        let mut restored = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        restored.set_refit_mode(mode).unwrap();
+        restored.restore_state(&state).unwrap();
+
+        let bits = |fit: &EmFit| {
+            fit.posterior
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>()
+        };
+        for batch in &batches[3..] {
+            est.ingest(batch).unwrap();
+            restored.ingest(batch).unwrap();
+            let (fa, sa) = est.estimate_with_stats().unwrap();
+            let (fb, sb) = restored.estimate_with_stats().unwrap();
+            assert_eq!(sa.mode, RefitOutcome::Delta, "chain must stay scoped");
+            assert_eq!(bits(&fa), bits(&fb));
+            assert_eq!(fa.log_likelihood.to_bits(), fb.log_likelihood.to_bits());
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn restore_state_validates_preconditions() {
+        let (graph, batches, _) = stream_batches(2, 10);
+        let mut est = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
+        est.ingest(&batches[0]).unwrap();
+        let state = est.export_state();
+        // Not fresh.
+        let mut dirty =
+            StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
+        dirty.ingest(&batches[1]).unwrap();
+        assert!(matches!(
+            dirty.restore_state(&state),
+            Err(SenseError::BadConfig { .. })
+        ));
+        // Wrong shape.
+        let mut small =
+            StreamingEstimator::new(10, 19, FollowerGraph::new(10), EmConfig::default()).unwrap();
+        assert!(matches!(
+            small.restore_state(&state),
+            Err(SenseError::BadConfig { .. })
+        ));
+        // A delta snapshot cannot restore onto a Full-mode estimator.
+        let mut delta_est =
+            StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
+        delta_est
+            .set_refit_mode(RefitMode::Delta(DeltaConfig::default()))
+            .unwrap();
+        delta_est.ingest(&batches[0]).unwrap();
+        delta_est.estimate().unwrap(); // seeds the engine
+        let delta_state = delta_est.export_state();
+        assert!(delta_state.engine.is_some());
+        let mut full_mode = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
+        assert!(matches!(
+            full_mode.restore_state(&delta_state),
+            Err(SenseError::BadConfig { .. })
+        ));
     }
 
     #[test]

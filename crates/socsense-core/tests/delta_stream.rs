@@ -157,6 +157,7 @@ proptest! {
             max_drift: 1e12,
             max_batch_fraction: 1e12,
             max_divergence: 1e12,
+            ..DeltaConfig::default()
         });
         let run = |par: Parallelism| {
             let mut est = sched.estimator(EmConfig { parallelism: par, ..EmConfig::default() });

@@ -159,7 +159,9 @@ pub fn lex(src: &str) -> Lexed {
                     continue;
                 }
                 if text == "b" && next == Some('\'') {
-                    i = skip_char_or_lifetime(&chars, i + 1, &mut line, &mut out.tokens);
+                    // `i` already points at the opening quote; a byte
+                    // char like `b'\n'` is never a lifetime.
+                    i = skip_char_or_lifetime(&chars, i, &mut line, &mut out.tokens);
                     continue;
                 }
                 out.tokens.push(Tok {
@@ -420,6 +422,16 @@ let l: &'static str = "thread_rng";
     fn char_literal_with_escaped_quote() {
         let toks = lex(r"let q = '\''; let after = 1;").tokens;
         assert!(toks.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn byte_char_literals_are_skipped() {
+        // Regression: the `b'…'` path used to hand the lexer the char
+        // *after* the opening quote, so an escaped byte like `b'\n'`
+        // derailed it.
+        let toks = lex(r"line.push(b'\n'); let sep = b' '; let after = 1;").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert!(!toks.iter().any(|t| t.is_ident("n")), "{toks:?}");
     }
 
     #[test]

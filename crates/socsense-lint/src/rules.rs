@@ -61,6 +61,7 @@ pub const EXPECT_DETERMINISTIC: &[&str] = &[
     "socsense-twitter",
     "socsense-apollo",
     "socsense-serve",
+    "socsense-persist",
 ];
 
 /// One lint finding.

@@ -1,0 +1,62 @@
+//! Storage-layer errors.
+
+use std::fmt;
+use std::path::Path;
+
+/// An error from the WAL or snapshot layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: String,
+        /// The failing operation (`open`, `append`, `fsync`, ...).
+        op: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A record that is not the final line of its log failed validation:
+    /// this cannot be a torn append, so it is reported instead of
+    /// silently dropped or truncated.
+    Corrupt {
+        /// The log file involved.
+        path: String,
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// What failed (`crc mismatch`, `malformed record`, ...).
+        what: &'static str,
+    },
+}
+
+impl PersistError {
+    pub(crate) fn io(path: &Path, op: &'static str, source: std::io::Error) -> Self {
+        Self::Io {
+            path: path.display().to_string(),
+            op,
+            source,
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, op, source } => {
+                write!(f, "persist: {op} failed on {path}: {source}")
+            }
+            Self::Corrupt { path, line, what } => {
+                write!(f, "persist: {path} is corrupt at line {line}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Corrupt { .. } => None,
+        }
+    }
+}

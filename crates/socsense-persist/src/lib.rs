@@ -1,0 +1,44 @@
+//! Durable serve state: CRC-guarded write-ahead logging and atomic
+//! epoch snapshots.
+//!
+//! This crate is the storage layer behind `socsense-serve`'s durability
+//! contract (DESIGN.md §12): a worker killed at an arbitrary point and
+//! restarted from *snapshot + WAL tail* answers every query
+//! `f64::to_bits`-identically to the uninterrupted worker.
+//!
+//! Two primitives:
+//!
+//! * [`WalWriter`] / [`recover`] — an append-only record log. Each
+//!   record is one line, `<crc32 hex8> <json>\n`, with the CRC taken
+//!   over the JSON bytes. A crash can tear only the *final* line
+//!   (appends are sequential), so recovery validates every line and
+//!   truncates a torn tail in place; a corrupt line that is *not* final
+//!   is real corruption and is reported as an error rather than silently
+//!   dropped. Durability is batched: [`WalWriter::append`] issues an
+//!   `fsync` every `fsync_every` appends (`1` = every append — safest,
+//!   slowest; `0` = only on explicit [`WalWriter::sync`]).
+//! * [`SnapshotStore`] — whole-state checkpoint files, written
+//!   tmp-then-rename with `fsync` on both file and directory, so a
+//!   snapshot is either completely present or absent. [`SnapshotStore::latest`]
+//!   walks candidates newest-first and returns the first valid one,
+//!   making a snapshot that was torn mid-write (impossible via this
+//!   writer, but possible via external truncation) recoverable by
+//!   falling back to its predecessor.
+//!
+//! Everything is deterministic: record bytes are a pure function of the
+//! serialized payload (no timestamps, no randomness), and recovery
+//! returns records in append order.
+
+// detlint: contract = deterministic
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc;
+mod error;
+mod snapshot;
+mod wal;
+
+pub use crc::crc32;
+pub use error::PersistError;
+pub use snapshot::SnapshotStore;
+pub use wal::{recover, rewrite_atomic, Recovery, WalWriter};

@@ -1,0 +1,449 @@
+//! The append-only write-ahead record log.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+
+/// Serializes one record into its on-disk line: `<crc32 hex8> <json>\n`,
+/// CRC over the JSON bytes.
+fn encode_line<T: Serialize>(record: &T) -> Vec<u8> {
+    // Serialization of the workspace's record types cannot fail (no
+    // maps with non-string keys, no non-serializable leaves), and the
+    // float_roundtrip vendor feature keeps floats lossless.
+    let json = serde_json::to_string(record).expect("WAL records serialize infallibly");
+    let mut line = format!("{:08x} ", crc32(json.as_bytes())).into_bytes();
+    line.extend_from_slice(json.as_bytes());
+    line.push(b'\n');
+    line
+}
+
+/// Parses and validates one line (without trailing newline).
+fn decode_line<T: Deserialize>(line: &[u8]) -> Result<T, &'static str> {
+    if line.len() < 10 || line[8] != b' ' {
+        return Err("malformed record framing");
+    }
+    let hex = std::str::from_utf8(&line[..8]).map_err(|_| "malformed crc field")?;
+    let stored = u32::from_str_radix(hex, 16).map_err(|_| "malformed crc field")?;
+    let json = &line[9..];
+    if crc32(json) != stored {
+        return Err("crc mismatch");
+    }
+    let json = std::str::from_utf8(json).map_err(|_| "malformed record payload")?;
+    serde_json::from_str(json).map_err(|_| "malformed record payload")
+}
+
+/// The result of [`recover`]: the valid records plus whether a torn
+/// final line was truncated away.
+#[derive(Debug)]
+pub struct Recovery<T> {
+    /// Every valid record, in append order.
+    pub records: Vec<T>,
+    /// Whether a torn final line was found and truncated in place.
+    pub truncated_tail: bool,
+}
+
+/// Reads a WAL back, validating every record.
+///
+/// A missing file yields zero records. A final line that is incomplete
+/// or fails validation is a *torn append* (the only failure a crash of
+/// the sequential writer can produce): it is truncated away in place —
+/// so a subsequently opened [`WalWriter`] appends cleanly after the
+/// last valid record — and reported via
+/// [`truncated_tail`](Recovery::truncated_tail).
+///
+/// # Errors
+///
+/// [`PersistError::Corrupt`] when a record that is **not** the final
+/// line fails validation (that cannot be a torn append);
+/// [`PersistError::Io`] on filesystem failures.
+pub fn recover<T: Deserialize>(path: &Path) -> Result<Recovery<T>, PersistError> {
+    let mut file = match OpenOptions::new().read(true).write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Recovery {
+                records: Vec::new(),
+                truncated_tail: false,
+            });
+        }
+        Err(e) => return Err(PersistError::io(path, "open", e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| PersistError::io(path, "read", e))?;
+
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+    while offset < bytes.len() {
+        line_no += 1;
+        let rest = &bytes[offset..];
+        let (line, consumed, complete) = match rest.iter().position(|&b| b == b'\n') {
+            Some(nl) => (&rest[..nl], nl + 1, true),
+            None => (rest, rest.len(), false),
+        };
+        let is_final = offset + consumed >= bytes.len();
+        match decode_line::<T>(line) {
+            Ok(record) if complete => {
+                records.push(record);
+                offset += consumed;
+            }
+            // A valid-looking but newline-less final chunk is still a
+            // torn append (the newline never landed), as is any failing
+            // final line: truncate back to the last clean record.
+            _ if is_final => {
+                file.set_len(offset as u64)
+                    .map_err(|e| PersistError::io(path, "truncate", e))?;
+                file.sync_data()
+                    .map_err(|e| PersistError::io(path, "fsync", e))?;
+                return Ok(Recovery {
+                    records,
+                    truncated_tail: true,
+                });
+            }
+            Ok(_) => unreachable!("incomplete line can only be final"),
+            Err(what) => {
+                return Err(PersistError::Corrupt {
+                    path: path.display().to_string(),
+                    line: line_no,
+                    what,
+                });
+            }
+        }
+    }
+    Ok(Recovery {
+        records,
+        truncated_tail: false,
+    })
+}
+
+/// Atomically replaces `path` with a log holding exactly `records`:
+/// written to a sibling temporary file, fsynced, renamed over `path`,
+/// and the parent directory fsynced — the file is never observable in a
+/// partially written state.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] on filesystem failures.
+pub fn rewrite_atomic<T: Serialize>(path: &Path, records: &[T]) -> Result<(), PersistError> {
+    let tmp = tmp_sibling(path);
+    {
+        let mut file = File::create(&tmp).map_err(|e| PersistError::io(&tmp, "create", e))?;
+        for record in records {
+            file.write_all(&encode_line(record))
+                .map_err(|e| PersistError::io(&tmp, "write", e))?;
+        }
+        file.sync_all()
+            .map_err(|e| PersistError::io(&tmp, "fsync", e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| PersistError::io(path, "rename", e))?;
+    sync_parent_dir(path)
+}
+
+/// `<path>.tmp`, the scratch name [`rewrite_atomic`] stages into.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Fsyncs the directory holding `path`, making a just-renamed entry
+/// durable.
+pub(crate) fn sync_parent_dir(path: &Path) -> Result<(), PersistError> {
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    let dir = File::open(parent).map_err(|e| PersistError::io(parent, "open dir", e))?;
+    dir.sync_all()
+        .map_err(|e| PersistError::io(parent, "fsync dir", e))
+}
+
+/// An append-only writer over one WAL file.
+///
+/// Open [`recover`] first: appends land at the end of the file, so a
+/// torn tail must have been truncated away before the first append.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    fsync_every: usize,
+    appends_since_sync: usize,
+    appends_total: u64,
+    fsyncs_total: u64,
+    bytes_total: u64,
+}
+
+impl WalWriter {
+    /// Opens `path` for appending, creating it (and missing parent
+    /// directories) as needed.
+    ///
+    /// `fsync_every` batches durability: an `fsync` is issued every that
+    /// many appends (`1` = after every append; `0` = never implicitly —
+    /// only [`sync`](Self::sync) flushes).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failures.
+    pub fn open(path: &Path, fsync_every: usize) -> Result<Self, PersistError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| PersistError::io(parent, "create dir", e))?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| PersistError::io(path, "open", e))?;
+        // Make the append position explicit (append mode does this on
+        // every write anyway; seeking keeps `stream_position` users sane).
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| PersistError::io(path, "seek", e))?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            fsync_every,
+            appends_since_sync: 0,
+            appends_total: 0,
+            fsyncs_total: 0,
+            bytes_total: 0,
+        })
+    }
+
+    /// Appends one record and applies the batched-fsync policy.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failures.
+    pub fn append<T: Serialize>(&mut self, record: &T) -> Result<(), PersistError> {
+        let line = encode_line(record);
+        self.file
+            .write_all(&line)
+            .map_err(|e| PersistError::io(&self.path, "append", e))?;
+        self.appends_total += 1;
+        self.bytes_total += line.len() as u64;
+        self.appends_since_sync += 1;
+        if self.fsync_every > 0 && self.appends_since_sync >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces an `fsync` now, regardless of the batching policy.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failures.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.file
+            .sync_data()
+            .map_err(|e| PersistError::io(&self.path, "fsync", e))?;
+        self.fsyncs_total += 1;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Discards every record: truncates the file to zero length and
+    /// fsyncs. Used after a snapshot has absorbed the logged history, so
+    /// the log only ever holds the tail since the last checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failures.
+    pub fn truncate(&mut self) -> Result<(), PersistError> {
+        self.file
+            .set_len(0)
+            .map_err(|e| PersistError::io(&self.path, "truncate", e))?;
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| PersistError::io(&self.path, "seek", e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| PersistError::io(&self.path, "fsync", e))?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Records appended through this writer.
+    pub fn appends_total(&self) -> u64 {
+        self.appends_total
+    }
+
+    /// `fsync`s issued by this writer (batched and explicit).
+    pub fn fsyncs_total(&self) -> u64 {
+        self.fsyncs_total
+    }
+
+    /// Bytes appended through this writer.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Rec {
+        seq: u64,
+        payload: Vec<u32>,
+    }
+
+    fn rec(seq: u64) -> Rec {
+        Rec {
+            seq,
+            payload: vec![seq as u32, 7],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("socsense-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_records_in_order() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("wal.jsonl");
+        let mut w = WalWriter::open(&path, 1).unwrap();
+        for s in 0..5 {
+            w.append(&rec(s)).unwrap();
+        }
+        assert_eq!(w.appends_total(), 5);
+        assert_eq!(w.fsyncs_total(), 5, "fsync_every=1 syncs per append");
+        drop(w);
+        let rx: Recovery<Rec> = recover(&path).unwrap();
+        assert!(!rx.truncated_tail);
+        assert_eq!(rx.records, (0..5).map(rec).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_recovers_empty() {
+        let dir = tmp_dir("missing");
+        let rx: Recovery<Rec> = recover(&dir.join("absent.jsonl")).unwrap();
+        assert!(rx.records.is_empty());
+        assert!(!rx.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated_and_appends_continue() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal.jsonl");
+        let mut w = WalWriter::open(&path, 0).unwrap();
+        w.append(&rec(0)).unwrap();
+        w.append(&rec(1)).unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.fsyncs_total(), 1, "fsync_every=0 only syncs explicitly");
+        drop(w);
+        // Tear the final line mid-record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 4).unwrap();
+        drop(f);
+        let rx: Recovery<Rec> = recover(&path).unwrap();
+        assert!(rx.truncated_tail);
+        assert_eq!(rx.records, vec![rec(0)]);
+        // The log is clean again: appends resume after the last record.
+        let mut w = WalWriter::open(&path, 1).unwrap();
+        w.append(&rec(9)).unwrap();
+        drop(w);
+        let rx: Recovery<Rec> = recover(&path).unwrap();
+        assert!(!rx.truncated_tail);
+        assert_eq!(rx.records, vec![rec(0), rec(9)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn complete_final_line_with_bad_crc_is_treated_as_torn() {
+        let dir = tmp_dir("badcrc");
+        let path = dir.join("wal.jsonl");
+        let mut w = WalWriter::open(&path, 1).unwrap();
+        w.append(&rec(0)).unwrap();
+        w.append(&rec(1)).unwrap();
+        drop(w);
+        // Flip one payload byte of the final line, newline intact.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let rx: Recovery<Rec> = recover(&path).unwrap();
+        assert!(rx.truncated_tail);
+        assert_eq!(rx.records, vec![rec(0)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_an_error_not_a_truncation() {
+        let dir = tmp_dir("midcorrupt");
+        let path = dir.join("wal.jsonl");
+        let mut w = WalWriter::open(&path, 1).unwrap();
+        for s in 0..3 {
+            w.append(&rec(s)).unwrap();
+        }
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt a byte inside the second line's JSON.
+        let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[first_nl + 15] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = recover::<Rec>(&path).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Corrupt { line: 2, .. }),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_batches_by_policy() {
+        let dir = tmp_dir("batch");
+        let path = dir.join("wal.jsonl");
+        let mut w = WalWriter::open(&path, 3).unwrap();
+        for s in 0..7 {
+            w.append(&rec(s)).unwrap();
+        }
+        assert_eq!(w.fsyncs_total(), 2, "7 appends at fsync_every=3");
+        w.sync().unwrap();
+        assert_eq!(w.fsyncs_total(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_empties_the_log_and_appends_restart() {
+        let dir = tmp_dir("truncate");
+        let path = dir.join("wal.jsonl");
+        let mut w = WalWriter::open(&path, 1).unwrap();
+        w.append(&rec(0)).unwrap();
+        w.append(&rec(1)).unwrap();
+        w.truncate().unwrap();
+        w.append(&rec(2)).unwrap();
+        drop(w);
+        let rx: Recovery<Rec> = recover(&path).unwrap();
+        assert!(!rx.truncated_tail);
+        assert_eq!(rx.records, vec![rec(2)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_atomic_replaces_contents() {
+        let dir = tmp_dir("rewrite");
+        let path = dir.join("seg.jsonl");
+        rewrite_atomic(&path, &[rec(1), rec(2)]).unwrap();
+        let rx: Recovery<Rec> = recover(&path).unwrap();
+        assert_eq!(rx.records, vec![rec(1), rec(2)]);
+        rewrite_atomic(&path, &[rec(9)]).unwrap();
+        let rx: Recovery<Rec> = recover(&path).unwrap();
+        assert_eq!(rx.records, vec![rec(9)]);
+        assert!(!path.with_extension("jsonl.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

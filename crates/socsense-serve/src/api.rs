@@ -2,11 +2,51 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
 use socsense_core::{BoundMethod, EmConfig, RefitMode, SenseError, SourceParams};
 use socsense_matrix::Parallelism;
+use socsense_persist::PersistError;
+
+/// Durability configuration of a service (see DESIGN.md §12).
+///
+/// When attached to a [`ServeConfig`], every ingest batch is appended to
+/// a CRC-guarded write-ahead log under `data_dir` and the full serving
+/// state is checkpointed every [`snapshot_every`](Self::snapshot_every)
+/// batches. A service spawned over a `data_dir` holding prior state
+/// recovers it first — replaying the WAL tail since the newest snapshot
+/// — and then answers every query `f64::to_bits`-identically to a
+/// worker that was never interrupted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistConfig {
+    /// Root directory of the service's durable state. One directory
+    /// belongs to one service at a time (single writer).
+    pub data_dir: PathBuf,
+    /// WAL batched-fsync policy: issue an `fsync` every this many
+    /// appended batches. `1` (the default) syncs every batch — an acked
+    /// batch is always on disk; larger values trade the latest
+    /// un-synced batches on power loss for throughput; `0` never syncs
+    /// implicitly.
+    pub fsync_every: usize,
+    /// Checkpoint cadence: write a full snapshot every this many ingest
+    /// batches (`0` disables periodic snapshots; recovery then replays
+    /// the whole WAL).
+    pub snapshot_every: usize,
+}
+
+impl PersistConfig {
+    /// Durability rooted at `data_dir` with the default policy:
+    /// fsync every batch, snapshot every 8 batches.
+    pub fn at(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            fsync_every: 1,
+            snapshot_every: 8,
+        }
+    }
+}
 
 /// Configuration for a [`QueryService`](crate::QueryService).
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +83,18 @@ pub struct ServeConfig {
     /// full warm refit when the configured drift/staleness thresholds
     /// trip (see [`socsense_core::DeltaConfig`]).
     pub refit_mode: RefitMode,
+    /// Backpressure: the most requests allowed to sit unserved in the
+    /// service queue. A request arriving at a full queue is shed
+    /// immediately with [`ServeError::Overloaded`] instead of queuing
+    /// behind a slow worker without bound. `0` (the default) disables
+    /// the limit. Shutdown requests are always admitted.
+    pub max_queue_depth: usize,
+    /// Durability: when set, ingest batches are write-ahead logged and
+    /// serving state is periodically checkpointed under
+    /// [`PersistConfig::data_dir`], and spawning over existing state
+    /// recovers it bit-identically. `None` (the default) keeps the
+    /// service purely in-memory.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +106,8 @@ impl Default for ServeConfig {
             parallelism: Parallelism::Auto,
             bound: BoundMethod::default(),
             refit_mode: RefitMode::Full,
+            max_queue_depth: 0,
+            persist: None,
         }
     }
 }
@@ -70,6 +124,19 @@ pub enum ServeError {
     /// The worker answered with an unexpected response variant. This
     /// indicates a bug in the service itself, never in the caller.
     Protocol(&'static str),
+    /// The request was shed at the door: the service queue already held
+    /// [`ServeConfig::max_queue_depth`] unserved requests. The request
+    /// was never enqueued — retrying later is safe.
+    Overloaded,
+    /// The worker (or the sharded tier's router or a shard) panicked.
+    /// Carries the panic payload when it was a string. Surfaced by
+    /// `shutdown()`; in-flight requests observe [`Closed`](Self::Closed).
+    WorkerPanicked(String),
+    /// The durability layer failed (WAL append, fsync, snapshot, or
+    /// recovery). Carries the storage error's description. In-memory
+    /// state may be ahead of disk once this is returned; treat the
+    /// `data_dir` as suspect.
+    Persist(String),
 }
 
 impl fmt::Display for ServeError {
@@ -78,6 +145,9 @@ impl fmt::Display for ServeError {
             ServeError::Closed => write!(f, "query service is shut down"),
             ServeError::Sense(e) => write!(f, "{e}"),
             ServeError::Protocol(what) => write!(f, "protocol mismatch: {what}"),
+            ServeError::Overloaded => write!(f, "query service queue is full"),
+            ServeError::WorkerPanicked(what) => write!(f, "service worker panicked: {what}"),
+            ServeError::Persist(what) => write!(f, "durability failure: {what}"),
         }
     }
 }
@@ -94,6 +164,12 @@ impl Error for ServeError {
 impl From<SenseError> for ServeError {
     fn from(e: SenseError) -> Self {
         ServeError::Sense(e)
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Persist(e.to_string())
     }
 }
 
@@ -187,4 +263,10 @@ pub struct ServeStats {
     /// Sources whose M-step rows the most recent successful refit
     /// re-derived (`n` for full and fallback refits).
     pub last_touched_sources: Option<usize>,
+    /// Whether the most recent successful refit reported an exact
+    /// log-likelihood (always true for full and fallback refits; true
+    /// for scoped delta refits only under
+    /// [`DeltaConfig::exact_ll`](socsense_core::DeltaConfig)).
+    #[serde(default)]
+    pub last_ll_exact: Option<bool>,
 }

@@ -75,12 +75,14 @@
 #![warn(missing_docs)]
 
 mod api;
+mod durable;
 mod router;
 mod service;
 mod shard;
 
 pub use api::{
-    ClusterAssignment, IngestAck, ServeConfig, ServeError, ServeStats, ShardTopology, SourceRank,
+    ClusterAssignment, IngestAck, PersistConfig, ServeConfig, ServeError, ServeStats,
+    ShardTopology, SourceRank,
 };
 pub use router::{ShardedHandle, ShardedService};
 pub use service::{QueryService, ServeHandle};

@@ -46,11 +46,13 @@ use socsense_graph::{FollowerGraph, TimedClaim};
 use socsense_obs::{Obs, Recorder, Tee};
 
 use crate::api::{
-    ClusterAssignment, IngestAck, ServeConfig, ServeError, ServeStats, ShardTopology, SourceRank,
+    ClusterAssignment, IngestAck, PersistConfig, ServeConfig, ServeError, ServeStats,
+    ShardTopology, SourceRank,
 };
-use crate::service::{Envelope, Request, Response, ServeHandle};
+use crate::durable::{DurableLog, HistoryBackend, HistoryEntry, RouterSnapshot};
+use crate::service::{panic_message, Envelope, Request, Response, ServeHandle};
 use crate::shard::{
-    ClusterOp, LastRefit, ShardMsg, ShardQuery, ShardReply, ShardReturn, ShardWorker,
+    ClusterAck, ClusterOp, LastRefit, ShardMsg, ShardQuery, ShardReply, ShardReturn, ShardWorker,
 };
 
 /// SplitMix64 finalizer: a full-avalanche mix of one 64-bit word.
@@ -98,10 +100,6 @@ struct RecordedCluster {
     pending: usize,
 }
 
-/// One entry of a cluster's claim history: `(ingest epoch, position in
-/// that epoch's batch, the claim)`. The pair orders entries globally.
-type HistoryEntry = (u64, u32, TimedClaim);
-
 /// Groups a sorted cluster history back into its original ingest
 /// batches (one `Vec` per epoch, batch order preserved) so a rebuild
 /// replays the refit policy over the exact boundaries the live path saw.
@@ -131,6 +129,7 @@ fn history_batches(history: &[HistoryEntry]) -> Vec<Vec<TimedClaim>> {
 pub struct ShardedService {
     tx: Sender<Envelope>,
     depth: Arc<AtomicUsize>,
+    max_depth: usize,
     router: Option<JoinHandle<()>>,
     shards: usize,
 }
@@ -241,22 +240,38 @@ impl ShardedService {
         }
         let depth = Arc::new(AtomicUsize::new(0));
         let router_depth = Arc::clone(&depth);
+        let max_depth = config.max_queue_depth;
+        let persist = config.persist.clone();
+        let history = match &persist {
+            Some(pcfg) => HistoryBackend::disk(&pcfg.data_dir.join("clusters"))?,
+            None => HistoryBackend::memory(),
+        };
         let (tx, rx) = mpsc::channel::<Envelope>();
-        let router = Router {
+        let mut router = Router {
             cfg: config,
             tracker,
             epoch: 0,
             total_claims: 0,
             requests_served: 0,
             recorded: BTreeMap::new(),
-            history: BTreeMap::new(),
+            history,
             shard_tx,
             shard_depth,
             shard_workers,
             rec,
             obs,
             depth: router_depth,
+            durable: None,
         };
+        // Recovery runs here, on the caller thread, with the shards
+        // already live (they receive the snapshot's cluster states and
+        // the WAL-tail replay) but before the router serves anything.
+        if let Some(pcfg) = &persist {
+            if let Err(e) = router.recover(pcfg) {
+                router.stop_shards();
+                return Err(e);
+            }
+        }
         let router = std::thread::Builder::new()
             .name("socsense-router".into())
             .spawn(move || router.run(rx))
@@ -265,6 +280,7 @@ impl ShardedService {
         Ok(Self {
             tx,
             depth,
+            max_depth,
             router: Some(router),
             shards,
         })
@@ -278,7 +294,7 @@ impl ShardedService {
     /// A new client handle. Handles stay valid until shutdown.
     pub fn handle(&self) -> ShardedHandle {
         ShardedHandle {
-            inner: ServeHandle::internal(self.tx.clone(), Arc::clone(&self.depth)),
+            inner: ServeHandle::internal(self.tx.clone(), Arc::clone(&self.depth), self.max_depth),
         }
     }
 
@@ -288,7 +304,9 @@ impl ShardedService {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Closed`] when the router was already gone.
+    /// [`ServeError::Closed`] when the router was already gone;
+    /// [`ServeError::WorkerPanicked`] when the router — or any shard,
+    /// surfaced through the router's shutdown reply — died by panic.
     pub fn shutdown(mut self) -> Result<ServeStats, ServeError> {
         self.shutdown_impl()
     }
@@ -300,7 +318,11 @@ impl ShardedService {
             Err(e) => Err(e),
         };
         if let Some(router) = self.router.take() {
-            let _ = router.join();
+            // A panicked router must not be swallowed: it outranks
+            // whatever the (necessarily failed) shutdown call returned.
+            if let Err(payload) = router.join() {
+                return Err(ServeError::WorkerPanicked(panic_message(payload)));
+            }
         }
         stats
     }
@@ -309,7 +331,11 @@ impl ShardedService {
 impl Drop for ShardedService {
     fn drop(&mut self) {
         if self.router.is_some() {
-            let _ = self.shutdown_impl();
+            // Nobody is left to receive the error; a panic still gets
+            // reported rather than vanishing with the service.
+            if let Err(ServeError::WorkerPanicked(what)) = self.shutdown_impl() {
+                eprintln!("socsense-serve: router or shard thread panicked: {what}");
+            }
         }
     }
 }
@@ -325,45 +351,68 @@ struct Router {
     requests_served: u64,
     recorded: BTreeMap<u32, RecordedCluster>,
     /// Per-cluster claim history in `(epoch, position)` order — the
-    /// replay source for membership-change rebuilds.
-    history: BTreeMap<u32, Vec<HistoryEntry>>,
+    /// replay source for membership-change rebuilds. In-memory without
+    /// persistence; spilled to per-cluster segment files under
+    /// `<data_dir>/clusters/` with it.
+    history: HistoryBackend,
     shard_tx: Vec<Sender<ShardMsg>>,
     shard_depth: Vec<Arc<AtomicUsize>>,
     shard_workers: Vec<JoinHandle<()>>,
     rec: Arc<Recorder>,
     obs: Obs,
     depth: Arc<AtomicUsize>,
+    /// Durability engine, when [`ServeConfig::persist`] is set.
+    durable: Option<DurableLog>,
 }
 
 impl Router {
     fn run(mut self, rx: Receiver<Envelope>) {
         while let Ok(env) = rx.recv() {
-            let shutting_down = matches!(env.req, Request::Shutdown);
-            self.answer(env);
-            if shutting_down {
+            if matches!(env.req, Request::Shutdown) {
                 // Graceful drain: everything already queued is answered
                 // (the shards are still up); senders arriving after the
-                // channel closes get `Closed`.
-                while let Ok(env) = rx.try_recv() {
-                    self.answer(env);
+                // channel closes get `Closed`. The shutdown reply is
+                // held back until the shards have been joined, so a
+                // shard that died by panic surfaces in the result
+                // instead of being swallowed.
+                self.note_pickup(&env);
+                let stats = self.stats_snapshot();
+                while let Ok(queued) = rx.try_recv() {
+                    self.answer(queued);
                 }
-                break;
+                let result = match self.stop_shards() {
+                    Some(what) => Err(ServeError::WorkerPanicked(what)),
+                    None => stats.map(Response::ShuttingDown),
+                };
+                // A client that gave up on its reply is not an error.
+                let _ = env.reply.send(result);
+                return;
             }
+            self.answer(env);
         }
         self.stop_shards();
     }
 
-    fn stop_shards(&mut self) {
+    /// Stops and joins every shard, reporting the first panic payload.
+    fn stop_shards(&mut self) -> Option<String> {
         for (i, tx) in self.shard_tx.iter().enumerate() {
             self.shard_depth[i].fetch_add(1, Ordering::Relaxed);
             let _ = tx.send(ShardMsg::Shutdown);
         }
+        let mut panicked = None;
         for handle in self.shard_workers.drain(..) {
-            let _ = handle.join();
+            if let Err(payload) = handle.join() {
+                if panicked.is_none() {
+                    panicked = Some(panic_message(payload));
+                }
+            }
         }
+        panicked
     }
 
-    fn answer(&mut self, env: Envelope) {
+    /// Queue bookkeeping for one picked-up request: depth gauge, wait
+    /// histogram, request counter.
+    fn note_pickup(&mut self, env: &Envelope) {
         let waiting = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
         self.obs.gauge("serve.queue.depth", waiting as f64);
         self.obs.gauge("serve.router.queue.depth", waiting as f64);
@@ -373,6 +422,10 @@ impl Router {
         );
         self.requests_served += 1;
         self.obs.counter("serve.requests_total", 1);
+    }
+
+    fn answer(&mut self, env: Envelope) {
+        self.note_pickup(&env);
         let label = env.req.label();
         let timer = self.obs.timer(&format!("serve.request.{label}.seconds"));
         let result = self.dispatch(env.req);
@@ -394,54 +447,48 @@ impl Router {
             Request::Stats => Ok(Response::Stats(self.stats_snapshot()?)),
             Request::Metrics => Ok(Response::Metrics(Box::new(self.rec.snapshot()))),
             Request::Topology => Ok(Response::Topology(Box::new(self.topology()))),
+            // Unreachable: `run` intercepts Shutdown so the reply can
+            // wait for the shard joins. Kept total for safety.
             Request::Shutdown => Ok(Response::ShuttingDown(self.stats_snapshot()?)),
+            #[cfg(test)]
+            Request::InjectPanic => panic!("injected router panic"),
+            #[cfg(test)]
+            Request::Park { ack, release } => {
+                let _ = ack.send(());
+                let _ = release.recv();
+                Ok(Response::Stats(self.stats_snapshot()?))
+            }
         }
     }
 
     /// Fans an ingest batch out by cluster and waits for every involved
     /// shard's ack (the drain barrier) before acknowledging the client.
     fn ingest(&mut self, batch: Vec<TimedClaim>) -> Result<Response, ServeError> {
+        self.ingest_impl(batch, true)
+    }
+
+    /// The ingest path, shared by live requests (`log = true`: the
+    /// batch is WAL-appended and the checkpoint cadence applies) and
+    /// recovery's WAL-tail replay (`log = false`: the records are
+    /// already on disk).
+    fn ingest_impl(&mut self, batch: Vec<TimedClaim>, log: bool) -> Result<Response, ServeError> {
         // Atomic validation: a rejected batch changes nothing, and the
         // epoch does not advance.
         let update = self.tracker.ingest(&batch)?;
         self.epoch += 1;
+        // Log the accepted batch before the fan-out and the ack — with
+        // `fsync_every = 1`, an acked batch is on disk.
+        if log && self.durable.is_some() {
+            let epoch = self.epoch;
+            let obs = self.obs.clone();
+            if let Some(d) = &mut self.durable {
+                d.append(epoch, &batch, &obs)?;
+            }
+        }
         self.total_claims += batch.len();
         self.obs.gauge("serve.router.epoch", self.epoch as f64);
 
-        // Clusters merged away hand their history to the surviving key.
-        let mut merged_into: BTreeSet<u32> = BTreeSet::new();
-        for &gone in &update.removed {
-            if let Some(src) = self.history.remove(&gone) {
-                let winner = self
-                    .tracker
-                    .cluster_key_of(src[0].2.assertion)
-                    .ok_or(ServeError::Protocol("merged cluster has no live key"))?;
-                let dst = self.history.entry(winner).or_default();
-                dst.extend(src);
-                // (epoch, position) pairs are unique, so this sort is
-                // a deterministic merge of two sorted runs.
-                dst.sort_unstable_by_key(|&(seq, pos, _)| (seq, pos));
-                merged_into.insert(winner);
-            }
-        }
-
-        // Partition the batch by owning cluster, preserving batch order
-        // inside each sub-stream. One map probe per claim; the history
-        // log extends once per involved cluster afterwards.
-        let mut per_key: BTreeMap<u32, Vec<(u32, TimedClaim)>> = BTreeMap::new();
-        for (pos, &claim) in batch.iter().enumerate() {
-            let key = self
-                .tracker
-                .cluster_key_of(claim.assertion)
-                .ok_or(ServeError::Protocol("ingested claim has no cluster"))?;
-            per_key.entry(key).or_default().push((pos as u32, claim));
-        }
-        for (&key, positioned) in &per_key {
-            self.history
-                .entry(key)
-                .or_default()
-                .extend(positioned.iter().map(|&(pos, c)| (self.epoch, pos, c)));
-        }
+        let (per_key, merged_into) = self.advance_history(self.epoch, &batch, &update.removed)?;
 
         // Cluster operations, grouped per shard in ascending key order.
         let mut ops: BTreeMap<usize, Vec<ClusterOp>> = BTreeMap::new();
@@ -474,7 +521,7 @@ impl Router {
                     key,
                     sources: members.sources().to_vec(),
                     assertions: members.assertions().to_vec(),
-                    batches: history_batches(&self.history[&key]),
+                    batches: history_batches(&self.history.read(key)?),
                 }
             } else {
                 ClusterOp::Append {
@@ -497,8 +544,87 @@ impl Router {
         self.obs
             .gauge("serve.router.clusters", self.recorded.len() as f64);
 
-        // Dispatch: involved shards get their operations and must ack;
-        // the rest get a bare epoch marker over the same FIFO channel.
+        let returns = self.dispatch_ops(ops)?;
+        let mut refitted = false;
+        let mut first_error: Option<SenseError> = None;
+        for ret in returns {
+            for ack in ret.payload? {
+                if let Some(rc) = self.recorded.get_mut(&ack.key) {
+                    rc.pending = ack.pending;
+                }
+                refitted |= ack.refitted;
+                if first_error.is_none() {
+                    first_error = ack.error;
+                }
+            }
+        }
+        if log {
+            self.maybe_snapshot()?;
+        }
+        // Mirror the unsharded service: a failed eager refit surfaces as
+        // an error, but the claims stay ingested.
+        if let Some(e) = first_error {
+            return Err(ServeError::Sense(e));
+        }
+        Ok(Response::Ingested(IngestAck {
+            total_claims: self.total_claims,
+            pending_claims: self.recorded.values().map(|rc| rc.pending).sum(),
+            refitted,
+        }))
+    }
+
+    /// Applies one batch's history consequences: clusters merged away
+    /// hand their logged claims to the surviving key, and the batch's
+    /// claims are appended to each owning cluster's history, stamped
+    /// `(epoch, position)`. Returns the per-cluster sub-batches
+    /// (position-tagged, batch order preserved) and the keys that
+    /// absorbed a merge.
+    #[allow(clippy::type_complexity)]
+    fn advance_history(
+        &mut self,
+        epoch: u64,
+        batch: &[TimedClaim],
+        removed: &[u32],
+    ) -> Result<(BTreeMap<u32, Vec<(u32, TimedClaim)>>, BTreeSet<u32>), ServeError> {
+        let mut merged_into: BTreeSet<u32> = BTreeSet::new();
+        for &gone in removed {
+            if let Some(src) = self.history.remove(gone)? {
+                let winner = self
+                    .tracker
+                    .cluster_key_of(src[0].2.assertion)
+                    .ok_or(ServeError::Protocol("merged cluster has no live key"))?;
+                // (epoch, position) pairs are unique, so the backend's
+                // merge is a deterministic merge of two sorted runs.
+                self.history.merge(winner, src)?;
+                merged_into.insert(winner);
+            }
+        }
+        // Partition the batch by owning cluster, preserving batch order
+        // inside each sub-stream. One map probe per claim; the history
+        // log extends once per involved cluster afterwards.
+        let mut per_key: BTreeMap<u32, Vec<(u32, TimedClaim)>> = BTreeMap::new();
+        for (pos, &claim) in batch.iter().enumerate() {
+            let key = self
+                .tracker
+                .cluster_key_of(claim.assertion)
+                .ok_or(ServeError::Protocol("ingested claim has no cluster"))?;
+            per_key.entry(key).or_default().push((pos as u32, claim));
+        }
+        for (&key, positioned) in &per_key {
+            let entries: Vec<HistoryEntry> =
+                positioned.iter().map(|&(pos, c)| (epoch, pos, c)).collect();
+            self.history.append(key, &entries)?;
+        }
+        Ok((per_key, merged_into))
+    }
+
+    /// Sends each shard its cluster operations (a bare epoch marker
+    /// when it has none) and collects the involved shards' acks sorted
+    /// by shard index — the drain barrier of one ingest batch.
+    fn dispatch_ops(
+        &mut self,
+        mut ops: BTreeMap<usize, Vec<ClusterOp>>,
+    ) -> Result<Vec<ShardReturn<Vec<ClusterAck>>>, ServeError> {
         let (ack_tx, ack_rx) = mpsc::channel();
         let mut involved = 0usize;
         for (i, tx) in self.shard_tx.iter().enumerate() {
@@ -522,30 +648,122 @@ impl Router {
             returns.push(ack_rx.recv().map_err(|_| ServeError::Closed)?);
         }
         returns.sort_by_key(|r| r.shard);
+        Ok(returns)
+    }
 
-        let mut refitted = false;
-        let mut first_error: Option<SenseError> = None;
-        for ret in returns {
-            for ack in ret.payload? {
-                if let Some(rc) = self.recorded.get_mut(&ack.key) {
-                    rc.pending = ack.pending;
-                }
-                refitted |= ack.refitted;
-                if first_error.is_none() {
-                    first_error = ack.error;
+    /// Writes a router checkpoint when the configured cadence is due:
+    /// every cluster's state is exported from its owning shard and
+    /// written alongside the router counters. The WAL is kept — the
+    /// full batch sequence is the membership dry-replay source at
+    /// recovery.
+    fn maybe_snapshot(&mut self) -> Result<(), ServeError> {
+        let due = self
+            .durable
+            .as_ref()
+            .is_some_and(|d| d.should_snapshot(self.epoch));
+        if !due {
+            return Ok(());
+        }
+        let mut clusters = Vec::new();
+        for (_, reply) in self.scatter(self.all_shards(|| ShardQuery::Export))? {
+            let ShardReply::Export(list) = reply else {
+                return Err(ServeError::Protocol("expected shard Export"));
+            };
+            clusters.extend(list);
+        }
+        clusters.sort_by_key(|c| c.key);
+        let snap = RouterSnapshot {
+            epoch: self.epoch,
+            total_claims: self.total_claims,
+            requests_served: self.requests_served,
+            clusters,
+        };
+        let epoch = self.epoch;
+        let obs = self.obs.clone();
+        if let Some(d) = &mut self.durable {
+            d.write_snapshot(epoch, &snap, false, &obs)?;
+        }
+        Ok(())
+    }
+
+    /// Restores whatever a previous service left under the data
+    /// directory, in three phases: (1) dry-replay the WAL up to the
+    /// checkpoint to rebuild the cluster tracker and the per-cluster
+    /// history segments (membership is a pure function of the batch
+    /// sequence — the union-find is never serialized); (2) install the
+    /// checkpoint — router counters, the recorded-cluster map, and a
+    /// `Restore` fan-out shipping each cluster's state to whichever
+    /// shard the rendezvous hash picks *now*, so restarting with a
+    /// different shard count is just a cluster move; (3) replay the
+    /// WAL tail through the normal ingest path.
+    fn recover(&mut self, pcfg: &PersistConfig) -> Result<(), ServeError> {
+        let (log, recovered) = DurableLog::open::<RouterSnapshot>(pcfg, &self.obs)?;
+        // Segments are a rebuildable cache of the WAL: start clean.
+        self.history.wipe()?;
+        let since = recovered.snapshot.as_ref().map_or(0, |(seq, _)| *seq);
+        for record in recovered.records.iter().filter(|r| r.seq <= since) {
+            if record.seq != self.epoch + 1 {
+                return Err(ServeError::Persist(format!(
+                    "WAL gap: expected batch {}, found {}",
+                    self.epoch + 1,
+                    record.seq
+                )));
+            }
+            let update = self.tracker.ingest(&record.claims)?;
+            self.epoch = record.seq;
+            self.advance_history(record.seq, &record.claims, &update.removed)?;
+        }
+        if let Some((_, snap)) = recovered.snapshot {
+            if snap.epoch != self.epoch {
+                return Err(ServeError::Persist(format!(
+                    "WAL ends at batch {} but the snapshot covers {}",
+                    self.epoch, snap.epoch
+                )));
+            }
+            self.total_claims = snap.total_claims;
+            self.requests_served = snap.requests_served;
+            let mut ops: BTreeMap<usize, Vec<ClusterOp>> = BTreeMap::new();
+            for cluster in snap.clusters {
+                let shard = rendezvous_shard(cluster.key, self.shard_tx.len());
+                self.recorded.insert(
+                    cluster.key,
+                    RecordedCluster {
+                        shard,
+                        n_sources: cluster.sources.len(),
+                        n_assertions: cluster.assertions.len(),
+                        pending: cluster.pending,
+                    },
+                );
+                ops.entry(shard)
+                    .or_default()
+                    .push(ClusterOp::Restore(Box::new(cluster)));
+            }
+            for ret in self.dispatch_ops(ops)? {
+                for ack in ret.payload? {
+                    if let Some(e) = ack.error {
+                        return Err(ServeError::Sense(e));
+                    }
                 }
             }
         }
-        // Mirror the unsharded service: a failed eager refit surfaces as
-        // an error, but the claims stay ingested.
-        if let Some(e) = first_error {
-            return Err(ServeError::Sense(e));
+        for record in recovered.records.into_iter().filter(|r| r.seq > since) {
+            if record.seq != self.epoch + 1 {
+                return Err(ServeError::Persist(format!(
+                    "WAL gap: expected batch {}, found {}",
+                    self.epoch + 1,
+                    record.seq
+                )));
+            }
+            // Refit errors during replay mirror the live path: the
+            // original run surfaced them to the client and kept the
+            // claims ingested. Anything else is fatal.
+            match self.ingest_impl(record.claims, false) {
+                Ok(_) | Err(ServeError::Sense(_)) => {}
+                Err(e) => return Err(e),
+            }
         }
-        Ok(Response::Ingested(IngestAck {
-            total_claims: self.total_claims,
-            pending_claims: self.recorded.values().map(|rc| rc.pending).sum(),
-            refitted,
-        }))
+        self.durable = Some(log);
+        Ok(())
     }
 
     /// Sends each `(shard, query)` pair and collects the replies sorted
@@ -786,6 +1004,7 @@ impl Router {
             stats.last_refit_iterations = Some(last.iterations);
             stats.last_touched_assertions = Some(last.touched_assertions);
             stats.last_touched_sources = Some(last.touched_sources);
+            stats.last_ll_exact = Some(last.ll_exact);
         }
         Ok(stats)
     }
@@ -857,5 +1076,50 @@ mod tests {
     fn neutral_bound_is_the_prior_coin_flip() {
         let b = neutral_bound();
         assert!((b.error - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn router_panic_surfaces_from_shutdown() {
+        let svc =
+            ShardedService::spawn(2, 2, FollowerGraph::new(2), ServeConfig::default(), 2).unwrap();
+        let client = svc.handle();
+        let rx = client.raw_send(Request::InjectPanic);
+        // The router died mid-request: the reply channel just closes.
+        assert!(rx.recv().is_err());
+        match svc.shutdown() {
+            Err(ServeError::WorkerPanicked(what)) => {
+                assert!(what.contains("injected router panic"), "payload: {what}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_tier_sheds_over_limit_requests() {
+        let svc = ShardedService::spawn(
+            2,
+            2,
+            FollowerGraph::new(2),
+            ServeConfig {
+                max_queue_depth: 1,
+                ..ServeConfig::default()
+            },
+            2,
+        )
+        .unwrap();
+        let client = svc.handle();
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let parked = client.raw_send(Request::Park {
+            ack: ack_tx,
+            release: release_rx,
+        });
+        ack_rx.recv().unwrap();
+        let held = client.raw_send(Request::Stats);
+        assert!(matches!(client.stats(), Err(ServeError::Overloaded)));
+        release_tx.send(()).unwrap();
+        assert!(held.recv().unwrap().is_ok());
+        assert!(parked.recv().unwrap().is_ok());
+        svc.shutdown().unwrap();
     }
 }

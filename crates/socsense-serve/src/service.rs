@@ -8,13 +8,28 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use socsense_core::{
-    bound_for_assertions_traced, BoundMethod, BoundResult, EmFit, RefitOutcome, RefitStats,
-    SenseError, StreamingEstimator,
+    bound_for_assertions_traced, BoundMethod, BoundResult, EmFit, EmFitBits, RefitOutcome,
+    RefitStats, SenseError, StreamingEstimator,
 };
 use socsense_graph::{FollowerGraph, TimedClaim};
 use socsense_obs::{MetricsSnapshot, Obs, Recorder, Tee};
 
-use crate::api::{IngestAck, ServeConfig, ServeError, ServeStats, ShardTopology, SourceRank};
+use crate::api::{
+    IngestAck, PersistConfig, ServeConfig, ServeError, ServeStats, ShardTopology, SourceRank,
+};
+use crate::durable::{DurableLog, WorkerSnapshot};
+
+/// Renders a worker thread's panic payload for
+/// [`ServeError::WorkerPanicked`].
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A typed request, one per client call. Shared verbatim by the
 /// unsharded worker and the sharded router, so both backends present
@@ -33,6 +48,17 @@ pub(crate) enum Request {
     /// Partition map of the sharded tier; the unsharded worker has none.
     Topology,
     Shutdown,
+    /// Test hook: panic inside the worker (exercises panic surfacing).
+    #[cfg(test)]
+    InjectPanic,
+    /// Test hook: ack on `ack`, then block until `release` yields —
+    /// turns the worker into a deterministic "slow worker" so queue
+    /// backpressure can be tested without timing races.
+    #[cfg(test)]
+    Park {
+        ack: Sender<()>,
+        release: Receiver<()>,
+    },
 }
 
 impl Request {
@@ -48,6 +74,10 @@ impl Request {
             Request::Metrics => "metrics",
             Request::Topology => "topology",
             Request::Shutdown => "shutdown",
+            #[cfg(test)]
+            Request::InjectPanic => "inject_panic",
+            #[cfg(test)]
+            Request::Park { .. } => "park",
         }
     }
 }
@@ -85,14 +115,26 @@ pub struct ServeHandle {
     /// Requests sent but not yet picked up by the worker, shared by
     /// every handle of one service (feeds `serve.queue.depth`).
     depth: Arc<AtomicUsize>,
+    /// Backpressure limit ([`ServeConfig::max_queue_depth`]; `0` =
+    /// unlimited). Checked at the handle, so a shed request never even
+    /// enters the queue.
+    max_depth: usize,
 }
 
 impl ServeHandle {
     /// A handle over an already-running request channel (the sharded
     /// router speaks the same envelope protocol as the unsharded
     /// worker).
-    pub(crate) fn internal(tx: Sender<Envelope>, depth: Arc<AtomicUsize>) -> Self {
-        Self { tx, depth }
+    pub(crate) fn internal(
+        tx: Sender<Envelope>,
+        depth: Arc<AtomicUsize>,
+        max_depth: usize,
+    ) -> Self {
+        Self {
+            tx,
+            depth,
+            max_depth,
+        }
     }
 
     // Clippy twin of the detlint allow(D2) below: the queue-entry
@@ -100,7 +142,15 @@ impl ServeHandle {
     #[allow(clippy::disallowed_methods)]
     pub(crate) fn call(&self, req: Request) -> Result<Response, ServeError> {
         let (reply, rx) = mpsc::channel();
-        self.depth.fetch_add(1, Ordering::Relaxed);
+        let queued_depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        // Shed at the door when the queue is full. Shutdown is always
+        // admitted — a client must be able to stop an overloaded
+        // service.
+        if self.max_depth > 0 && queued_depth > self.max_depth && !matches!(req, Request::Shutdown)
+        {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded);
+        }
         let sent = self.tx.send(Envelope {
             req,
             reply,
@@ -114,6 +164,27 @@ impl ServeHandle {
         // A dropped reply sender means the worker exited (shutdown drain
         // finished, or it died) before answering.
         rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Test-only: enqueue a request without waiting for the reply (and
+    /// without the backpressure shed), returning the raw reply
+    /// receiver. Used to fill the queue while the worker is parked —
+    /// `call` would block on the answer.
+    #[cfg(test)]
+    #[allow(clippy::disallowed_methods)]
+    pub(crate) fn raw_send(&self, req: Request) -> Receiver<Result<Response, ServeError>> {
+        let (reply, rx) = mpsc::channel();
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .send(Envelope {
+                req,
+                reply,
+                // detlint: allow(D2) -- observation-only queue timestamp (test helper)
+                queued: Instant::now(),
+            })
+            // detlint: allow(D5) -- test-only helper: a refused send is a broken test setup, so panicking is the honest failure
+            .expect("service accepts the raw envelope");
+        rx
     }
 
     /// Appends a batch of claims to the service's log.
@@ -232,6 +303,7 @@ impl ServeHandle {
 pub struct QueryService {
     tx: Sender<Envelope>,
     depth: Arc<AtomicUsize>,
+    max_depth: usize,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -262,7 +334,11 @@ impl QueryService {
     ///
     /// # Errors
     ///
-    /// See [`spawn`](Self::spawn).
+    /// See [`spawn`](Self::spawn); additionally
+    /// [`ServeError::Persist`] when [`ServeConfig::persist`] is set and
+    /// the durable state cannot be opened or recovered. Recovery — the
+    /// newest snapshot plus a WAL-tail replay — happens here, before
+    /// the worker thread serves its first request.
     pub fn spawn_with_obs(
         n: u32,
         m: u32,
@@ -280,28 +356,33 @@ impl QueryService {
         est.set_refit_mode(config.refit_mode)?;
         est.set_obs(obs.clone());
         let depth = Arc::new(AtomicUsize::new(0));
-        let worker_depth = Arc::clone(&depth);
+        let max_depth = config.max_queue_depth;
+        let persist = config.persist.clone();
+        let mut worker = Worker {
+            est,
+            cfg: config,
+            chain_fit: None,
+            probe_fit: None,
+            stats: ServeStats::default(),
+            rec,
+            obs,
+            depth: Arc::clone(&depth),
+            durable: None,
+            seq: 0,
+        };
+        if let Some(pcfg) = &persist {
+            worker.recover(pcfg)?;
+        }
         let (tx, rx) = mpsc::channel::<Envelope>();
         let worker = std::thread::Builder::new()
             .name("socsense-serve".into())
-            .spawn(move || {
-                Worker {
-                    est,
-                    cfg: config,
-                    chain_fit: None,
-                    probe_fit: None,
-                    stats: ServeStats::default(),
-                    rec,
-                    obs,
-                    depth: worker_depth,
-                }
-                .run(rx)
-            })
+            .spawn(move || worker.run(rx))
             // detlint: allow(D5) -- construction-time: no client exists yet, so a failed spawn panics the caller, not a worker others wait on
             .expect("spawning the service worker thread");
         Ok(Self {
             tx,
             depth,
+            max_depth,
             worker: Some(worker),
         })
     }
@@ -311,6 +392,7 @@ impl QueryService {
         ServeHandle {
             tx: self.tx.clone(),
             depth: Arc::clone(&self.depth),
+            max_depth: self.max_depth,
         }
     }
 
@@ -323,7 +405,9 @@ impl QueryService {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Closed`] when the worker was already gone.
+    /// [`ServeError::Closed`] when the worker was already gone;
+    /// [`ServeError::WorkerPanicked`] when the worker thread died by
+    /// panic (with its payload) instead of exiting cleanly.
     pub fn shutdown(mut self) -> Result<ServeStats, ServeError> {
         self.shutdown_impl()
     }
@@ -335,7 +419,11 @@ impl QueryService {
             Err(e) => Err(e),
         };
         if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+            // A panicked worker must not be swallowed: it outranks
+            // whatever the (necessarily failed) shutdown call returned.
+            if let Err(payload) = worker.join() {
+                return Err(ServeError::WorkerPanicked(panic_message(payload)));
+            }
         }
         stats
     }
@@ -344,7 +432,11 @@ impl QueryService {
 impl Drop for QueryService {
     fn drop(&mut self) {
         if self.worker.is_some() {
-            let _ = self.shutdown_impl();
+            // Nobody is left to receive the error; a panic still gets
+            // reported rather than vanishing with the service.
+            if let Err(ServeError::WorkerPanicked(what)) = self.shutdown_impl() {
+                eprintln!("socsense-serve: worker thread panicked: {what}");
+            }
         }
     }
 }
@@ -365,9 +457,53 @@ struct Worker {
     obs: Obs,
     /// Shared with every [`ServeHandle`]; decremented on pickup.
     depth: Arc<AtomicUsize>,
+    /// Durability engine, when [`ServeConfig::persist`] is set.
+    durable: Option<DurableLog>,
+    /// Ingest batches accepted over the service's *durable* lifetime
+    /// (monotonic across restarts; stays 0 without persistence).
+    seq: u64,
 }
 
 impl Worker {
+    /// Restores whatever a previous service left under the data
+    /// directory: install the newest snapshot, then replay the WAL tail
+    /// through the normal ingest path. Runs before the worker thread
+    /// exists, so the first client request already sees the recovered
+    /// state.
+    fn recover(&mut self, pcfg: &PersistConfig) -> Result<(), ServeError> {
+        let (log, recovered) = DurableLog::open::<WorkerSnapshot>(pcfg, &self.obs)?;
+        let mut since = 0;
+        if let Some((seq, snap)) = recovered.snapshot {
+            self.est.restore_state(&snap.stream)?;
+            self.chain_fit = match &snap.chain_fit {
+                Some(bits) => Some(Arc::new(bits.to_fit()?)),
+                None => None,
+            };
+            self.stats = snap.stats;
+            self.seq = seq;
+            since = seq;
+        }
+        for record in recovered.records {
+            if record.seq <= since {
+                continue;
+            }
+            if record.seq != self.seq + 1 {
+                return Err(ServeError::Persist(format!(
+                    "WAL gap: expected batch {}, found {}",
+                    self.seq + 1,
+                    record.seq
+                )));
+            }
+            self.seq = record.seq;
+            self.est.ingest(&record.claims)?;
+            // Refit errors during replay mirror the live path: the
+            // original run surfaced them to the client and kept the
+            // claims ingested, so replay keeps the claims and moves on.
+            let _ = self.post_ingest();
+        }
+        self.durable = Some(log);
+        Ok(())
+    }
     fn run(mut self, rx: Receiver<Envelope>) {
         while let Ok(env) = rx.recv() {
             let shutting_down = matches!(env.req, Request::Shutdown);
@@ -411,22 +547,20 @@ impl Worker {
         match req {
             Request::Ingest(batch) => {
                 self.est.ingest(&batch)?;
-                // The log changed: any cached probe is stale.
-                self.probe_fit = None;
-                let mut refitted = false;
-                if self.cfg.refit_pending_claims > 0
-                    && self.est.pending() >= self.cfg.refit_pending_claims
-                {
-                    self.chain_refit()?;
-                    refitted = true;
+                // Log the accepted batch before the refit work and the
+                // ack — with `fsync_every = 1`, an acked batch is on
+                // disk. A rejected batch (the `?` above) logs nothing.
+                if self.durable.is_some() {
+                    self.seq += 1;
+                    let seq = self.seq;
+                    let obs = self.obs.clone();
+                    if let Some(d) = &mut self.durable {
+                        d.append(seq, &batch, &obs)?;
+                    }
                 }
-                self.stats.total_claims = self.est.claim_count();
-                self.stats.pending_claims = self.est.pending();
-                Ok(Response::Ingested(IngestAck {
-                    total_claims: self.est.claim_count(),
-                    pending_claims: self.est.pending(),
-                    refitted,
-                }))
+                let ack = self.post_ingest()?;
+                self.maybe_snapshot()?;
+                Ok(Response::Ingested(ack))
             }
             Request::Posterior(j) => {
                 if j >= self.est.assertion_count() {
@@ -475,7 +609,62 @@ impl Worker {
                 "topology is only served by the sharded tier",
             )),
             Request::Shutdown => Ok(Response::ShuttingDown(self.stats_snapshot())),
+            #[cfg(test)]
+            Request::InjectPanic => panic!("injected worker panic"),
+            #[cfg(test)]
+            Request::Park { ack, release } => {
+                let _ = ack.send(());
+                let _ = release.recv();
+                Ok(Response::Stats(self.stats_snapshot()))
+            }
         }
+    }
+
+    /// The post-ingest half of the ingest path, shared by live requests
+    /// and WAL-tail replay: invalidate the probe cache, apply the
+    /// chain-refit policy, refresh the claim counters, and build the
+    /// ack.
+    fn post_ingest(&mut self) -> Result<IngestAck, ServeError> {
+        // The log changed: any cached probe is stale.
+        self.probe_fit = None;
+        let mut refitted = false;
+        if self.cfg.refit_pending_claims > 0 && self.est.pending() >= self.cfg.refit_pending_claims
+        {
+            self.chain_refit()?;
+            refitted = true;
+        }
+        self.stats.total_claims = self.est.claim_count();
+        self.stats.pending_claims = self.est.pending();
+        Ok(IngestAck {
+            total_claims: self.est.claim_count(),
+            pending_claims: self.est.pending(),
+            refitted,
+        })
+    }
+
+    /// Writes a checkpoint when the configured cadence is due. The WAL
+    /// is truncated afterwards: the snapshot absorbed it, so recovery
+    /// replays only the tail since this point.
+    fn maybe_snapshot(&mut self) -> Result<(), ServeError> {
+        let due = self
+            .durable
+            .as_ref()
+            .is_some_and(|d| d.should_snapshot(self.seq));
+        if !due {
+            return Ok(());
+        }
+        let snap = WorkerSnapshot {
+            seq: self.seq,
+            stream: self.est.export_state(),
+            chain_fit: self.chain_fit.as_deref().map(EmFitBits::from_fit),
+            stats: self.stats_snapshot(),
+        };
+        let seq = self.seq;
+        let obs = self.obs.clone();
+        if let Some(d) = &mut self.durable {
+            d.write_snapshot(seq, &snap, true, &obs)?;
+        }
+        Ok(())
     }
 
     /// Advances the warm-start chain: a full refit whose `θ̂` seeds the
@@ -553,6 +742,7 @@ impl Worker {
         self.stats.last_refit_iterations = Some(stats.iterations);
         self.stats.last_touched_assertions = Some(stats.touched_assertions);
         self.stats.last_touched_sources = Some(stats.touched_sources);
+        self.stats.last_ll_exact = Some(stats.ll_exact);
     }
 
     fn stats_snapshot(&self) -> ServeStats {
@@ -736,6 +926,7 @@ mod tests {
                     max_drift: 1e9,
                     max_batch_fraction: 1e9,
                     max_divergence: 1e9,
+                    ..DeltaConfig::default()
                 }),
                 ..ServeConfig::default()
             },
@@ -792,5 +983,75 @@ mod tests {
         client.ingest(vec![TimedClaim::new(0, 0, 1)]).unwrap();
         drop(svc);
         assert!(matches!(client.stats(), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn over_limit_requests_are_shed_with_overloaded() {
+        let svc = QueryService::spawn(
+            2,
+            2,
+            FollowerGraph::new(2),
+            ServeConfig {
+                max_queue_depth: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let client = svc.handle();
+        // Park the worker so queued requests stay queued.
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let parked = client.raw_send(Request::Park {
+            ack: ack_tx,
+            release: release_rx,
+        });
+        ack_rx.recv().unwrap();
+        // Fill the queue to the limit; the reply receivers stay alive so
+        // the worker's answers have somewhere to go.
+        let queued: Vec<_> = (0..2).map(|_| client.raw_send(Request::Stats)).collect();
+        assert!(matches!(client.stats(), Err(ServeError::Overloaded)));
+        release_tx.send(()).unwrap();
+        for rx in queued {
+            assert!(matches!(rx.recv().unwrap(), Ok(Response::Stats(_))));
+        }
+        assert!(matches!(parked.recv().unwrap(), Ok(Response::Stats(_))));
+        // Once the queue drained, the same request is admitted again.
+        client.stats().unwrap();
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_admitted_past_a_full_queue() {
+        let svc = QueryService::spawn(
+            2,
+            2,
+            FollowerGraph::new(2),
+            ServeConfig {
+                max_queue_depth: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let client = svc.handle();
+        // Inflate the shared depth gauge past the limit without queueing
+        // anything: ordinary requests shed, shutdown still goes through.
+        client.depth.store(5, Ordering::Relaxed);
+        assert!(matches!(client.stats(), Err(ServeError::Overloaded)));
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn worker_panic_surfaces_from_shutdown() {
+        let svc = service_over(2, 2);
+        let client = svc.handle();
+        let rx = client.raw_send(Request::InjectPanic);
+        // The worker died mid-request: the reply channel just closes.
+        assert!(rx.recv().is_err());
+        match svc.shutdown() {
+            Err(ServeError::WorkerPanicked(what)) => {
+                assert!(what.contains("injected worker panic"), "payload: {what}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
     }
 }

@@ -15,14 +15,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
+use serde::{Deserialize, Serialize};
+
 use socsense_core::{
-    bound_for_assertions_traced, BoundMethod, BoundResult, ClusterWorld, EmFit, RefitOutcome,
-    RefitStats, SenseError, StreamingEstimator,
+    bound_for_assertions_traced, BoundMethod, BoundResult, ClusterWorld, EmFit, EmFitBits,
+    RefitOutcome, RefitStats, SenseError, StreamingEstimator,
 };
 use socsense_graph::{FollowerGraph, TimedClaim};
 use socsense_obs::Obs;
 
 use crate::api::{ServeConfig, ServeError, SourceRank};
+use crate::durable::ClusterSnapshot;
 
 /// A message from the router to one shard. FIFO delivery per shard is
 /// the consistency mechanism: an epoch marker or ingest enqueued before
@@ -69,6 +72,10 @@ pub(crate) enum ClusterOp {
     Append { key: u32, claims: Vec<TimedClaim> },
     /// Remove a cluster merged away to another key.
     Drop { key: u32 },
+    /// Install a cluster from a checkpoint (recovery): rebuild the
+    /// compacted world and restore the estimator, cached chain fit, and
+    /// counters bit-identically — no history replay.
+    Restore(Box<ClusterSnapshot>),
 }
 
 /// Per-cluster acknowledgement of one ingest operation.
@@ -98,6 +105,8 @@ pub(crate) enum ShardQuery {
     },
     /// Counter partials of every cluster on this shard.
     Stats,
+    /// Checkpoint export: every hosted cluster's full state.
+    Export,
 }
 
 /// A shard's answer to one [`ShardQuery`].
@@ -110,18 +119,23 @@ pub(crate) enum ShardReply {
     /// `(key, bound, assertion count)` per requested group.
     Bound(Vec<(u32, BoundResult, usize)>),
     Stats(ShardStatsPartial),
+    /// Checkpoint slices of every hosted cluster, ascending by key.
+    Export(Vec<ClusterSnapshot>),
 }
 
 /// The most recent successful refit on a shard, ordered by
 /// `(epoch, key)` — within one ingest epoch clusters refit in key
 /// order, so the lexicographic maximum is "most recent".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub(crate) struct LastRefit {
     pub epoch: u64,
     pub key: u32,
     pub iterations: usize,
     pub touched_assertions: usize,
     pub touched_sources: usize,
+    /// Whether the refit reported an exact log-likelihood. Last field
+    /// so the `(epoch, key)`-first lexicographic order is untouched.
+    pub ll_exact: bool,
 }
 
 /// Summable per-shard counter partials; the router folds them in shard
@@ -143,8 +157,8 @@ pub(crate) struct ShardStatsPartial {
 /// `Build` (replaying history reconstructs it, keeping every counter a
 /// pure function of the cluster's batch history); the query-scoped half
 /// survives rebuilds, because queries are not replayed.
-#[derive(Debug, Clone, Copy, Default)]
-struct SlotCounters {
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub(crate) struct SlotCounters {
     chain_refits: u64,
     warm_refits: u64,
     delta_refits: u64,
@@ -259,9 +273,67 @@ impl ShardWorker {
                     assertions,
                     batches,
                 } => acks.push(self.build(key, &sources, &assertions, &batches)),
+                ClusterOp::Restore(snap) => acks.push(self.restore(*snap)),
             }
         }
         acks
+    }
+
+    /// Installs a cluster from its checkpoint slice: same construction
+    /// path as [`build`](Self::build), but the estimator state, chain
+    /// fit, and counters come bit-exact from the snapshot instead of a
+    /// history replay.
+    fn restore(&mut self, snap: ClusterSnapshot) -> ClusterAck {
+        let key = snap.key;
+        let fail = |e: SenseError| ClusterAck {
+            key,
+            pending: 0,
+            refitted: false,
+            error: Some(e),
+        };
+        let world = match ClusterWorld::new(&snap.sources, &snap.assertions, &self.graph) {
+            Ok(w) => w,
+            Err(e) => return fail(e),
+        };
+        let mut est = match world.estimator(self.cfg.em) {
+            Ok(e) => e,
+            Err(e) => return fail(e),
+        };
+        if let Err(e) = est.set_warm_blend(self.cfg.warm_blend) {
+            return fail(e);
+        }
+        if let Err(e) = est.set_refit_mode(self.cfg.refit_mode) {
+            return fail(e);
+        }
+        est.set_obs(self.obs.clone());
+        if let Err(e) = est.restore_state(&snap.stream) {
+            return fail(e);
+        }
+        let chain_fit = match &snap.chain_fit {
+            Some(bits) => match bits.to_fit() {
+                Ok(fit) => Some(Arc::new(fit)),
+                Err(e) => return fail(e),
+            },
+            None => None,
+        };
+        let pending = est.pending();
+        self.clusters.insert(
+            key,
+            ClusterSlot {
+                world,
+                est,
+                chain_fit,
+                probe_fit: None,
+                counters: snap.counters,
+                last_refit: snap.last_refit,
+            },
+        );
+        ClusterAck {
+            key,
+            pending,
+            refitted: false,
+            error: None,
+        }
     }
 
     /// Creates or rebuilds a cluster by replaying its batch history
@@ -449,6 +521,22 @@ impl ShardWorker {
                 }
                 Ok(ShardReply::Stats(p))
             }
+            ShardQuery::Export => {
+                let mut out = Vec::with_capacity(self.clusters.len());
+                for (&key, slot) in &self.clusters {
+                    out.push(ClusterSnapshot {
+                        key,
+                        sources: slot.world.global_sources().to_vec(),
+                        assertions: slot.world.global_assertions().to_vec(),
+                        pending: slot.est.pending(),
+                        stream: slot.est.export_state(),
+                        chain_fit: slot.chain_fit.as_deref().map(EmFitBits::from_fit),
+                        counters: slot.counters,
+                        last_refit: slot.last_refit,
+                    });
+                }
+                Ok(ShardReply::Export(out))
+            }
         }
     }
 }
@@ -517,6 +605,7 @@ fn note_refit(slot: &mut ClusterSlot, stats: &RefitStats, key: u32, epoch: u64, 
         iterations: stats.iterations,
         touched_assertions: stats.touched_assertions,
         touched_sources: stats.touched_sources,
+        ll_exact: stats.ll_exact,
     });
 }
 

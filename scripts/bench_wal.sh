@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_wal.json: durable-serve ingest overhead (WAL with
+# per-batch and batched fsync vs no persistence) and cold-recovery
+# latency. Run from the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_wal.json}"
+mkdir -p "$(dirname "$out")"
+cargo run --release -p socsense-bench --bin bench_wal -- "$out"
