@@ -5,11 +5,11 @@
 //! # simulated scenario:
 //! apollo [--scenario ukraine|kirkuk|superbug|la-marathon|paris-attack]
 //!        [--scale F] [--seed N] [--algorithm em-ext|em-social|em|voting|sums|avg-log|truth-finder]
-//!        [--top K] [--cluster-text] [--threads N] [--json PATH] [--metrics PATH]
+//!        [--top K] [--cluster-text] [--discover-deps] [--threads N] [--json PATH] [--metrics PATH]
 //!
 //! # external corpus (tweets as JSON Lines, optional follower CSV):
 //! apollo --input tweets.jsonl [--follows follows.csv]
-//!        [--algorithm NAME] [--top K] [--threads N] [--json PATH] [--metrics PATH]
+//!        [--algorithm NAME] [--top K] [--discover-deps] [--threads N] [--json PATH] [--metrics PATH]
 //!
 //! # live query service: replay a JSONL trace, answer queries on stdin
 //! apollo serve --input tweets.jsonl [--follows follows.csv]
@@ -27,6 +27,10 @@
 //! default). The ranking, the clustering, and even parse-error line
 //! numbers are bit-identical at every setting; the flag only trades
 //! wall-clock time.
+//!
+//! `--discover-deps` ignores any supplied follower graph and infers the
+//! dependency matrix from the claim log itself (`socsense-discover` at
+//! its default configuration) — the "unknown graph" deployment mode.
 
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -45,6 +49,7 @@ struct Args {
     algorithm: String,
     top: usize,
     cluster_text: bool,
+    discover_deps: bool,
     threads: Parallelism,
     json: Option<String>,
     metrics: Option<String>,
@@ -60,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         algorithm: "em-ext".into(),
         top: 25,
         cluster_text: false,
+        discover_deps: false,
         threads: Parallelism::Auto,
         json: None,
         metrics: None,
@@ -88,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --top: {e}"))?
             }
             "--cluster-text" => args.cluster_text = true,
+            "--discover-deps" => args.discover_deps = true,
             "--threads" => {
                 let n: usize = value("--threads")?
                     .parse()
@@ -104,8 +111,8 @@ fn parse_args() -> Result<Args, String> {
             "--follows" => args.follows = Some(value("--follows")?),
             "--help" | "-h" => {
                 return Err("usage: apollo [--scenario NAME] [--scale F] [--seed N] \
-                     [--algorithm NAME] [--top K] [--cluster-text] [--threads N] \
-                     [--json PATH] [--metrics PATH] \
+                     [--algorithm NAME] [--top K] [--cluster-text] [--discover-deps] \
+                     [--threads N] [--json PATH] [--metrics PATH] \
                      | apollo --input tweets.jsonl [--follows follows.csv] \
                      | apollo serve --input tweets.jsonl [--batches N]"
                     .into())
@@ -179,6 +186,9 @@ fn run_external(args: &Args, input: &str) -> Result<(), String> {
     let out = Apollo::new(ApolloConfig {
         top_k: args.top.max(1),
         parallelism: args.threads,
+        discover: args
+            .discover_deps
+            .then(socsense_discover::DiscoverConfig::default),
         ..ApolloConfig::default()
     })
     .with_obs(obs)
@@ -431,6 +441,9 @@ fn run() -> Result<(), String> {
         cluster_text: args.cluster_text,
         top_k: args.top.max(1),
         parallelism: args.threads,
+        discover: args
+            .discover_deps
+            .then(socsense_discover::DiscoverConfig::default),
         ..ApolloConfig::default()
     })
     .with_obs(obs)

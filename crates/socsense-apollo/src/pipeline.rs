@@ -4,7 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use socsense_baselines::FactFinder;
 use socsense_core::{ClaimData, Obs, Parallelism, SenseError};
-use socsense_graph::TimedClaim;
+use socsense_discover::{discover_dependencies_traced, DiscoverConfig};
+use socsense_graph::{FollowerGraph, TimedClaim};
 use socsense_twitter::{TruthValue, TwitterDataset};
 
 use crate::cluster::{cluster_texts_traced, ClusterConfig, Clustering};
@@ -31,6 +32,12 @@ pub struct ApolloConfig {
     /// in index order — only wall-clock time (see
     /// `socsense_matrix::parallel`).
     pub parallelism: Parallelism,
+    /// When set, the dependency graph is *discovered* from the claim log
+    /// (`socsense-discover`) instead of taken from the dataset's follower
+    /// graph — the "unknown graph" deployment mode behind
+    /// `apollo run --discover-deps`. Discovery runs after clustering, on
+    /// the same claims the matrices are built from.
+    pub discover: Option<DiscoverConfig>,
 }
 
 impl Default for ApolloConfig {
@@ -40,6 +47,7 @@ impl Default for ApolloConfig {
             cluster: ClusterConfig::default(),
             top_k: 100,
             parallelism: Parallelism::Auto,
+            discover: None,
         }
     }
 }
@@ -152,6 +160,49 @@ impl Apollo {
         self
     }
 
+    /// Resolves the dependency graph for matrix construction: `None`
+    /// means "use the dataset's follower graph"; `Some` carries the
+    /// graph discovered from the claim log when
+    /// [`ApolloConfig::discover`] is set.
+    fn dependency_graph(
+        &self,
+        n: u32,
+        m: u32,
+        claims: &[TimedClaim],
+    ) -> Result<Option<FollowerGraph>, SenseError> {
+        let Some(discover) = &self.config.discover else {
+            return Ok(None);
+        };
+        let stage_timer = self.obs.timer("pipeline.discover.seconds");
+        let discovery = discover_dependencies_traced(
+            n,
+            m,
+            claims,
+            discover,
+            self.config.parallelism,
+            &self.obs,
+        )
+        .map_err(|e| match e {
+            socsense_discover::DiscoverError::BadConfig { what } => SenseError::BadConfig { what },
+            // Claims are built in-pipeline from dataset tweets, so this
+            // is unreachable in practice; surface it as a shape error.
+            socsense_discover::DiscoverError::ClaimOutOfBounds { n, .. } => {
+                SenseError::DimensionMismatch {
+                    what: "discovery claim source id",
+                    expected: n as usize,
+                    actual: n as usize,
+                }
+            }
+            _ => SenseError::BadConfig {
+                what: "dependency discovery failed",
+            },
+        })?;
+        stage_timer.stop();
+        self.obs
+            .counter("pipeline.discovered_edges", discovery.edges.len() as u64);
+        Ok(Some(discovery.graph))
+    }
+
     /// Runs ingest → cluster → matrix construction → estimation → ranking.
     ///
     /// # Errors
@@ -187,18 +238,20 @@ impl Apollo {
             (ids, dataset.assertion_count(), 1.0)
         };
 
-        // Stage 3: SC / D from clustered claims + follow graph.
+        // Stage 3: SC / D from clustered claims + follow graph (given
+        // or discovered from the claim log itself).
         let claims: Vec<TimedClaim> = dataset
             .tweets
             .iter()
             .zip(&tweet_cluster)
             .map(|(t, &c)| TimedClaim::new(t.source, c, t.time))
             .collect();
+        let graph = self.dependency_graph(dataset.source_count(), cluster_count.max(1), &claims)?;
         let data = ClaimData::from_claims(
             dataset.source_count(),
             cluster_count.max(1),
             &claims,
-            &dataset.graph,
+            graph.as_ref().unwrap_or(&dataset.graph),
         );
 
         // Stage 4: estimation. Ranking scores (log-odds for the EM
@@ -294,11 +347,16 @@ impl Apollo {
             .zip(&clustering.assignment)
             .map(|(t, &c)| TimedClaim::new(t.source, c, t.time))
             .collect();
+        let graph = self.dependency_graph(
+            corpus.source_count(),
+            clustering.cluster_count.max(1),
+            &claims,
+        )?;
         let data = ClaimData::from_claims(
             corpus.source_count(),
             clustering.cluster_count.max(1),
             &claims,
-            &corpus.graph,
+            graph.as_ref().unwrap_or(&corpus.graph),
         );
         let fit_timer = self.obs.timer("pipeline.estimate.seconds");
         let scores = finder.ranking_scores(&data)?;

@@ -70,6 +70,17 @@ impl ClaimData {
         Self { sc, d }
     }
 
+    /// The same claims under the independence assumption: `SC` unchanged,
+    /// `D` empty. This is the "ignore the graph entirely" arm of the
+    /// dependency-discovery evaluation (EM-Ext degenerates to the
+    /// regular EM of the paper's baseline when no cell is dependent).
+    pub fn assuming_independence(&self) -> Self {
+        Self {
+            sc: self.sc.clone(),
+            d: SparseBinaryMatrix::empty(self.sc.nrows(), self.sc.ncols()),
+        }
+    }
+
     /// Number of sources `n`.
     pub fn source_count(&self) -> usize {
         self.sc.nrows() as usize

@@ -1,0 +1,208 @@
+//! Configuration and errors for dependency discovery.
+
+use serde::{Deserialize, Serialize};
+
+/// Copy-lag window: a claim by the follower counts as a *lag hit* when it
+/// lands strictly after the followee's claim on the same assertion and no
+/// more than `W` ticks later.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LagWindow {
+    /// Derive `W` from the data: the median absolute time gap over all
+    /// shared claims of all candidate pairs (computed in a deterministic
+    /// pre-pass). Falls back to `1` when no candidate pair shares a claim.
+    Auto,
+    /// A fixed window in claim-log ticks.
+    Fixed(u64),
+}
+
+/// Tunables for [`discover_dependencies`](crate::discover_dependencies).
+///
+/// The defaults are calibrated on the planted copy worlds
+/// (`socsense_synth::planted`) to recover the true edge set with
+/// F1 ≥ 0.8, and are the values enforced by the `discover-edge-f1`
+/// perf gate in CI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoverConfig {
+    /// Minimum number of shared assertions (both counted over columns
+    /// with support ≤ [`max_pair_support`](Self::max_pair_support))
+    /// before a pair is scored at all.
+    pub min_shared: usize,
+    /// Columns claimed by more than this many sources are skipped during
+    /// candidate generation: agreement on a very popular assertion is
+    /// weak dependence evidence, and enumerating its source pairs is
+    /// quadratic in support.
+    pub max_pair_support: u32,
+    /// Copy-lag window (see [`LagWindow`]).
+    pub lag_window: LagWindow,
+    /// Number of deterministic re-pairings used to build the permutation
+    /// null for the windowed copy-lag signal.
+    pub permutations: usize,
+    /// Directional gate: a directed edge is considered only when the
+    /// who-spoke-first sign-test z-score for that direction meets this
+    /// floor. The z is first deflated by the pair's activity-span
+    /// interleave factor — pairwise ordering is vacuous when two sources
+    /// were simply active at different times. The default admits a
+    /// perfectly ordered `min_shared = 3` pair (z = √3 ≈ 1.73).
+    pub min_direction_z: f64,
+    /// Second directional gate: the fraction of strictly ordered shared
+    /// claims where the candidate followee spoke first must meet this
+    /// floor. True copy edges sit near 1.0; siblings that merely echo a
+    /// common ancestor hover near 0.5, so this gate is what keeps chance
+    /// sign-test leaks (which scale with the number of candidate pairs)
+    /// out of the edge set.
+    pub min_direction_frac: f64,
+    /// Combined-score floor for a directed edge to survive thresholding.
+    pub score_threshold: f64,
+    /// Weight of the (capped) direction sign-test z in the combined score.
+    pub weight_direction: f64,
+    /// Weight of the windowed copy-lag permutation z in the combined score.
+    pub weight_lag: f64,
+    /// Weight of the co-occurrence lift z in the combined score.
+    pub weight_cooc: f64,
+    /// Weight of the rare-claim error-correlation z in the combined score.
+    pub weight_err: f64,
+    /// Direction z-scores are capped at this value before weighting so a
+    /// long shared history cannot buy an edge on ordering alone.
+    pub direction_z_cap: f64,
+    /// Quantile (over active-column supports) below which a column counts
+    /// as *rare* for the error-correlation signal.
+    pub rare_quantile: f64,
+    /// During the fixed-order acceptance pass, an edge must still explain
+    /// at least this fraction of its shared claims *not already explained*
+    /// by previously accepted parents of the same follower. Suppresses
+    /// sibling and transitive edges that merely echo an accepted parent.
+    pub min_marginal_frac: f64,
+    /// Maximum accepted parents (followees) per follower.
+    pub max_parents: usize,
+    /// Seed for the permutation null's re-pairings. Part of the output's
+    /// identity: same seed + same log ⇒ bit-identical scores.
+    pub seed: u64,
+}
+
+impl Default for DiscoverConfig {
+    fn default() -> Self {
+        Self {
+            min_shared: 3,
+            max_pair_support: 64,
+            lag_window: LagWindow::Auto,
+            permutations: 32,
+            min_direction_z: 1.7,
+            min_direction_frac: 0.85,
+            score_threshold: 3.5,
+            weight_direction: 1.0,
+            weight_lag: 1.0,
+            weight_cooc: 0.75,
+            weight_err: 0.75,
+            direction_z_cap: 4.0,
+            rare_quantile: 0.5,
+            min_marginal_frac: 0.5,
+            max_parents: 16,
+            seed: 0,
+        }
+    }
+}
+
+impl DiscoverConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiscoverError::BadConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), DiscoverError> {
+        if self.min_shared == 0 {
+            return Err(DiscoverError::BadConfig {
+                what: "min_shared must be at least 1",
+            });
+        }
+        if self.max_pair_support < 2 {
+            return Err(DiscoverError::BadConfig {
+                what: "max_pair_support must be at least 2",
+            });
+        }
+        if self.permutations == 0 {
+            return Err(DiscoverError::BadConfig {
+                what: "permutations must be at least 1",
+            });
+        }
+        if let LagWindow::Fixed(0) = self.lag_window {
+            return Err(DiscoverError::BadConfig {
+                what: "lag_window must be at least 1 tick",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.min_direction_frac) {
+            return Err(DiscoverError::BadConfig {
+                what: "min_direction_frac must lie in [0, 1]",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.rare_quantile) {
+            return Err(DiscoverError::BadConfig {
+                what: "rare_quantile must lie in [0, 1]",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.min_marginal_frac) {
+            return Err(DiscoverError::BadConfig {
+                what: "min_marginal_frac must lie in [0, 1]",
+            });
+        }
+        for (value, what) in [
+            (self.min_direction_z, "min_direction_z must be finite"),
+            (self.score_threshold, "score_threshold must be finite"),
+            (self.weight_direction, "weight_direction must be finite"),
+            (self.weight_lag, "weight_lag must be finite"),
+            (self.weight_cooc, "weight_cooc must be finite"),
+            (self.weight_err, "weight_err must be finite"),
+            (self.direction_z_cap, "direction_z_cap must be finite"),
+        ] {
+            if !value.is_finite() {
+                return Err(DiscoverError::BadConfig { what });
+            }
+        }
+        if self.max_parents == 0 {
+            return Err(DiscoverError::BadConfig {
+                what: "max_parents must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Errors from dependency discovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DiscoverError {
+    /// A configuration field is out of range.
+    BadConfig {
+        /// Which constraint was violated.
+        what: &'static str,
+    },
+    /// A claim references a source or assertion outside `n × m`.
+    ClaimOutOfBounds {
+        /// Claiming source id.
+        source: u32,
+        /// Asserted statement id.
+        assertion: u32,
+        /// Declared source count.
+        n: u32,
+        /// Declared assertion count.
+        m: u32,
+    },
+}
+
+impl std::fmt::Display for DiscoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoverError::BadConfig { what } => write!(f, "bad discover config: {what}"),
+            DiscoverError::ClaimOutOfBounds {
+                source,
+                assertion,
+                n,
+                m,
+            } => write!(
+                f,
+                "claim ({source}, {assertion}) out of bounds for {n} sources x {m} assertions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiscoverError {}

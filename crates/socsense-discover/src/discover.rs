@@ -1,0 +1,255 @@
+//! The discovery pipeline: profile → candidate pairs → parallel signal
+//! scoring → serial fixed-order thresholding.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use socsense_graph::{FollowerGraph, TimedClaim};
+use socsense_matrix::parallel::{par_map_collect, Parallelism};
+use socsense_obs::Obs;
+
+use crate::config::{DiscoverConfig, DiscoverError, LagWindow};
+use crate::profile::ClaimProfile;
+use crate::signals::{auto_window, score_pair, PairSignals};
+
+/// One recovered directed dependency edge: `follower` is inferred to
+/// copy from `followee` (same orientation as
+/// [`FollowerGraph::add_follow`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveredEdge {
+    /// The copying (dependent) source.
+    pub follower: u32,
+    /// The copied (ancestor) source.
+    pub followee: u32,
+    /// Combined weighted score that survived thresholding.
+    pub score: f64,
+    /// Who-spoke-first sign-test z for this direction.
+    pub direction_z: f64,
+    /// Windowed copy-lag permutation z for this direction.
+    pub lag_z: f64,
+    /// Co-occurrence lift z (symmetric).
+    pub cooc_z: f64,
+    /// Rare-claim error-correlation z (symmetric).
+    pub err_z: f64,
+    /// Shared assertions between the two sources.
+    pub shared: usize,
+}
+
+/// Run metadata, mostly for benchmarks and eval tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscoverStats {
+    /// Sources with at least one claim.
+    pub active_sources: usize,
+    /// Assertions with at least one claim.
+    pub active_assertions: usize,
+    /// Unordered pairs that met the candidate filter and were scored.
+    pub candidate_pairs: usize,
+    /// Directed candidates that passed the direction and score gates
+    /// (before the marginal-coverage acceptance pass).
+    pub gated_edges: usize,
+    /// The resolved copy-lag window in ticks.
+    pub lag_window: u64,
+    /// Columns at or below this support count as rare.
+    pub rare_support_cutoff: u32,
+}
+
+/// Output of [`discover_dependencies`]: the recovered edge list (sorted
+/// by `(follower, followee)`), the equivalent [`FollowerGraph`] ready
+/// for `ClaimData::from_claims`, and run statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discovery {
+    /// Accepted edges with their per-signal evidence.
+    pub edges: Vec<DiscoveredEdge>,
+    /// The same edges as a follower graph over all `n` sources.
+    pub graph: FollowerGraph,
+    /// Run metadata.
+    pub stats: DiscoverStats,
+}
+
+impl Discovery {
+    /// The recovered edge set as `(follower, followee)` pairs.
+    pub fn edge_pairs(&self) -> Vec<(u32, u32)> {
+        self.edges
+            .iter()
+            .map(|e| (e.follower, e.followee))
+            .collect()
+    }
+}
+
+/// Infers a dependency graph from the claim log alone (serial).
+///
+/// See [`discover_dependencies_par`]; this is `Parallelism::Serial`.
+///
+/// # Errors
+///
+/// Returns [`DiscoverError::BadConfig`] or
+/// [`DiscoverError::ClaimOutOfBounds`].
+pub fn discover_dependencies(
+    n: u32,
+    m: u32,
+    claims: &[TimedClaim],
+    cfg: &DiscoverConfig,
+) -> Result<Discovery, DiscoverError> {
+    discover_dependencies_par(n, m, claims, cfg, Parallelism::Serial)
+}
+
+/// Infers a dependency graph from the claim log alone, scoring candidate
+/// pairs in parallel.
+///
+/// The scoring pass uses the workspace's fixed-chunk helpers and every
+/// per-pair computation is a pure function of the profile + config, so
+/// the result is bit-identical at every thread count. The acceptance
+/// pass is serial and runs in a fixed order (score descending,
+/// `total_cmp`, ties by edge id).
+///
+/// # Errors
+///
+/// Returns [`DiscoverError::BadConfig`] or
+/// [`DiscoverError::ClaimOutOfBounds`].
+pub fn discover_dependencies_par(
+    n: u32,
+    m: u32,
+    claims: &[TimedClaim],
+    cfg: &DiscoverConfig,
+    par: Parallelism,
+) -> Result<Discovery, DiscoverError> {
+    discover_dependencies_traced(n, m, claims, cfg, par, &Obs::none())
+}
+
+/// [`discover_dependencies_par`] with observability: emits
+/// `discover.candidate_pairs` / `discover.gated_edges` /
+/// `discover.edges` counters and a `discover.run_seconds` span.
+///
+/// # Errors
+///
+/// Returns [`DiscoverError::BadConfig`] or
+/// [`DiscoverError::ClaimOutOfBounds`].
+pub fn discover_dependencies_traced(
+    n: u32,
+    m: u32,
+    claims: &[TimedClaim],
+    cfg: &DiscoverConfig,
+    par: Parallelism,
+    obs: &Obs,
+) -> Result<Discovery, DiscoverError> {
+    cfg.validate()?;
+    let timer = obs.timer("discover.run_seconds");
+
+    let profile = ClaimProfile::build(n, m, claims, cfg)?;
+    let pairs = profile.candidate_pairs(cfg);
+    obs.counter("discover.candidate_pairs", pairs.len() as u64);
+
+    let window = match cfg.lag_window {
+        LagWindow::Fixed(w) => w,
+        LagWindow::Auto => auto_window(&profile, &pairs),
+    };
+
+    let signals: Vec<PairSignals> = par_map_collect(par, pairs.len(), |i| {
+        let (a, b) = pairs[i];
+        score_pair(&profile, cfg, a, b, window)
+    });
+
+    // Directed gating: at most one direction per pair can clear the
+    // sign-test floor (the statistic is antisymmetric), so siblings with
+    // no consistent ordering die here.
+    let mut gated: Vec<DiscoveredEdge> = Vec::new();
+    for sig in &signals {
+        for forward in [true, false] {
+            let (z_dir, frac, z_lag) = sig.directed(forward);
+            if z_dir < cfg.min_direction_z || frac < cfg.min_direction_frac {
+                continue;
+            }
+            let score = cfg.weight_direction * z_dir.min(cfg.direction_z_cap)
+                + cfg.weight_lag * z_lag.max(0.0)
+                + cfg.weight_cooc * sig.z_cooc.max(0.0)
+                + cfg.weight_err * sig.z_err.max(0.0);
+            if score < cfg.score_threshold {
+                continue;
+            }
+            let (follower, followee) = if forward {
+                (sig.a, sig.b)
+            } else {
+                (sig.b, sig.a)
+            };
+            gated.push(DiscoveredEdge {
+                follower,
+                followee,
+                score,
+                direction_z: z_dir,
+                lag_z: z_lag,
+                cooc_z: sig.z_cooc,
+                err_z: sig.z_err,
+                shared: sig.shared,
+            });
+        }
+    }
+    let gated_edges = gated.len();
+    obs.counter("discover.gated_edges", gated_edges as u64);
+
+    // Fixed-order acceptance with marginal coverage: strongest edges
+    // first; an edge must explain enough shared claims that its
+    // follower's already-accepted parents do not. This suppresses
+    // sibling and transitive echoes of an accepted parent.
+    gated.sort_by(|x, y| {
+        y.score
+            .total_cmp(&x.score)
+            .then_with(|| x.follower.cmp(&y.follower))
+            .then_with(|| x.followee.cmp(&y.followee))
+    });
+    let mut explained: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n as usize];
+    let mut parent_count = vec![0usize; n as usize];
+    let mut edges: Vec<DiscoveredEdge> = Vec::new();
+    for edge in gated {
+        let f = edge.follower as usize;
+        if parent_count[f] >= cfg.max_parents {
+            continue;
+        }
+        let (lo, hi) = (
+            edge.follower.min(edge.followee),
+            edge.follower.max(edge.followee),
+        );
+        let shared_ids: Vec<u32> = profile
+            .shared_claims(lo, hi)
+            .iter()
+            .map(|&(id, _, _)| id)
+            .collect();
+        let unexplained = shared_ids
+            .iter()
+            .filter(|id| !explained[f].contains(id))
+            .count();
+        if unexplained < cfg.min_shared
+            || (unexplained as f64) < cfg.min_marginal_frac * shared_ids.len() as f64
+        {
+            continue;
+        }
+        explained[f].extend(shared_ids);
+        parent_count[f] += 1;
+        edges.push(edge);
+    }
+    edges.sort_by(|x, y| {
+        x.follower
+            .cmp(&y.follower)
+            .then_with(|| x.followee.cmp(&y.followee))
+    });
+    obs.counter("discover.edges", edges.len() as u64);
+
+    let graph = FollowerGraph::from_edges(n, edges.iter().map(|e| (e.follower, e.followee)))
+        .expect("discovered edges are in range and never self-loops");
+
+    let stats = DiscoverStats {
+        active_sources: profile.rows.iter().filter(|r| !r.is_empty()).count(),
+        active_assertions: profile.active_assertions,
+        candidate_pairs: pairs.len(),
+        gated_edges,
+        lag_window: window,
+        rare_support_cutoff: profile.rare_cutoff,
+    };
+    timer.stop();
+
+    Ok(Discovery {
+        edges,
+        graph,
+        stats,
+    })
+}

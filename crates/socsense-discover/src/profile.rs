@@ -1,0 +1,181 @@
+//! Deterministic claim-log profile: per-source earliest-claim rows,
+//! per-assertion supports, and candidate-pair enumeration.
+
+use std::collections::BTreeMap;
+
+use socsense_graph::TimedClaim;
+
+use crate::config::{DiscoverConfig, DiscoverError};
+
+/// Index built once over the claim log; everything downstream reads it
+/// immutably, which is what makes the parallel scoring pass trivially
+/// deterministic.
+#[derive(Debug)]
+pub(crate) struct ClaimProfile {
+    /// Per source, `(assertion, earliest claim time)` sorted by assertion.
+    pub rows: Vec<Vec<(u32, u64)>>,
+    /// Per assertion, the number of distinct claiming sources.
+    pub support: Vec<u32>,
+    /// Number of assertions with at least one claim.
+    pub active_assertions: usize,
+    /// Columns with support `<= rare_cutoff` count as *rare* for the
+    /// error-correlation signal (derived from `rare_quantile`).
+    pub rare_cutoff: u32,
+    /// Number of rare active columns.
+    pub rare_assertions: usize,
+    /// Per source, the number of rare assertions it claimed.
+    pub rare_counts: Vec<u32>,
+    /// Per source, `(first, last)` claim time (0, 0 for silent sources).
+    pub spans: Vec<(u64, u64)>,
+}
+
+impl ClaimProfile {
+    /// Builds the profile. Repeated claims by the same source on the same
+    /// assertion collapse to the earliest time, matching
+    /// `socsense_graph::build_matrices`.
+    pub fn build(
+        n: u32,
+        m: u32,
+        claims: &[TimedClaim],
+        cfg: &DiscoverConfig,
+    ) -> Result<Self, DiscoverError> {
+        let mut first_claim: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for c in claims {
+            if c.source >= n || c.assertion >= m {
+                return Err(DiscoverError::ClaimOutOfBounds {
+                    source: c.source,
+                    assertion: c.assertion,
+                    n,
+                    m,
+                });
+            }
+            first_claim
+                .entry((c.source, c.assertion))
+                .and_modify(|t| *t = (*t).min(c.time))
+                .or_insert(c.time);
+        }
+
+        let mut rows: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n as usize];
+        let mut support = vec![0u32; m as usize];
+        for (&(source, assertion), &time) in &first_claim {
+            rows[source as usize].push((assertion, time));
+            support[assertion as usize] += 1;
+        }
+
+        let mut active_supports: Vec<u32> = support.iter().copied().filter(|&s| s > 0).collect();
+        active_supports.sort_unstable();
+        let active_assertions = active_supports.len();
+        let rare_cutoff = if active_supports.is_empty() {
+            0
+        } else {
+            let idx = ((active_supports.len() - 1) as f64 * cfg.rare_quantile).floor() as usize;
+            active_supports[idx]
+        };
+        let rare_assertions = active_supports
+            .iter()
+            .filter(|&&s| s <= rare_cutoff)
+            .count();
+
+        let mut rare_counts = vec![0u32; n as usize];
+        for (source, row) in rows.iter().enumerate() {
+            rare_counts[source] = row
+                .iter()
+                .filter(|&&(a, _)| support[a as usize] <= rare_cutoff)
+                .count() as u32;
+        }
+
+        let spans = rows
+            .iter()
+            .map(|row| {
+                let lo = row.iter().map(|&(_, t)| t).min().unwrap_or(0);
+                let hi = row.iter().map(|&(_, t)| t).max().unwrap_or(0);
+                (lo, hi)
+            })
+            .collect();
+
+        Ok(Self {
+            rows,
+            support,
+            active_assertions,
+            rare_cutoff,
+            rare_assertions,
+            rare_counts,
+            spans,
+        })
+    }
+
+    /// How much the two sources' activity spans interleave: overlap
+    /// length over the shorter span, in `[0, 1]`. Pairwise ordering
+    /// carries no dependence information when two sources were simply
+    /// active at different times — every shared claim is then ordered
+    /// the same way regardless of who copied whom — so the sign test is
+    /// deflated by this factor.
+    pub fn interleave(&self, a: u32, b: u32) -> f64 {
+        let (lo_a, hi_a) = self.spans[a as usize];
+        let (lo_b, hi_b) = self.spans[b as usize];
+        let overlap = hi_a.min(hi_b).saturating_sub(lo_a.max(lo_b));
+        let shorter = (hi_a - lo_a).min(hi_b - lo_b);
+        if shorter == 0 {
+            // A single-instant span either sits inside the other span
+            // (full interleave) or outside it (none).
+            return if lo_a.max(lo_b) <= hi_a.min(hi_b) {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        (overlap as f64 / shorter as f64).min(1.0)
+    }
+
+    /// Enumerates candidate pairs `(a, b)` with `a < b`: pairs that share
+    /// at least `min_shared` assertions whose support is at most
+    /// `max_pair_support`. Returned sorted by `(a, b)` — the fixed order
+    /// every later pass (parallel chunking included) works in.
+    pub fn candidate_pairs(&self, cfg: &DiscoverConfig) -> Vec<(u32, u32)> {
+        let mut columns: Vec<Vec<u32>> = vec![Vec::new(); self.support.len()];
+        for (source, row) in self.rows.iter().enumerate() {
+            for &(assertion, _) in row {
+                let s = self.support[assertion as usize];
+                if s >= 2 && s <= cfg.max_pair_support {
+                    columns[assertion as usize].push(source as u32);
+                }
+            }
+        }
+        let mut shared: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+        for sources in &columns {
+            for (i, &a) in sources.iter().enumerate() {
+                for &b in &sources[i + 1..] {
+                    *shared.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        shared
+            .into_iter()
+            .filter(|&(_, count)| count >= cfg.min_shared)
+            .map(|(pair, _)| pair)
+            .collect()
+    }
+
+    /// `(assertion, follower time, followee time)` for every assertion
+    /// claimed by both, in assertion order.
+    pub fn shared_claims(&self, a: u32, b: u32) -> Vec<(u32, u64, u64)> {
+        let ra = &self.rows[a as usize];
+        let rb = &self.rows[b as usize];
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ra.len() && j < rb.len() {
+            let (aa, ta) = ra[i];
+            let (ab, tb) = rb[j];
+            match aa.cmp(&ab) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push((aa, ta, tb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,62 @@
+//! Edge-recovery quality against a known ground-truth graph.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Precision/recall of a recovered directed edge set against the truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeQuality {
+    /// Ground-truth edge count.
+    pub true_edges: usize,
+    /// Recovered edge count.
+    pub discovered_edges: usize,
+    /// Recovered edges present in the truth (exact direction match).
+    pub true_positives: usize,
+    /// `true_positives / discovered_edges` (vacuously 1.0 when nothing
+    /// was recovered: abstention makes no false claims).
+    pub precision: f64,
+    /// `true_positives / true_edges` (1.0 when the truth is empty).
+    pub recall: f64,
+}
+
+impl EdgeQuality {
+    /// Harmonic mean of precision and recall (0.0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision;
+        let r = self.recall;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Compares a recovered `(follower, followee)` edge set against the
+/// ground truth. Duplicate edges collapse before counting.
+pub fn edge_quality(
+    discovered: impl IntoIterator<Item = (u32, u32)>,
+    truth: impl IntoIterator<Item = (u32, u32)>,
+) -> EdgeQuality {
+    let discovered: BTreeSet<(u32, u32)> = discovered.into_iter().collect();
+    let truth: BTreeSet<(u32, u32)> = truth.into_iter().collect();
+    let true_positives = discovered.intersection(&truth).count();
+    let precision = if discovered.is_empty() {
+        1.0
+    } else {
+        true_positives as f64 / discovered.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        true_positives as f64 / truth.len() as f64
+    };
+    EdgeQuality {
+        true_edges: truth.len(),
+        discovered_edges: discovered.len(),
+        true_positives,
+        precision,
+        recall,
+    }
+}

@@ -1,0 +1,212 @@
+//! The three signal extractors, each producing a z-score against an
+//! explicit null model. Pure functions of the profile + config, so the
+//! parallel scoring pass is bit-identical at every thread count.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::config::DiscoverConfig;
+use crate::profile::ClaimProfile;
+
+/// Variance floor used whenever a null model's standard deviation is
+/// tiny or zero (degenerate pairs); keeps every z finite.
+const SIGMA_FLOOR: f64 = 0.5;
+
+/// All signal z-scores for one unordered candidate pair `(a, b)`, `a < b`.
+///
+/// Directional signals are stored for the `a follows b` direction; the
+/// sign test is antisymmetric (`z_dir_ba = -z_dir_ab`) and the lag signal
+/// carries both directions explicitly.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PairSignals {
+    pub a: u32,
+    pub b: u32,
+    /// Shared assertions (exact row intersection).
+    pub shared: usize,
+    /// Sign-test z for "b spoke first" over strictly ordered shared claims.
+    pub z_dir_ab: f64,
+    /// Fraction of strictly ordered shared claims where `b` spoke first
+    /// (0.5 when none are strictly ordered).
+    pub frac_b_first: f64,
+    /// Windowed copy-lag permutation z for `a` copying `b`.
+    pub z_lag_ab: f64,
+    /// Windowed copy-lag permutation z for `b` copying `a`.
+    pub z_lag_ba: f64,
+    /// Co-occurrence lift z (symmetric).
+    pub z_cooc: f64,
+    /// Rare-claim error-correlation z (symmetric).
+    pub z_err: f64,
+}
+
+impl PairSignals {
+    /// Directional signals `(sign-test z, followee-first fraction,
+    /// lag z)` seen from `follower -> followee`; `forward` means
+    /// `follower == a`.
+    pub fn directed(&self, forward: bool) -> (f64, f64, f64) {
+        if forward {
+            (self.z_dir_ab, self.frac_b_first, self.z_lag_ab)
+        } else {
+            (-self.z_dir_ab, 1.0 - self.frac_b_first, self.z_lag_ba)
+        }
+    }
+}
+
+/// splitmix64 finalizer — used to derive independent per-pair RNG seeds
+/// from the config seed without any cross-pair state.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Number of lag hits in the `follower copies followee` direction:
+/// follower time strictly after followee time, within `window`.
+fn lag_hits(pairs: &[(u64, u64)], window: u64) -> usize {
+    pairs
+        .iter()
+        .filter(|&&(tf, te)| tf > te && tf - te <= window)
+        .count()
+}
+
+/// Scores one candidate pair. `window` is the resolved lag window.
+pub(crate) fn score_pair(
+    profile: &ClaimProfile,
+    cfg: &DiscoverConfig,
+    a: u32,
+    b: u32,
+    window: u64,
+) -> PairSignals {
+    let shared = profile.shared_claims(a, b);
+    let s = shared.len();
+
+    // --- Signal 1a: who-spoke-first sign test -------------------------
+    // Under the null (no copying, exchangeable ordering) each strictly
+    // ordered shared claim is b-first with probability 1/2; the normal
+    // approximation to the binomial gives z = (h_b - h_a) / sqrt(h).
+    let b_first = shared.iter().filter(|&&(_, ta, tb)| tb < ta).count();
+    let a_first = shared.iter().filter(|&&(_, ta, tb)| ta < tb).count();
+    let ordered = b_first + a_first;
+    let (z_dir_ab, frac_b_first) = if ordered == 0 {
+        (0.0, 0.5)
+    } else {
+        (
+            (b_first as f64 - a_first as f64) / (ordered as f64).sqrt(),
+            b_first as f64 / ordered as f64,
+        )
+    };
+    // The sign test's exchangeability null only holds when both sources
+    // were active at overlapping times. Two sources active in disjoint
+    // phases (e.g. a generator that emits all of one source's claims
+    // before the other's) order every shared claim the same way without
+    // any copying, so the z is deflated by the span-interleave factor.
+    let z_dir_ab = z_dir_ab * profile.interleave(a, b);
+
+    // --- Signal 1b: windowed copy-lag vs permutation null -------------
+    // Observed: how many shared claims land within `window` ticks after
+    // the other source's claim. Null: re-pair the two time vectors with
+    // K seeded permutations, which preserves both marginal time
+    // distributions but destroys per-assertion alignment.
+    let times: Vec<(u64, u64)> = shared.iter().map(|&(_, ta, tb)| (ta, tb)).collect();
+    let h_ab = lag_hits(&times, window);
+    let swapped: Vec<(u64, u64)> = times.iter().map(|&(ta, tb)| (tb, ta)).collect();
+    let h_ba = lag_hits(&swapped, window);
+
+    let k = cfg.permutations;
+    let pair_key = ((a as u64) << 32) | b as u64;
+    let mut rng = StdRng::seed_from_u64(mix64(cfg.seed ^ mix64(pair_key)));
+    let mut tb_perm: Vec<u64> = times.iter().map(|&(_, tb)| tb).collect();
+    let ta: Vec<u64> = times.iter().map(|&(ta, _)| ta).collect();
+    let (mut sum_ab, mut sumsq_ab) = (0.0f64, 0.0f64);
+    let (mut sum_ba, mut sumsq_ba) = (0.0f64, 0.0f64);
+    for _ in 0..k {
+        tb_perm.shuffle(&mut rng);
+        let mut perm_ab = 0usize;
+        let mut perm_ba = 0usize;
+        for (&t_a, &t_b) in ta.iter().zip(tb_perm.iter()) {
+            if t_a > t_b && t_a - t_b <= window {
+                perm_ab += 1;
+            }
+            if t_b > t_a && t_b - t_a <= window {
+                perm_ba += 1;
+            }
+        }
+        sum_ab += perm_ab as f64;
+        sumsq_ab += (perm_ab * perm_ab) as f64;
+        sum_ba += perm_ba as f64;
+        sumsq_ba += (perm_ba * perm_ba) as f64;
+    }
+    let kf = k as f64;
+    let perm_z = |observed: usize, sum: f64, sumsq: f64| -> f64 {
+        let mean = sum / kf;
+        let var = (sumsq / kf - mean * mean).max(0.0);
+        (observed as f64 - mean) / var.sqrt().max(SIGMA_FLOOR)
+    };
+    let z_lag_ab = perm_z(h_ab, sum_ab, sumsq_ab);
+    let z_lag_ba = perm_z(h_ba, sum_ba, sumsq_ba);
+
+    // --- Signal 2: co-occurrence lift ---------------------------------
+    // Null: each source claims a uniformly random subset of the active
+    // columns of its observed size, independently. The shared count is
+    // then hypergeometric-ish with mean na*nb/M; we use the matching
+    // binomial variance.
+    let m_act = profile.active_assertions as f64;
+    let na = profile.rows[a as usize].len() as f64;
+    let nb = profile.rows[b as usize].len() as f64;
+    let z_cooc = if m_act > 0.0 {
+        let expected = na * nb / m_act;
+        let var = expected * (1.0 - na / m_act).max(0.0) * (1.0 - nb / m_act).max(0.0);
+        (s as f64 - expected) / var.sqrt().max(SIGMA_FLOOR)
+    } else {
+        0.0
+    };
+
+    // --- Signal 3: error correlation on rare claims -------------------
+    // Same lift statistic restricted to rare columns (support at or below
+    // the rare_quantile cutoff). Agreement on a claim almost nobody makes
+    // is far stronger dependence evidence than agreement on a popular,
+    // probably-true one.
+    let m_rare = profile.rare_assertions as f64;
+    let na_r = profile.rare_counts[a as usize] as f64;
+    let nb_r = profile.rare_counts[b as usize] as f64;
+    let s_rare = shared
+        .iter()
+        .filter(|&&(col, _, _)| profile.support[col as usize] <= profile.rare_cutoff)
+        .count();
+    let z_err = if m_rare > 0.0 && na_r > 0.0 && nb_r > 0.0 {
+        let expected = na_r * nb_r / m_rare;
+        let var = expected * (1.0 - na_r / m_rare).max(0.0) * (1.0 - nb_r / m_rare).max(0.0);
+        (s_rare as f64 - expected) / var.sqrt().max(SIGMA_FLOOR)
+    } else {
+        0.0
+    };
+
+    PairSignals {
+        a,
+        b,
+        shared: s,
+        z_dir_ab,
+        frac_b_first,
+        z_lag_ab,
+        z_lag_ba,
+        z_cooc,
+        z_err,
+    }
+}
+
+/// Resolves [`LagWindow::Auto`](crate::config::LagWindow::Auto): the
+/// median absolute gap over the shared claims of all candidate pairs.
+pub(crate) fn auto_window(profile: &ClaimProfile, pairs: &[(u32, u32)]) -> u64 {
+    let mut gaps: Vec<u64> = Vec::new();
+    for &(a, b) in pairs {
+        for (_, ta, tb) in profile.shared_claims(a, b) {
+            gaps.push(ta.abs_diff(tb));
+        }
+    }
+    if gaps.is_empty() {
+        return 1;
+    }
+    gaps.sort_unstable();
+    gaps[gaps.len() / 2].max(1)
+}

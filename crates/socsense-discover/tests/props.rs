@@ -1,0 +1,92 @@
+//! Property tests for the discovery determinism contract:
+//! thread-count invariance (bit-identical scores), claim-order
+//! invariance, and exact recovery on noiseless planted worlds.
+
+use proptest::prelude::*;
+
+use socsense_discover::{
+    discover_dependencies, discover_dependencies_par, edge_quality, DiscoverConfig,
+};
+use socsense_graph::TimedClaim;
+use socsense_matrix::Parallelism;
+use socsense_synth::{PlantedConfig, PlantedDataset};
+
+/// An arbitrary claim log over a small world: enough sources and
+/// repeated assertions that candidate pairs actually form.
+fn claim_log() -> impl Strategy<Value = Vec<TimedClaim>> {
+    proptest::collection::vec((0u32..12, 0u32..20, 0u64..64), 0..200).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(s, a, t)| TimedClaim::new(s, a, t))
+            .collect()
+    })
+}
+
+/// Per-edge bit pattern of every score component — the strongest
+/// equality the contract promises.
+fn edge_bits(d: &socsense_discover::Discovery) -> Vec<(u32, u32, [u64; 5])> {
+    d.edges
+        .iter()
+        .map(|e| {
+            (
+                e.follower,
+                e.followee,
+                [
+                    e.score.to_bits(),
+                    e.direction_z.to_bits(),
+                    e.lag_z.to_bits(),
+                    e.cooc_z.to_bits(),
+                    e.err_z.to_bits(),
+                ],
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serial and every thread count produce bit-identical edges,
+    /// scores, and stats.
+    #[test]
+    fn thread_count_never_changes_a_bit(claims in claim_log()) {
+        let cfg = DiscoverConfig::default();
+        let serial = discover_dependencies(12, 20, &claims, &cfg).unwrap();
+        for threads in [1usize, 2, 4] {
+            let par = discover_dependencies_par(
+                12, 20, &claims, &cfg, Parallelism::Threads(threads),
+            ).unwrap();
+            prop_assert_eq!(edge_bits(&serial), edge_bits(&par), "threads = {}", threads);
+            prop_assert_eq!(&serial.stats, &par.stats);
+        }
+    }
+
+    /// Discovery reads the claim log as a set: reordering the batch
+    /// (same multiset of claims) cannot change the output.
+    #[test]
+    fn claim_order_within_a_batch_is_irrelevant(
+        claims in claim_log(),
+        order_seed in 0u64..10_000,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let cfg = DiscoverConfig::default();
+        let base = discover_dependencies(12, 20, &claims, &cfg).unwrap();
+        let mut shuffled = claims.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(order_seed));
+        let reordered = discover_dependencies(12, 20, &shuffled, &cfg).unwrap();
+        prop_assert_eq!(edge_bits(&base), edge_bits(&reordered));
+    }
+
+    /// On zero-noise planted copy chains with disjoint root pools the
+    /// planted edge set comes back exactly, whatever the world seed.
+    #[test]
+    fn noiseless_planted_worlds_recover_exactly(seed in 0u64..10_000) {
+        let ds = PlantedDataset::generate(&PlantedConfig::noiseless(), seed).unwrap();
+        let d = discover_dependencies(ds.n, ds.m, &ds.claims, &DiscoverConfig::default()).unwrap();
+        let q = edge_quality(d.edge_pairs(), ds.true_edges());
+        prop_assert!(
+            q.precision == 1.0 && q.recall == 1.0,
+            "seed {}: precision {} recall {}", seed, q.precision, q.recall
+        );
+    }
+}

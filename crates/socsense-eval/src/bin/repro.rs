@@ -4,7 +4,8 @@
 //! repro <experiment> [--budget fast|paper] [--reps N] [--scale F]
 //!       [--seed N] [--json PATH]
 //!
-//! experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table3 fig11 all
+//! experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table3 fig11
+//!              ablations mismatch streaming discover all
 //! ```
 //!
 //! `--budget fast` (default) is sized for one laptop core and preserves
@@ -16,8 +17,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use socsense_eval::experiments::{
-    ablations, bound_figures, estimator_figures, fig11, fig6, mismatch, streaming, table1, table3,
-    Budget,
+    ablations, bound_figures, discover, estimator_figures, fig11, fig6, mismatch, streaming,
+    table1, table3, Budget,
 };
 use socsense_eval::FigureResult;
 
@@ -81,7 +82,7 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-const USAGE: &str = "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table3|fig11|ablations|mismatch|streaming|all> \
+const USAGE: &str = "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table3|fig11|ablations|mismatch|streaming|discover|all> \
      [--budget fast|paper] [--reps N] [--scale F] [--seed N] [--json PATH]";
 
 /// Collected JSON-able outputs for --json.
@@ -132,6 +133,12 @@ fn run_one(
         }
         "mismatch" => print_fig(&mismatch::mismatch(budget), sink),
         "streaming" => print_fig(&streaming::streaming(budget), sink),
+        "discover" => {
+            let t = discover::run(budget);
+            print!("{t}");
+            sink.0
+                .push(serde_json::to_value(&t).expect("discover serialises"));
+        }
         other => return Err(format!("unknown experiment {other}\n{USAGE}")),
     }
     eprintln!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
@@ -178,6 +185,7 @@ fn run() -> Result<(), String> {
         "ablations",
         "mismatch",
         "streaming",
+        "discover",
     ];
     if args.experiment == "all" {
         for name in all {

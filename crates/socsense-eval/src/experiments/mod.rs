@@ -9,6 +9,7 @@
 
 pub mod ablations;
 pub mod bound_figures;
+pub mod discover;
 pub mod estimator_figures;
 pub mod fig11;
 pub mod fig6;

@@ -62,6 +62,7 @@ pub const EXPECT_DETERMINISTIC: &[&str] = &[
     "socsense-apollo",
     "socsense-serve",
     "socsense-persist",
+    "socsense-discover",
 ];
 
 /// One lint finding.

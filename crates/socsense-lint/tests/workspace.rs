@@ -251,3 +251,47 @@ fn sharded_tier_modules_stay_under_the_deterministic_contract() {
         "sharded-tier modules have unsuppressed detlint findings:\n{loose:#?}"
     );
 }
+
+#[test]
+fn discovery_crate_stays_under_the_deterministic_contract() {
+    let root = socsense_bench::workspace_root();
+    let report = scan_workspace(&root).expect("scanning the live workspace");
+
+    // Dependency discovery feeds D-hat straight into the pipeline, so it
+    // rides the same bit-identical contract as the estimators. A PR that
+    // drops the crate from EXPECT_DETERMINISTIC, or removes its header,
+    // must fail here rather than silently shrink lint coverage.
+    assert!(
+        socsense_lint::rules::EXPECT_DETERMINISTIC.contains(&"socsense-discover"),
+        "socsense-discover dropped from EXPECT_DETERMINISTIC"
+    );
+    let discover = report
+        .crates
+        .iter()
+        .find(|(n, _)| n == "socsense-discover")
+        .expect("socsense-discover missing from scan");
+    assert_eq!(
+        discover.1, "deterministic",
+        "socsense-discover lost its deterministic contract"
+    );
+    let loose: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| !f.suppressed && f.file.contains("socsense-discover/"))
+        .collect();
+    assert!(
+        loose.is_empty(),
+        "socsense-discover has unsuppressed detlint findings:\n{loose:#?}"
+    );
+
+    // Negative control: loosening the declaration is a C1 finding.
+    let (_, findings) = socsense_lint::rules::declared_contract(
+        "socsense-discover",
+        "crates/socsense-discover/src/lib.rs",
+        "// detlint: contract = tooling\npub fn f() {}\n",
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == "C1"),
+        "loosening socsense-discover's contract must be a C1 finding, got {findings:#?}"
+    );
+}

@@ -233,6 +233,11 @@ pub enum SynthError {
     },
     /// `opportunities == 0` — no source could ever claim.
     NoOpportunities,
+    /// A planted-copy-world constraint is violated.
+    BadPlantedConfig {
+        /// Which constraint was violated.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SynthError {
@@ -252,6 +257,9 @@ impl fmt::Display for SynthError {
                 )
             }
             SynthError::NoOpportunities => write!(f, "opportunities must be positive"),
+            SynthError::BadPlantedConfig { what } => {
+                write!(f, "bad planted-world config: {what}")
+            }
         }
     }
 }

@@ -39,8 +39,10 @@
 
 mod config;
 mod generate;
+pub mod planted;
 pub mod theta;
 
 pub use config::{GeneratorConfig, IntInterval, Interval, SynthError};
 pub use generate::{SourceProfile, SyntheticDataset};
+pub use planted::{PlantedConfig, PlantedDataset};
 pub use theta::{analytic_theta, empirical_theta};

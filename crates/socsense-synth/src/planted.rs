@@ -1,0 +1,266 @@
+//! Planted copy worlds: synthetic claim logs with *known, recoverable*
+//! dependency edges, used to measure (and CI-gate) dependency discovery.
+//!
+//! Unlike the Sec. V-A generator — whose globally sequential ticks carry
+//! no per-pair timing signature — this world plants a genuine copy
+//! process: each leaf re-asserts each of its root's claims with
+//! probability `copy_prob` at a short per-claim lag, on a timeline where
+//! all sources interleave. Copy-lag, co-occurrence, and error-correlation
+//! signals are therefore all present, and the true edge set is exactly
+//! the planted leaf→root pairs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use socsense_core::ClaimData;
+use socsense_graph::{FollowerGraph, TimedClaim};
+
+use crate::config::SynthError;
+
+/// Configuration for a planted copy world.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlantedConfig {
+    /// Independent root sources.
+    pub roots: u32,
+    /// Copying leaves per root; every leaf copies exactly one root.
+    pub leaves_per_root: u32,
+    /// Total assertions `m`.
+    pub assertions: u32,
+    /// Distinct assertions each root claims.
+    pub claims_per_root: u32,
+    /// Probability a leaf re-asserts any given root claim.
+    pub copy_prob: f64,
+    /// Copies land `1..=max_lag` ticks after the root's claim.
+    pub max_lag: u64,
+    /// Independent (noise) claims per leaf, drawn uniformly over all
+    /// assertions and the whole timeline.
+    pub noise_claims_per_leaf: u32,
+    /// Fraction of assertions labelled true (for end-to-end runs).
+    pub true_ratio: f64,
+    /// Probability each root claim targets a true assertion. Makes root
+    /// behaviour truth-correlated so end-to-end estimators have signal:
+    /// leaf copies then inflate the apparent support of whatever their
+    /// root said — which is exactly the distortion a recovered `D̂`
+    /// should undo.
+    pub root_reliability: f64,
+    /// When set, roots claim disjoint assertion pools (requires
+    /// `roots * claims_per_root <= assertions`); cross-root confounding
+    /// vanishes and recovery should be exact at zero noise.
+    pub disjoint_root_pools: bool,
+}
+
+impl PlantedConfig {
+    /// The fixed world behind the `discover-edge-f1` CI gate: 64 sources
+    /// (8 roots × 7 leaves + the roots), overlapping root pools, noisy
+    /// leaves — recoverable but not trivial.
+    pub fn default_world() -> Self {
+        Self {
+            roots: 8,
+            leaves_per_root: 7,
+            assertions: 600,
+            claims_per_root: 40,
+            copy_prob: 0.8,
+            max_lag: 5,
+            noise_claims_per_leaf: 10,
+            true_ratio: 0.5,
+            root_reliability: 0.75,
+            disjoint_root_pools: false,
+        }
+    }
+
+    /// Zero-noise copy chains with disjoint root pools — discovery must
+    /// recover the planted edges *exactly* here (proptest-pinned).
+    pub fn noiseless() -> Self {
+        Self {
+            copy_prob: 1.0,
+            noise_claims_per_leaf: 0,
+            disjoint_root_pools: true,
+            ..Self::default_world()
+        }
+    }
+
+    /// Total sources `n = roots * (1 + leaves_per_root)`.
+    pub fn source_count(&self) -> u32 {
+        self.roots * (1 + self.leaves_per_root)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::BadPlantedConfig`] naming the violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), SynthError> {
+        if self.roots == 0 {
+            return Err(SynthError::BadPlantedConfig {
+                what: "roots must be at least 1",
+            });
+        }
+        if self.assertions == 0 {
+            return Err(SynthError::BadPlantedConfig {
+                what: "assertions must be at least 1",
+            });
+        }
+        if self.claims_per_root == 0 || self.claims_per_root > self.assertions {
+            return Err(SynthError::BadPlantedConfig {
+                what: "claims_per_root must lie in [1, assertions]",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.copy_prob) {
+            return Err(SynthError::BadPlantedConfig {
+                what: "copy_prob must lie in [0, 1]",
+            });
+        }
+        if self.max_lag == 0 {
+            return Err(SynthError::BadPlantedConfig {
+                what: "max_lag must be at least 1 tick",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.true_ratio) {
+            return Err(SynthError::BadPlantedConfig {
+                what: "true_ratio must lie in [0, 1]",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.root_reliability) {
+            return Err(SynthError::BadPlantedConfig {
+                what: "root_reliability must lie in [0, 1]",
+            });
+        }
+        if self.disjoint_root_pools && self.roots * self.claims_per_root > self.assertions {
+            return Err(SynthError::BadPlantedConfig {
+                what: "disjoint pools need roots * claims_per_root <= assertions",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A generated planted copy world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantedDataset {
+    /// Sources (`roots * (1 + leaves_per_root)`; roots come first).
+    pub n: u32,
+    /// Assertions.
+    pub m: u32,
+    /// The timestamped claim log, sorted by `(time, source, assertion)`.
+    pub claims: Vec<TimedClaim>,
+    /// The planted truth: each leaf follows exactly its root.
+    pub graph: FollowerGraph,
+    /// Ground-truth assertion labels.
+    pub truth: Vec<bool>,
+}
+
+impl PlantedDataset {
+    /// Generates a planted world.
+    ///
+    /// Sources `0..roots` are roots; leaf `r * leaves_per_root + l`
+    /// (offset by `roots`) copies root `r`. Root claims land at uniform
+    /// ticks over an interleaved horizon; each copy lands `1..=max_lag`
+    /// ticks after the copied claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::BadPlantedConfig`] when validation fails.
+    pub fn generate(config: &PlantedConfig, seed: u64) -> Result<Self, SynthError> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = config.source_count();
+        let m = config.assertions;
+
+        let mut truth = vec![false; m as usize];
+        let m_true = ((config.true_ratio * m as f64).round() as u32).clamp(0, m);
+        for t in truth.iter_mut().take(m_true as usize) {
+            *t = true;
+        }
+        truth.shuffle(&mut rng);
+
+        // Interleaved horizon: several ticks of slack per root claim so
+        // distinct sources' activity periods overlap heavily.
+        let horizon = (config.roots as u64 * config.claims_per_root as u64 * 8).max(16);
+
+        // Root pools and claim times. Each pool draw targets a true
+        // assertion with probability `root_reliability`, falling back to
+        // the other stratum when the preferred one runs dry. Disjoint
+        // mode pops from shared stratified lists (pools cannot collide);
+        // overlapping mode reshuffles fresh per-root copies.
+        let mut true_ids: Vec<u32> = (0..m).filter(|&a| truth[a as usize]).collect();
+        let mut false_ids: Vec<u32> = (0..m).filter(|&a| !truth[a as usize]).collect();
+        true_ids.shuffle(&mut rng);
+        false_ids.shuffle(&mut rng);
+
+        let mut root_claims: Vec<Vec<(u32, u64)>> = Vec::with_capacity(config.roots as usize);
+        for _ in 0..config.roots {
+            let (mut own_true, mut own_false);
+            let (tlist, flist): (&mut Vec<u32>, &mut Vec<u32>) = if config.disjoint_root_pools {
+                (&mut true_ids, &mut false_ids)
+            } else {
+                own_true = true_ids.clone();
+                own_false = false_ids.clone();
+                own_true.shuffle(&mut rng);
+                own_false.shuffle(&mut rng);
+                (&mut own_true, &mut own_false)
+            };
+            let mut pool = Vec::with_capacity(config.claims_per_root as usize);
+            for _ in 0..config.claims_per_root {
+                let a = if rng.gen_bool(config.root_reliability) {
+                    tlist.pop().or_else(|| flist.pop())
+                } else {
+                    flist.pop().or_else(|| tlist.pop())
+                };
+                pool.push(a.expect("claims_per_root <= assertions"));
+            }
+            root_claims.push(
+                pool.into_iter()
+                    .map(|a| (a, rng.gen_range(0..horizon)))
+                    .collect(),
+            );
+        }
+
+        let mut claims: Vec<TimedClaim> = Vec::new();
+        for (r, rc) in root_claims.iter().enumerate() {
+            for &(a, t) in rc {
+                claims.push(TimedClaim::new(r as u32, a, t));
+            }
+        }
+
+        let mut graph = FollowerGraph::new(n);
+        for r in 0..config.roots {
+            for l in 0..config.leaves_per_root {
+                let leaf = config.roots + r * config.leaves_per_root + l;
+                graph.add_follow(leaf, r);
+                for &(a, t) in &root_claims[r as usize] {
+                    if rng.gen_bool(config.copy_prob) {
+                        let lag = rng.gen_range(1..=config.max_lag);
+                        claims.push(TimedClaim::new(leaf, a, t + lag));
+                    }
+                }
+                for _ in 0..config.noise_claims_per_leaf {
+                    let a = rng.gen_range(0..m);
+                    let t = rng.gen_range(0..horizon + config.max_lag);
+                    claims.push(TimedClaim::new(leaf, a, t));
+                }
+            }
+        }
+        claims.sort_unstable_by_key(|c| (c.time, c.source, c.assertion));
+
+        Ok(Self {
+            n,
+            m,
+            claims,
+            graph,
+            truth,
+        })
+    }
+
+    /// The planted `(follower, followee)` edges.
+    pub fn true_edges(&self) -> Vec<(u32, u32)> {
+        self.graph.edges().collect()
+    }
+
+    /// `SC`/`D` built from the claim log and the *true* planted graph.
+    pub fn claim_data(&self) -> ClaimData {
+        ClaimData::from_claims(self.n, self.m, &self.claims, &self.graph)
+    }
+}

@@ -121,6 +121,29 @@ impl TwitterDataset {
         )
     }
 
+    /// The follower-graph edges a claim-log-only method could possibly
+    /// recover: `(follower, followee)` pairs that co-claimed at least
+    /// `min_shared` distinct assertions. The simulated graph contains
+    /// many follow edges never exercised by a cascade; dependency
+    /// discovery is scored against this recoverable subset (clearly
+    /// labelled as such in the eval tables).
+    pub fn recoverable_edges(&self, min_shared: usize) -> Vec<(u32, u32)> {
+        let mut claimed: Vec<std::collections::BTreeSet<u32>> =
+            vec![std::collections::BTreeSet::new(); self.n_sources as usize];
+        for t in &self.tweets {
+            claimed[t.source as usize].insert(t.assertion);
+        }
+        self.graph
+            .edges()
+            .filter(|&(follower, followee)| {
+                claimed[follower as usize]
+                    .intersection(&claimed[followee as usize])
+                    .count()
+                    >= min_shared
+            })
+            .collect()
+    }
+
     /// Table III-style statistics of the generated campaign.
     pub fn summary(&self) -> DatasetSummary {
         // Earliest tweet per (source, assertion) decides originality.

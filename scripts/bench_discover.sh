@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_discover.json: edge-recovery quality on the planted
+# copy world behind the discover-edge-f1 gate, plus end-to-end discovery
+# throughput on a larger world. Run from the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_discover.json}"
+mkdir -p "$(dirname "$out")"
+cargo run --release -p socsense-bench --bin bench_discover -- "$out"

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Summarise freshly emitted BENCH_*.json files: detected core count
+# plus any low-core-host warnings the harnesses embedded. Usage:
+#
+#   ./scripts/bench_summary.sh [RESULTS_DIR]
+#
+# RESULTS_DIR defaults to the repo root. Emits GitHub-flavoured
+# markdown on stdout — CI appends it to $GITHUB_STEP_SUMMARY, and a
+# local run just prints it. Missing files are skipped so the script
+# works on partial bench runs.
+set -eu
+cd "$(dirname "$0")/.."
+dir="${1:-.}"
+
+echo "### Bench host"
+if [ -f "$dir/BENCH_parallel.json" ]; then
+    cores=$(python3 -c 'import json,sys;print(json.load(open(sys.argv[1]))["host"]["available_parallelism"])' "$dir/BENCH_parallel.json")
+    echo "detected cores: \`$cores\`"
+fi
+for f in "$dir"/BENCH_parallel.json "$dir"/BENCH_ingest.json \
+         "$dir"/BENCH_serve.json "$dir"/BENCH_delta.json \
+         "$dir"/BENCH_wal.json "$dir"/BENCH_discover.json; do
+    [ -f "$f" ] || continue
+    warning=$(python3 -c 'import json,sys;print(json.load(open(sys.argv[1])).get("warning",""))' "$f")
+    if [ -n "$warning" ]; then
+        echo ""
+        echo "> :warning: **$(basename "$f")**: $warning"
+    fi
+done

@@ -21,6 +21,7 @@
 //! | [`synth`] | `socsense-synth` | Sec. V-A synthetic claim generator |
 //! | [`twitter`] | `socsense-twitter` | simulated Twitter scenarios (Table III) |
 //! | [`apollo`] | `socsense-apollo` | tweet clustering + ranking pipeline |
+//! | [`discover`] | `socsense-discover` | dependency discovery: infer `D̂` from the claim log |
 //! | [`serve`] | `socsense-serve` | long-lived query service over a streaming estimator |
 //! | [`eval`] | `socsense-eval` | metrics, experiment runner, figure harnesses |
 //! | [`graph`] | `socsense-graph` | follower graphs, dependency forests, `SC`/`D` construction |
@@ -56,6 +57,7 @@
 pub use socsense_apollo as apollo;
 pub use socsense_baselines as baselines;
 pub use socsense_core as core;
+pub use socsense_discover as discover;
 pub use socsense_eval as eval;
 pub use socsense_graph as graph;
 pub use socsense_matrix as matrix;
