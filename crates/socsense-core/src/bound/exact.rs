@@ -368,6 +368,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "exponential enumeration is too slow under Miri")]
     fn pruned_matches_naive_on_random_inputs() {
         let mut rng = StdRng::seed_from_u64(99);
         for trial in 0..50 {
@@ -462,6 +463,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "exponential enumeration is too slow under Miri")]
     fn prefix_split_is_bit_identical_across_levels_and_tracks_plain_walk() {
         let mut rng = StdRng::seed_from_u64(31);
         for n in [PAR_MIN_SOURCES, 15, 20] {
@@ -502,6 +504,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "exponential enumeration is too slow under Miri")]
     fn pruning_handles_25_sources_quickly() {
         // 2^25 leaves unpruned; with informative sources this must finish
         // near-instantly because almost every subtree decides early.

@@ -361,6 +361,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling sweep is too slow under Miri")]
     fn self_normalized_tracks_exact() {
         let probs = informative();
         let exact = exact_bound(&probs, 0.6).unwrap();
@@ -384,6 +385,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling sweep is too slow under Miri")]
     fn split_sums_to_total() {
         let cfg = GibbsConfig {
             seed: 3,
@@ -396,6 +398,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling sweep is too slow under Miri")]
     fn deterministic_per_seed() {
         let cfg = GibbsConfig {
             seed: 11,
@@ -408,6 +411,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling sweep is too slow under Miri")]
     fn paper_ratio_runs_and_differs_in_general() {
         // With heterogeneous pattern probabilities the literal Eq. 6
         // estimator is biased toward probable patterns; on this input the
@@ -432,6 +436,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling sweep is too slow under Miri")]
     fn uninformative_sources_approach_prior() {
         let probs = vec![(0.4, 0.4); 10];
         let cfg = GibbsConfig {
@@ -461,6 +466,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling sweep is too slow under Miri")]
     fn scales_to_hundreds_of_sources() {
         let probs: Vec<(f64, f64)> = (0..300)
             .map(|i| {

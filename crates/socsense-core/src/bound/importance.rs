@@ -170,6 +170,7 @@ mod tests {
     use crate::bound::exact::exact_bound;
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling sweep is too slow under Miri")]
     fn tracks_exact_on_small_problems() {
         let probs = vec![(0.75, 0.30), (0.55, 0.25), (0.65, 0.45), (0.80, 0.20)];
         let exact = exact_bound(&probs, 0.6).unwrap();
@@ -188,6 +189,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling sweep is too slow under Miri")]
     fn effective_sample_size_degrades_with_correlation() {
         // Strongly informative sources couple the pattern distribution to
         // the hidden truth; the independent proposal then mismatches P
@@ -215,6 +217,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling sweep is too slow under Miri")]
     fn deterministic_per_seed_and_validates() {
         let probs = vec![(0.6, 0.3); 5];
         let cfg = ImportanceConfig::default();
@@ -234,6 +237,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling sweep is too slow under Miri")]
     fn split_sums_to_total() {
         let probs = vec![(0.7, 0.2), (0.4, 0.6), (0.55, 0.5)];
         let out = importance_bound(&probs, 0.4, &ImportanceConfig::default()).unwrap();

@@ -308,6 +308,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling/enumeration sweep is too slow under Miri")]
     fn bound_for_data_averages_and_splits() {
         let (data, theta) = tiny();
         let r = bound_for_data(&data, &theta, &BoundMethod::Exact).unwrap();
@@ -317,6 +318,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling/enumeration sweep is too slow under Miri")]
     fn auto_switches_to_gibbs_for_many_sources() {
         let (data, theta) = tiny();
         let method = BoundMethod::Auto {
@@ -337,6 +339,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sampling/enumeration sweep is too slow under Miri")]
     fn traced_bound_matches_untraced_and_records() {
         let (data, theta) = tiny();
         let method = BoundMethod::Auto {

@@ -233,6 +233,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "100-assertion EM fit is too slow under Miri")]
     fn more_data_tightens_intervals() {
         // Same claim pattern replicated over 10 vs 100 assertions.
         let build = |m: u32| {

@@ -61,16 +61,18 @@ impl LikelihoodTables {
             ln_1z: safe_ln_1m(theta.z()),
         };
         for s in theta.sources() {
+            let ln_1a = safe_ln_1m(s.a);
+            let ln_1b = safe_ln_1m(s.b);
             t.ln_a.push(safe_ln(s.a));
-            t.ln_1a.push(safe_ln_1m(s.a));
+            t.ln_1a.push(ln_1a);
             t.ln_b.push(safe_ln(s.b));
-            t.ln_1b.push(safe_ln_1m(s.b));
+            t.ln_1b.push(ln_1b);
             t.ln_f.push(safe_ln(s.f));
             t.ln_1f.push(safe_ln_1m(s.f));
             t.ln_g.push(safe_ln(s.g));
             t.ln_1g.push(safe_ln_1m(s.g));
-            t.base1 += *t.ln_1a.last().expect("just pushed");
-            t.base0 += *t.ln_1b.last().expect("just pushed");
+            t.base1 += ln_1a;
+            t.base0 += ln_1b;
         }
         t
     }

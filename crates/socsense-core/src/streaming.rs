@@ -632,6 +632,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn warm_start_converges_faster_than_cold() {
         let (graph, batches, _) = stream_batches(4, 40);
         let mut est = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
@@ -658,6 +659,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn streaming_matches_batch_posterior_at_the_end() {
         let (graph, batches, truth) = stream_batches(3, 60);
         let mut est = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
@@ -701,6 +703,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn reset_forces_cold_refit() {
         let (graph, batches, _) = stream_batches(2, 30);
         let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
@@ -714,6 +717,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn failed_refit_preserves_warm_state() {
         let (graph, batches, _) = stream_batches(3, 30);
         let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
@@ -746,6 +750,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn snapshot_is_cached_until_new_claims_arrive() {
         let (graph, batches, _) = stream_batches(2, 20);
         let mut est = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
@@ -762,6 +767,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn peek_estimate_is_stateless_and_matches_estimate() {
         let (graph, batches, _) = stream_batches(2, 30);
         let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
@@ -792,6 +798,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn metrics_record_warm_and_cold_refits_without_changing_fits() {
         let (graph, batches, _) = stream_batches(2, 30);
         let mut plain =
@@ -829,6 +836,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn delta_mode_seeds_full_then_refits_scoped() {
         let (graph, batches, _) = stream_batches(4, 30);
         let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
@@ -863,6 +871,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn delta_zero_batch_fraction_is_bit_identical_to_full() {
         // max_batch_fraction = 0 falls back on every batch, so the delta
         // chain re-enters the full warm path each refit and must
@@ -903,6 +912,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn delta_peek_is_stateless_and_matches_estimate() {
         let (graph, batches, _) = stream_batches(3, 30);
         let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
@@ -929,6 +939,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn delta_failed_refit_preserves_engine_and_pending() {
         let (graph, batches, _) = stream_batches(3, 30);
         let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
@@ -971,6 +982,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn delta_metrics_record_scoped_refits_and_fallbacks() {
         let (graph, batches, _) = stream_batches(3, 30);
         let mut est = StreamingEstimator::new(10, 20, graph, EmConfig::default()).unwrap();
@@ -1012,6 +1024,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn fallback_restores_exact_ll_and_stats_flag_it() {
         use crate::likelihood::data_log_likelihood_with;
         // Scoped refits serve a bounded-stale ℓℓ and must say so; a
@@ -1063,6 +1076,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn exact_ll_mode_serves_exact_ll_from_scoped_refits() {
         use crate::likelihood::data_log_likelihood_with;
         let (graph, batches, _) = stream_batches(3, 30);
@@ -1091,6 +1105,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn export_restore_round_trip_is_bit_identical_full_mode() {
         let (graph, batches, _) = stream_batches(4, 30);
         let mut est = StreamingEstimator::new(10, 20, graph.clone(), EmConfig::default()).unwrap();
@@ -1123,6 +1138,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn export_restore_round_trip_is_bit_identical_delta_mode() {
         let (graph, batches, _) = stream_batches(5, 25);
         let mode = RefitMode::Delta(DeltaConfig {
@@ -1201,6 +1217,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "refit chain is too slow under Miri")]
     fn dependent_repeats_are_tracked_across_batches() {
         let mut g = FollowerGraph::new(2);
         g.add_follow(1, 0);

@@ -1,0 +1,103 @@
+//! detlint throughput harness: times a full workspace scan — lexing,
+//! brace-tree parsing, the per-file rules, and the workspace-aware
+//! P/C/F flow pass — over the live tree behind the `lint-throughput`
+//! CI gate.
+//!
+//! The scan is run [`REPS`] times and the median wall-clock reported
+//! via `median_timed`, alongside files/s and MB/s derived from the
+//! actual bytes lexed. The harness also re-reports the live tree's
+//! unsuppressed-finding count: the checked-in `BENCH_lint.json` doubles
+//! as a record that the tree was lint-clean when the numbers were
+//! taken, and the `lint-clean` gate holds it at zero. Writes
+//! `BENCH_lint.json` (repo root, or the path given as the first
+//! argument).
+//!
+//! ```text
+//! cargo run --release -p socsense-bench --bin bench_lint [OUT.json]
+//! ```
+
+use std::process::ExitCode;
+
+use socsense_lint::scan_workspace;
+use socsense_obs::Obs;
+
+const REPS: usize = 5;
+
+fn main() -> ExitCode {
+    let root = socsense_bench::workspace_root();
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| root.join("BENCH_lint.json").display().to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (obs, rec) = Obs::recorder();
+
+    // One untimed scan establishes the corpus shape (and warms the page
+    // cache so the timed reps measure the analysis, not cold IO).
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source_bytes: u64 = report.graph.iter().map(|g| g.source_bytes as u64).sum();
+
+    let mut last_files = 0usize;
+    let median_secs = socsense_obs::median_timed(&obs, "bench.lint.seconds", REPS, || {
+        let r = scan_workspace(&root).expect("workspace root scans");
+        last_files = r.files_scanned;
+    });
+    let files_per_sec = last_files as f64 / median_secs;
+    let mb_per_sec = source_bytes as f64 / 1e6 / median_secs;
+    eprintln!(
+        "scan: {} files, {} crates, {} finding(s) ({} unsuppressed) in \
+         {:.4}s median ({:.0} files/s, {:.1} MB/s)",
+        report.files_scanned,
+        report.crates.len(),
+        report.findings.len(),
+        report.unsuppressed(),
+        median_secs,
+        files_per_sec,
+        mb_per_sec
+    );
+
+    let mut payload = serde_json::json!({
+        "host": serde_json::json!({
+            "available_parallelism": cores,
+            "note": "the scan is single-threaded; files/s depends on \
+                     single-core speed, not core count",
+        }),
+        "scan": serde_json::json!({
+            "files_scanned": report.files_scanned,
+            "crates": report.crates.len(),
+            "source_bytes": source_bytes,
+            "findings": report.findings.len(),
+            "unsuppressed": report.unsuppressed(),
+            "timed_runs": REPS,
+            "median_secs": median_secs,
+            "files_per_sec": files_per_sec,
+            "mb_per_sec": mb_per_sec,
+        }),
+        "metrics": rec.snapshot(),
+    });
+    if cores < 2 {
+        if let serde_json::Value::Object(map) = &mut payload {
+            map.insert(
+                "warning".into(),
+                serde_json::json!(format!(
+                    "LOW-CORE HOST ({cores} < 2 cores): the scan shares \
+                     its core with the OS; files/s may read low."
+                )),
+            );
+        }
+    }
+    let json = serde_json::to_string_pretty(&payload).expect("serializes") + "\n";
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write results to {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -33,6 +33,11 @@ pub enum TokKind {
 pub struct Tok {
     /// 1-based source line the token starts on.
     pub line: u32,
+    /// Byte offset of the token's first character in the original
+    /// source. For a lifetime, the offset of the name (past the `'`),
+    /// so `src[offset..offset + text.len()] == text` holds for every
+    /// token the lexer emits.
+    pub offset: u32,
     /// Token class.
     pub kind: TokKind,
     /// Token text (single character for punctuation).
@@ -61,6 +66,13 @@ pub enum Directive {
         line: u32,
         /// Declared contract name, e.g. `deterministic`.
         value: String,
+    },
+    /// `// detlint: protocol` — marks the enum declared on the next
+    /// line(s) as a protocol message type whose matches the C2/C3
+    /// rules audit for exhaustiveness and reply discipline.
+    Protocol {
+        /// 1-based line of the comment.
+        line: u32,
     },
     /// `// detlint: allow(D1, …) -- justification` — suppresses the
     /// named rules on this line and the next.
@@ -96,7 +108,16 @@ pub struct Lexed {
 /// literals, stray bytes) degrades to fewer tokens, not an error, so a
 /// half-edited file still lints.
 pub fn lex(src: &str) -> Lexed {
-    let chars: Vec<char> = src.chars().collect();
+    let mut chars: Vec<char> = Vec::with_capacity(src.len());
+    // Byte offset of each char (plus a sentinel at the end), so token
+    // spans can be reported in byte terms while the scanner itself
+    // stays a simple char-index walk.
+    let mut bytes: Vec<u32> = Vec::with_capacity(src.len() + 1);
+    for (off, c) in src.char_indices() {
+        bytes.push(off as u32);
+        chars.push(c);
+    }
+    bytes.push(src.len() as u32);
     let mut out = Lexed::default();
     let mut i = 0usize;
     let mut line = 1u32;
@@ -142,7 +163,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             '"' => i = skip_string(&chars, i, &mut line),
-            '\'' => i = skip_char_or_lifetime(&chars, i, &mut line, &mut out.tokens),
+            '\'' => i = skip_char_or_lifetime(&chars, &bytes, i, &mut line, &mut out.tokens),
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
                 while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
@@ -161,11 +182,12 @@ pub fn lex(src: &str) -> Lexed {
                 if text == "b" && next == Some('\'') {
                     // `i` already points at the opening quote; a byte
                     // char like `b'\n'` is never a lifetime.
-                    i = skip_char_or_lifetime(&chars, i, &mut line, &mut out.tokens);
+                    i = skip_char_or_lifetime(&chars, &bytes, i, &mut line, &mut out.tokens);
                     continue;
                 }
                 out.tokens.push(Tok {
                     line,
+                    offset: bytes[start],
                     kind: TokKind::Ident,
                     text,
                 });
@@ -188,6 +210,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 out.tokens.push(Tok {
                     line,
+                    offset: bytes[start],
                     kind: TokKind::Number,
                     text: chars[start..i].iter().collect(),
                 });
@@ -195,6 +218,7 @@ pub fn lex(src: &str) -> Lexed {
             _ => {
                 out.tokens.push(Tok {
                     line,
+                    offset: bytes[i],
                     kind: TokKind::Punct,
                     text: c.to_string(),
                 });
@@ -212,7 +236,14 @@ fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
     i += 1;
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            // A line-continuation (`\` at end of line) swallows a real
+            // newline; it still has to count toward the line number.
+            '\\' => {
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '\n' => {
                 *line += 1;
                 i += 1;
@@ -276,13 +307,24 @@ fn skip_raw_or_plain_string(chars: &[char], mut i: usize, line: &mut u32) -> usi
 /// Distinguishes `'a'` / `'\n'` (char literal, skipped) from `'a`
 /// (lifetime, whose name is emitted as a plain identifier token). `i`
 /// points at the opening quote.
-fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut u32, tokens: &mut Vec<Tok>) -> usize {
+fn skip_char_or_lifetime(
+    chars: &[char],
+    bytes: &[u32],
+    i: usize,
+    line: &mut u32,
+    tokens: &mut Vec<Tok>,
+) -> usize {
     debug_assert_eq!(chars[i], '\'');
     match chars.get(i + 1) {
         // Escape: a char literal for sure. `'\''`, `'\n'`, `'\u{…}'`.
+        // Malformed input can put real newlines before the closing
+        // quote; they still count toward the line number.
         Some('\\') => {
             let mut j = i + 2;
             while j < chars.len() && chars[j] != '\'' {
+                if chars[j] == '\n' {
+                    *line += 1;
+                }
                 j += 1;
             }
             j + 1
@@ -291,6 +333,9 @@ fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut u32, tokens: &mut 
         // Anything else (`'a`, `'static`, `'_`) is a lifetime.
         Some(&c) if c != '\'' => {
             if chars.get(i + 2) == Some(&'\'') {
+                if c == '\n' {
+                    *line += 1;
+                }
                 i + 3
             } else {
                 let mut j = i + 1;
@@ -300,6 +345,7 @@ fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut u32, tokens: &mut 
                 if j > i + 1 {
                     tokens.push(Tok {
                         line: *line,
+                        offset: bytes[i + 1],
                         kind: TokKind::Ident,
                         text: chars[i + 1..j].iter().collect(),
                     });
@@ -338,6 +384,10 @@ fn parse_directive(text: &str, line: u32) -> Option<Directive> {
             line,
             value: value.trim().to_string(),
         });
+    }
+
+    if rest == "protocol" {
+        return Some(Directive::Protocol { line });
     }
 
     if let Some(after) = rest.strip_prefix("allow") {

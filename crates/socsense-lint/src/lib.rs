@@ -1,15 +1,25 @@
 //! `socsense-lint` — the `detlint` static-analysis pass.
 //!
 //! Every estimate this workspace ships is contractually bit-identical
-//! across worker counts, warm/cold refits, and recorder on/off. The
-//! runtime `f64::to_bits` tests check that contract *after the fact*;
-//! `detlint` promotes it to a machine-checked property of the source:
-//! a hand-rolled lexer (no `syn` — the workspace vendors none) strips
-//! comments and literals from every `src/` and `tests/` file, and a
-//! small rule catalogue rejects the constructs that historically break
-//! determinism in dependency-aware truth discovery — hash-order
-//! iteration, wall-clock reads, out-of-order float reductions,
-//! NaN-poisoned comparators, and panicking calls on the serve path.
+//! across worker counts, warm/cold refits, and recorder on/off — and
+//! the serving tier must not wedge on a panic or drift out of protocol
+//! with its shards. The runtime `f64::to_bits` tests check the first
+//! contract *after the fact*; `detlint` promotes both to
+//! machine-checked properties of the source. The analyzer is
+//! dependency-free (no `syn` — the workspace vendors none) and layers:
+//!
+//! * [`lexer`] — comments and literals stripped; every token carries
+//!   its line and byte offset (fuzz-pinned span soundness);
+//! * [`tree`] — a brace-tree pass recovering `fn` items, `enum`
+//!   variants, `match` arms, and `#[cfg(test)]` ranges;
+//! * [`rules`] — the per-file token-shape catalogue (`D1`–`D5`):
+//!   hash-order iteration, wall-clock/env/RNG reads, same-statement
+//!   parallel float reductions, NaN-poisoned comparators, headers;
+//! * [`flow`] — the workspace-aware families over a whole-crate model
+//!   with a crate-local call graph: panic paths reachable from the
+//!   serve/persist seed set (`P1`), protocol-enum exhaustiveness and
+//!   erosion (`C2`), spawn-join and reply-channel discipline (`C3`),
+//!   and cross-statement float-accumulation dataflow (`F1`).
 //!
 //! Each crate declares its contract in its root file:
 //!
@@ -17,7 +27,8 @@
 //! # detlint: contract = deterministic   (written with `//`)
 //! ```
 //!
-//! and individual findings are silenced, one line at a time, with a
+//! protocol message enums are marked `// detlint: protocol`, and
+//! individual findings are silenced, one line at a time, with a
 //! justified suppression:
 //!
 //! ```text
@@ -26,7 +37,9 @@
 //!
 //! An empty justification is itself an error. See `DESIGN.md` §9 for
 //! the rule catalogue and the relation to the runtime bit-identity
-//! tests, and [`rules`] for the per-rule details.
+//! tests and to the Miri/loom CI lanes, and [`rules`]/[`flow`] for
+//! the per-rule details. The `bench_lint` binary times the full scan
+//! for the `lint-throughput` perf gate.
 //!
 //! The `detlint` binary exits nonzero on any unsuppressed finding:
 //!
@@ -40,10 +53,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flow;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod tree;
 
 pub use rules::{check_file, declared_contract, Contract, FileInput, Finding};
 pub use scan::{scan_workspace, Report};

@@ -58,6 +58,9 @@ fn esc(s: &str) -> String {
 /// {
 ///   "root": "…", "files_scanned": 120, "unsuppressed": 0,
 ///   "crates": [{"name": "socsense-core", "contract": "deterministic"}],
+///   "call_graph": [{"crate": "socsense-core", "fns": 210, "edges": 87,
+///                   "protocol_enums": 0, "match_sites": 44,
+///                   "source_bytes": 512034}],
 ///   "findings": [{"file": "…", "line": 3, "rule": "D1",
 ///                 "message": "…", "suppressed": true,
 ///                 "justification": "…"}]
@@ -82,7 +85,22 @@ pub fn render_json(report: &Report) -> String {
             contract
         ));
     }
-    out.push_str("],\n  \"findings\": [\n");
+    out.push_str("],\n  \"call_graph\": [\n");
+    for (i, g) in report.graph.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"crate\": \"{}\", \"fns\": {}, \"edges\": {}, \
+             \"protocol_enums\": {}, \"match_sites\": {}, \
+             \"source_bytes\": {}}}{}\n",
+            esc(&g.crate_name),
+            g.fns,
+            g.edges,
+            g.protocol_enums,
+            g.match_sites,
+            g.source_bytes,
+            if i + 1 == report.graph.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"findings\": [\n");
     for (i, f) in report.findings.iter().enumerate() {
         let justification = match &f.justification {
             Some(j) => format!("\"{}\"", esc(j)),

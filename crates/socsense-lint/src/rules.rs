@@ -17,11 +17,16 @@
 //! | D2 | deterministic | nondeterminism sources: `Instant::now`, `SystemTime`, `thread_rng`, `std::env::var*`, pointer casts |
 //! | D3 | deterministic | float reductions (`.sum::<f32/f64>()`, `.fold(`) in the same statement as a `par_*` primitive, outside the blessed `socsense_matrix::parallel` merge helpers |
 //! | D4 | deterministic | `partial_cmp(…).unwrap()/expect()` — NaN-poisoned comparator panics |
-//! | D5 | all | crate roots missing `#![forbid(unsafe_code)]`; `unwrap()/expect()` in non-test serve/streaming code |
+//! | D5 | all | crate roots missing `#![forbid(unsafe_code)]` |
 //!
 //! `C1` (contract declaration problems) and `S1` (suppression
 //! problems, including an empty justification) are meta-rules emitted
 //! by this module; they cannot themselves be suppressed.
+//!
+//! The workspace-aware rule families (P1 panic-path audit — the v2
+//! successor to D5's old per-file unwrap check — plus C2/C3 protocol
+//! discipline and F1 float dataflow) live in [`crate::flow`]; they need
+//! the whole-crate model, not one file.
 
 use crate::lexer::{lex, Directive, Tok, TokKind};
 
@@ -126,16 +131,6 @@ const PAR_PRIMITIVES: &[&str] = &[
 /// merges fold shard outputs in shard-index order.
 const BLESSED_MERGE_FILE: &str = "crates/socsense-matrix/src/parallel.rs";
 
-/// Files whose non-test `unwrap()`/`expect()` calls D5 rejects: a panic
-/// on the serve worker thread (or in the streaming estimator it owns)
-/// wedges every connected client.
-fn in_d5_unwrap_scope(input: &FileInput) -> bool {
-    (input.crate_name == "socsense-serve" && !input.rel_path.contains("/tests/"))
-        || input
-            .rel_path
-            .ends_with("crates/socsense-core/src/streaming.rs")
-}
-
 /// Runs every applicable rule over one file and applies suppressions.
 pub fn check_file(input: &FileInput) -> Vec<Finding> {
     let lexed = lex(input.source);
@@ -157,9 +152,6 @@ pub fn check_file(input: &FileInput) -> Vec<Finding> {
         rule_d2(toks, &mut findings, input);
         rule_d3(toks, &mut findings, input);
         rule_d4(toks, &mut findings, input);
-        if in_d5_unwrap_scope(input) {
-            rule_d5_unwrap(toks, &mut findings, input);
-        }
     }
     if input.is_crate_root && !has_forbid_unsafe(toks) {
         push(
@@ -205,7 +197,7 @@ pub fn check_file(input: &FileInput) -> Vec<Finding> {
             Directive::Malformed { line, message } => {
                 push(*line, "S1", message.clone(), &mut findings);
             }
-            Directive::Contract { .. } => {}
+            Directive::Contract { .. } | Directive::Protocol { .. } => {}
         }
     }
 
@@ -572,7 +564,7 @@ fn rule_d4(toks: &[Tok], findings: &mut Vec<Finding>, input: &FileInput) {
 }
 
 // ---------------------------------------------------------------------
-// D5: header audit + panicking calls on the serve path
+// D5: header audit
 // ---------------------------------------------------------------------
 
 fn has_forbid_unsafe(toks: &[Tok]) -> bool {
@@ -586,91 +578,4 @@ fn has_forbid_unsafe(toks: &[Tok]) -> bool {
             && w[6].is_punct(')')
             && w[7].is_punct(']')
     })
-}
-
-/// Token index ranges lying inside `#[cfg(test)] mod … { … }` blocks.
-fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    let mut i = 0;
-    while i + 6 < toks.len() {
-        let is_cfg_test = toks[i].is_punct('#')
-            && toks[i + 1].is_punct('[')
-            && toks[i + 2].is_ident("cfg")
-            && toks[i + 3].is_punct('(')
-            && toks[i + 4].is_ident("test")
-            && toks[i + 5].is_punct(')')
-            && toks[i + 6].is_punct(']');
-        if !is_cfg_test {
-            i += 1;
-            continue;
-        }
-        // Skip further attributes, then expect `[pub] mod name {`.
-        let mut j = i + 7;
-        while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
-            let mut depth = 0i32;
-            let mut k = j + 1;
-            while k < toks.len() {
-                if toks[k].is_punct('[') {
-                    depth += 1;
-                } else if toks[k].is_punct(']') {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                k += 1;
-            }
-            j = k + 1;
-        }
-        if toks.get(j).is_some_and(|t| t.is_ident("pub")) {
-            j += 1;
-        }
-        if toks.get(j).is_some_and(|t| t.is_ident("mod")) {
-            if let Some(brace) = (j..toks.len()).find(|&k| toks[k].is_punct('{')) {
-                let mut depth = 0i32;
-                let mut k = brace;
-                while k < toks.len() {
-                    if toks[k].is_punct('{') {
-                        depth += 1;
-                    } else if toks[k].is_punct('}') {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    k += 1;
-                }
-                ranges.push((i, k));
-                i = k + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    ranges
-}
-
-fn rule_d5_unwrap(toks: &[Tok], findings: &mut Vec<Finding>, input: &FileInput) {
-    let tests = test_ranges(toks);
-    let in_tests = |idx: usize| tests.iter().any(|&(a, b)| idx >= a && idx <= b);
-    for i in 1..toks.len() {
-        if (toks[i].is_ident("unwrap") || toks[i].is_ident("expect"))
-            && toks[i - 1].is_punct('.')
-            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
-            && !in_tests(i)
-        {
-            findings.push(Finding {
-                file: input.rel_path.to_string(),
-                line: toks[i].line,
-                rule: "D5",
-                message: format!(
-                    "`.{}()` on the serve path: a panicking worker thread wedges every \
-                     client; propagate the error instead",
-                    toks[i].text
-                ),
-                suppressed: false,
-                justification: None,
-            });
-        }
-    }
 }

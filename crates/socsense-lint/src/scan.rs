@@ -11,6 +11,7 @@
 
 use std::path::{Path, PathBuf};
 
+use crate::flow::{self, CrateModel, FileModel, GraphSummary};
 use crate::rules::{check_file, declared_contract, Contract, FileInput, Finding};
 
 /// The outcome of one workspace scan.
@@ -22,6 +23,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Crates visited, in scan order, with their declared contracts.
     pub crates: Vec<(String, &'static str)>,
+    /// Per-crate call-graph statistics from the workspace-aware pass.
+    pub graph: Vec<GraphSummary>,
     /// All findings, suppressed ones included.
     pub findings: Vec<Finding>,
 }
@@ -83,6 +86,7 @@ fn scan_crate(root: &Path, crate_dir: &Path, crate_name: &str, report: &mut Repo
 
     let mut files = rs_files(&crate_dir.join("src"));
     files.extend(rs_files(&crate_dir.join("tests")));
+    let mut models: Vec<FileModel> = Vec::new();
     for path in files {
         let rel_path = rel(root, &path);
         let Ok(source) = std::fs::read_to_string(&path) else {
@@ -96,7 +100,18 @@ fn scan_crate(root: &Path, crate_dir: &Path, crate_name: &str, report: &mut Repo
             contract,
             source: &source,
         }));
+        models.push(FileModel::new(&rel_path, &source));
     }
+
+    // Workspace-aware pass: P/C2/C3/F over the whole-crate model.
+    let model = CrateModel {
+        name: crate_name.to_string(),
+        contract,
+        files: models,
+    };
+    let (crate_findings, summary) = flow::check_crate(&model);
+    report.findings.extend(crate_findings);
+    report.graph.push(summary);
 }
 
 /// Scans the whole workspace rooted at `root`.

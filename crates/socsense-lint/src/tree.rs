@@ -1,0 +1,597 @@
+//! A lightweight item parser on top of [`crate::lexer`]: enough
+//! `fn`/`enum`/`match` structure for the workspace-aware rule families
+//! (P, C2/C3, F), still dependency-free.
+//!
+//! This is deliberately *not* a grammar-complete Rust parser. It
+//! recovers exactly the shapes the v2 rules consume:
+//!
+//! - every `fn` item with its name and body token range (the
+//!   call-graph nodes),
+//! - every `enum` item with its variants, each variant's `#[cfg(test)]`
+//!   attribution and whether it carries a `reply:` channel field (the
+//!   protocol message map),
+//! - every `match` expression with its arm pattern/body token ranges
+//!   and per-arm `#[cfg(test)]` attribution (the exhaustiveness
+//!   audit),
+//! - generalized `#[cfg(test)]` ranges covering attributed *items and
+//!   match arms*, not just `mod tests { … }` blocks.
+//!
+//! Anything the parser cannot make sense of degrades to "no item
+//! here", never a panic — the same contract the lexer makes — so a
+//! half-edited file still lints.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `fn` item: a call-graph node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body `{ … }`, inclusive of both braces.
+    pub body: (usize, usize),
+    /// Whether the item itself carries `#[test]` / `#[cfg(test)]`.
+    pub is_test: bool,
+}
+
+/// One variant of a parsed enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumVariant {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line of the variant name.
+    pub line: u32,
+    /// Whether the variant is `#[cfg(test)]`-gated.
+    pub cfg_test: bool,
+    /// Whether the variant is a struct variant with a `reply:` field —
+    /// a reply-carrying protocol message the C3 rule audits.
+    pub has_reply: bool,
+}
+
+/// One `enum` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variants in declaration order.
+    pub variants: Vec<EnumVariant>,
+}
+
+/// One arm of a `match` expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchArm {
+    /// 1-based line the pattern starts on.
+    pub line: u32,
+    /// Whether the arm carries `#[cfg(test)]`.
+    pub cfg_test: bool,
+    /// Token index range `[start, end)` of the pattern, guard included.
+    pub pat: (usize, usize),
+    /// Token index range `[start, end)` of the arm body.
+    pub body: (usize, usize),
+}
+
+/// One `match` expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchSite {
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// Token index range `[start, end)` of the scrutinee.
+    pub scrutinee: (usize, usize),
+    /// Arms in source order.
+    pub arms: Vec<MatchArm>,
+}
+
+/// The parsed structure of one file.
+#[derive(Debug, Default)]
+pub struct FileTree {
+    /// Every `fn` item, nested ones included, in source order.
+    pub fns: Vec<FnDef>,
+    /// Every `enum` item in source order.
+    pub enums: Vec<EnumDef>,
+    /// Every `match` expression in source order (nested ones get their
+    /// own entry).
+    pub matches: Vec<MatchSite>,
+    /// Token index ranges (inclusive) covered by `#[cfg(test)]`.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileTree {
+    /// Whether token index `idx` lies inside any `#[cfg(test)]` range.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+}
+
+/// Index of the token matching `open` at `open_idx` (`{`/`}`, `(`/`)`,
+/// `[`/`]`). Returns the last token index when unbalanced.
+fn balanced(toks: &[Tok], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0i32;
+    let mut k = open_idx;
+    while k < toks.len() {
+        if toks[k].is_punct(open) {
+            depth += 1;
+        } else if toks[k].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Whether the attribute group opening at `bracket` (`#` is at
+/// `bracket - 1`) mentions both `cfg` and `test` — `#[cfg(test)]` in
+/// any spelling — or is a bare `#[test]`.
+fn attr_is_test(toks: &[Tok], bracket: usize) -> (bool, usize) {
+    let end = balanced(toks, bracket, '[', ']');
+    let body = &toks[bracket + 1..end];
+    let has = |s: &str| body.iter().any(|t| t.is_ident(s));
+    let is_test = (has("cfg") && has("test")) || (body.len() == 1 && body[0].is_ident("test"));
+    (is_test, end)
+}
+
+/// Scans forward over consecutive `#[…]` attribute groups starting at
+/// `i`; returns (first index past the attributes, whether any was a
+/// test attribute).
+fn skip_attrs(toks: &[Tok], mut i: usize) -> (usize, bool) {
+    let mut test = false;
+    while i + 1 < toks.len() && toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
+        let (is_test, end) = attr_is_test(toks, i + 1);
+        test |= is_test;
+        i = end + 1;
+    }
+    (i, test)
+}
+
+/// Whether the item/arm starting at `start` is preceded by a test
+/// attribute (scanning backward over `#[…]` groups).
+fn has_test_attr_before(toks: &[Tok], start: usize) -> bool {
+    let mut k = start;
+    while k >= 2 && toks[k - 1].is_punct(']') {
+        // Walk back to the matching `[`.
+        let mut depth = 0i32;
+        let mut j = k - 1;
+        loop {
+            if toks[j].is_punct(']') {
+                depth += 1;
+            } else if toks[j].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+        if j == 0 || !toks[j - 1].is_punct('#') {
+            return false;
+        }
+        if attr_is_test(toks, j).0 {
+            return true;
+        }
+        k = j - 1;
+    }
+    false
+}
+
+/// Parses the token stream of one file into its item tree.
+pub fn parse(toks: &[Tok]) -> FileTree {
+    let mut tree = FileTree {
+        test_ranges: cfg_test_ranges(toks),
+        ..FileTree::default()
+    };
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            if let Some((def, next)) = parse_fn(toks, i) {
+                tree.fns.push(def);
+                // Do not skip the body: nested fns/matches inside it
+                // must still be discovered.
+                i = next;
+                continue;
+            }
+        } else if toks[i].is_ident("enum") {
+            if let Some((def, next)) = parse_enum(toks, i) {
+                tree.enums.push(def);
+                i = next;
+                continue;
+            }
+        } else if toks[i].is_ident("match") {
+            if let Some(site) = parse_match(toks, i) {
+                tree.matches.push(site);
+                // Continue scanning *inside* the match for nested sites.
+            }
+        }
+        i += 1;
+    }
+    tree
+}
+
+/// Parses a `fn` item starting at the `fn` keyword; returns the def and
+/// the index to resume scanning from (just past the body's opening
+/// brace, so nested items are still visited).
+fn parse_fn(toks: &[Tok], kw: usize) -> Option<(FnDef, usize)> {
+    let name_tok = toks.get(kw + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn(` pointer type or `Fn` trait sugar
+    }
+    // Signature: scan to the body `{` at group depth 0. A `;` first
+    // means a bodyless trait/extern declaration — not a graph node.
+    let mut depth = 0i32;
+    let mut j = kw + 2;
+    let open = loop {
+        let t = toks.get(j)?;
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('{') {
+            break j;
+        } else if depth == 0 && t.is_punct(';') {
+            return None;
+        }
+        j += 1;
+    };
+    let close = balanced(toks, open, '{', '}');
+    Some((
+        FnDef {
+            name: name_tok.text.clone(),
+            line: toks[kw].line,
+            body: (open, close),
+            is_test: has_test_attr_before(toks, kw),
+        },
+        open + 1,
+    ))
+}
+
+/// Parses an `enum` item starting at the `enum` keyword.
+fn parse_enum(toks: &[Tok], kw: usize) -> Option<(EnumDef, usize)> {
+    let name_tok = toks.get(kw + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    // Skip generics/where to the body `{`; a `;` first would be
+    // something else entirely.
+    let mut j = kw + 2;
+    let open = loop {
+        let t = toks.get(j)?;
+        if t.is_punct('{') {
+            break j;
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+        j += 1;
+    };
+    let close = balanced(toks, open, '{', '}');
+    let mut variants = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let (past_attrs, cfg_test) = skip_attrs(toks, k);
+        k = past_attrs;
+        if k >= close || toks[k].kind != TokKind::Ident {
+            break;
+        }
+        let name = toks[k].text.clone();
+        let line = toks[k].line;
+        let mut has_reply = false;
+        k += 1;
+        if k < close && toks[k].is_punct('(') {
+            k = balanced(toks, k, '(', ')') + 1;
+        } else if k < close && toks[k].is_punct('{') {
+            let end = balanced(toks, k, '{', '}');
+            has_reply = toks[k..end]
+                .windows(2)
+                .any(|w| w[0].is_ident("reply") && w[1].is_punct(':'));
+            k = end + 1;
+        }
+        // Skip a `= discriminant` expression to the variant separator.
+        while k < close && !toks[k].is_punct(',') {
+            if toks[k].is_punct('(') {
+                k = balanced(toks, k, '(', ')');
+            } else if toks[k].is_punct('{') {
+                k = balanced(toks, k, '{', '}');
+            }
+            k += 1;
+        }
+        variants.push(EnumVariant {
+            name,
+            line,
+            cfg_test,
+            has_reply,
+        });
+        k += 1; // past the `,`
+    }
+    Some((
+        EnumDef {
+            name: name_tok.text.clone(),
+            line: toks[kw].line,
+            variants,
+        },
+        close + 1,
+    ))
+}
+
+/// Parses a `match` expression starting at the `match` keyword.
+fn parse_match(toks: &[Tok], kw: usize) -> Option<MatchSite> {
+    // Scrutinee: everything to the body `{` at group depth 0. (A bare
+    // struct literal is not legal in scrutinee position, so the first
+    // depth-0 `{` is the match body.)
+    let mut depth = 0i32;
+    let mut j = kw + 1;
+    let open = loop {
+        let t = toks.get(j)?;
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('{') {
+            break j;
+        } else if depth == 0 && t.is_punct(';') {
+            return None; // `match` used as an identifier-ish fragment
+        }
+        j += 1;
+    };
+    if open == kw + 1 {
+        return None; // no scrutinee: not a match expression
+    }
+    let close = balanced(toks, open, '{', '}');
+    let mut arms = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let (past_attrs, cfg_test) = skip_attrs(toks, k);
+        k = past_attrs;
+        if k >= close {
+            break;
+        }
+        let pat_start = k;
+        // Pattern (guard included): scan to `=>` at group depth 0.
+        let mut depth = 0i32;
+        let arrow = loop {
+            if k >= close {
+                break None;
+            }
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct('=')
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('>'))
+            {
+                break Some(k);
+            }
+            k += 1;
+        };
+        let Some(arrow) = arrow else { break };
+        let body_start = arrow + 2;
+        if body_start >= close {
+            break;
+        }
+        let body_end; // exclusive
+        if toks[body_start].is_punct('{') {
+            let end = balanced(toks, body_start, '{', '}');
+            body_end = end + 1;
+            k = body_end;
+            if k < close && toks[k].is_punct(',') {
+                k += 1;
+            }
+        } else {
+            // Expression body: scan to `,` at group depth 0, or the
+            // match's closing brace.
+            let mut depth = 0i32;
+            let mut e = body_start;
+            while e < close {
+                let t = &toks[e];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(',') {
+                    break;
+                }
+                e += 1;
+            }
+            body_end = e;
+            k = if e < close { e + 1 } else { close };
+        }
+        arms.push(MatchArm {
+            line: toks[pat_start].line,
+            cfg_test: cfg_test || has_test_attr_before(toks, pat_start),
+            pat: (pat_start, arrow),
+            body: (body_start, body_end),
+        });
+    }
+    Some(MatchSite {
+        line: toks[kw].line,
+        scrutinee: (kw + 1, open),
+        arms,
+    })
+}
+
+/// Token index ranges (inclusive) gated behind `#[cfg(test)]`.
+///
+/// Generalizes the v1 `mod tests { … }` detection: after a test
+/// attribute (plus any further attribute groups), the range extends to
+/// the end of the next balanced `{ … }` group at depth 0, or to the
+/// first depth-0 `,` or `;` — whichever comes first. That covers
+/// attributed modules, fns, impls, enum variants, *and* match arms
+/// (`#[cfg(test)] Request::InjectPanic => panic!(…),`).
+pub fn cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(toks[i].is_punct('#') && toks[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let (start_is_test, mut end) = attr_is_test(toks, i + 1);
+        let start = i;
+        let mut is_test = start_is_test;
+        // Coalesce the whole attribute run.
+        let mut j = end + 1;
+        while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+            let (t, e) = attr_is_test(toks, j + 1);
+            is_test |= t;
+            end = e;
+            j = e + 1;
+        }
+        if !is_test {
+            i = end + 1;
+            continue;
+        }
+        // Extent of the attributed thing.
+        let mut depth = 0i32;
+        let mut k = end + 1;
+        let mut stop = toks.len().saturating_sub(1);
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                stop = balanced(toks, k, '{', '}');
+                break;
+            } else if depth == 0 && (t.is_punct(',') || t.is_punct(';')) {
+                stop = k;
+                break;
+            }
+            k += 1;
+        }
+        ranges.push((start, stop));
+        i = stop + 1;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> FileTree {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn fns_nested_and_test_attributed() {
+        let src = r#"
+pub fn outer(x: u32) -> u32 {
+    fn inner(y: u32) -> u32 { y + 1 }
+    inner(x)
+}
+#[test]
+fn check() { assert_eq!(outer(1), 2); }
+trait T { fn sig_only(&self); }
+type F = fn(u32) -> u32;
+"#;
+        let t = tree(src);
+        let names: Vec<&str> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "check"], "{:?}", t.fns);
+        assert!(!t.fns[0].is_test);
+        assert!(t.fns[2].is_test);
+    }
+
+    #[test]
+    fn enum_variants_with_reply_and_cfg_test() {
+        let src = r#"
+pub enum Msg {
+    Epoch(u64),
+    Ingest { epoch: u64, ops: Vec<u8>, reply: Sender<Ack> },
+    Query { q: Q, reply: Sender<R> },
+    #[cfg(test)]
+    InjectPanic,
+    Shutdown,
+}
+"#;
+        let t = tree(src);
+        assert_eq!(t.enums.len(), 1);
+        let e = &t.enums[0];
+        assert_eq!(e.name, "Msg");
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["Epoch", "Ingest", "Query", "InjectPanic", "Shutdown"]
+        );
+        assert!(!e.variants[0].has_reply);
+        assert!(e.variants[1].has_reply && e.variants[2].has_reply);
+        assert!(e.variants[3].cfg_test && !e.variants[4].cfg_test);
+    }
+
+    #[test]
+    fn match_arms_with_blocks_guards_and_cfg_test() {
+        let src = r#"
+fn dispatch(m: Msg) -> u32 {
+    match m {
+        Msg::Epoch(e) if e > 0 => { bump(e); 1 }
+        Msg::Ingest { epoch, reply, .. } => reply.send(epoch).map(|_| 2).unwrap_or(0),
+        #[cfg(test)]
+        Msg::InjectPanic => panic!("injected"),
+        other => match other { _ => 0 },
+    }
+}
+"#;
+        let t = tree(src);
+        assert_eq!(t.matches.len(), 2, "outer + nested");
+        let outer = &t.matches[0];
+        assert_eq!(outer.arms.len(), 4, "{outer:#?}");
+        assert!(outer.arms[2].cfg_test);
+        assert!(!outer.arms[1].cfg_test);
+        // The nested match is its own site with one arm.
+        assert_eq!(t.matches[1].arms.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_mods_fns_and_arms() {
+        let src = r#"
+fn live() { helper(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { live(); }
+}
+fn dispatch(m: M) {
+    match m {
+        M::A => go(),
+        #[cfg(test)]
+        M::Boom => panic!("test only"),
+    }
+}
+"#;
+        let toks = lex(src).tokens;
+        let t = parse(&toks);
+        let panic_idx = toks.iter().position(|t| t.is_ident("panic")).unwrap();
+        assert!(t.in_test(panic_idx), "cfg(test) arm covered");
+        let live_idx = toks.iter().position(|t| t.is_ident("helper")).unwrap();
+        assert!(!t.in_test(live_idx));
+        let inner_t = toks.iter().rposition(|t| t.is_ident("live")).unwrap();
+        assert!(t.in_test(inner_t), "test mod contents covered");
+    }
+
+    #[test]
+    fn malformed_input_degrades_without_panicking() {
+        for src in [
+            "fn",
+            "fn {",
+            "enum",
+            "enum E {",
+            "match",
+            "match x",
+            "match x { A =>",
+            "fn f( { }",
+            "#[cfg(test)]",
+            "} } fn g() { match { } }",
+        ] {
+            let _ = tree(src);
+        }
+    }
+}

@@ -162,6 +162,82 @@ fn binary_flags_planted_violation_then_passes_after_fix() {
 }
 
 #[test]
+fn binary_flags_stale_match_when_protocol_enum_gains_a_variant() {
+    // The v2 acceptance scenario end-to-end: a protocol enum grows a
+    // `Drain` variant, the worker's match does not, and the binary
+    // fails with a C2 finding at the match line. Teaching the worker
+    // about the new variant turns the run green again.
+    let stale = concat!(
+        "// detlint: contract = deterministic\n",
+        "#![forbid(unsafe_code)]\n",
+        "// detlint: protocol\n",
+        "pub enum Msg {\n",
+        "    Go(u32),\n",
+        "    Stop,\n",
+        "    Drain,\n",
+        "}\n",
+        "pub fn run(m: Msg) -> u32 {\n",
+        "    match m {\n",
+        "        Msg::Go(n) => n,\n",
+        "        Msg::Stop => 0,\n",
+        "    }\n",
+        "}\n"
+    );
+    let root = std::env::temp_dir().join(format!("detlint-e2e-c2-{}", std::process::id()));
+    let src = root.join("crates/socsense-serve/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(src.join("lib.rs"), stale).unwrap();
+
+    let out = detlint(&root, "json");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stale protocol match must fail the run; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json: Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let findings = field(&json, "findings").as_array().unwrap().clone();
+    let c2: Vec<&Value> = findings
+        .iter()
+        .filter(|f| field(f, "rule").as_str() == Some("C2") && !as_bool(field(f, "suppressed")))
+        .collect();
+    assert_eq!(c2.len(), 1, "exactly one C2 finding: {findings:#?}");
+    assert_eq!(
+        field(c2[0], "file").as_str(),
+        Some("crates/socsense-serve/src/lib.rs")
+    );
+    assert_eq!(
+        field(c2[0], "line").as_f64(),
+        Some(10.0),
+        "fires on the `match` line"
+    );
+    assert!(
+        field(c2[0], "message")
+            .as_str()
+            .unwrap()
+            .contains("Msg::Drain"),
+        "message names the missing variant"
+    );
+
+    let fixed = stale.replace(
+        "        Msg::Stop => 0,\n",
+        "        Msg::Stop => 0,\n        Msg::Drain => 0,\n",
+    );
+    std::fs::write(src.join("lib.rs"), fixed).unwrap();
+    let out = detlint(&root, "text");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "covering the new variant passes; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn binary_accepts_justified_suppression_but_rejects_empty_one() {
     let justified = concat!(
         "// detlint: contract = deterministic\n",

@@ -215,6 +215,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "large sweep is too slow under Miri; the smaller thread tests still run"
+    )]
     fn all_parallelism_levels_are_bit_identical() {
         for len in [0, 1, 7, 64, 65, 1000, 4099] {
             let serial = order_sensitive_sum(Parallelism::Serial, len);

@@ -137,6 +137,13 @@ pub enum ServeError {
     /// state may be ahead of disk once this is returned; treat the
     /// `data_dir` as suspect.
     Persist(String),
+    /// A sharded ingest epoch failed after the WAL append but before
+    /// the shard fan-out completed (for example over a corrupt
+    /// per-cluster history segment), so the shards are missing that
+    /// epoch's operations. The router refuses every further request
+    /// with the original failure rather than serve from silently
+    /// incomplete state; restart the service to rebuild from the WAL.
+    Wedged(String),
 }
 
 impl fmt::Display for ServeError {
@@ -148,6 +155,11 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "query service queue is full"),
             ServeError::WorkerPanicked(what) => write!(f, "service worker panicked: {what}"),
             ServeError::Persist(what) => write!(f, "durability failure: {what}"),
+            ServeError::Wedged(what) => write!(
+                f,
+                "service is wedged by an earlier ingest failure ({what}); \
+                 restart to rebuild from the WAL"
+            ),
         }
     }
 }

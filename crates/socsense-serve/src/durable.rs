@@ -389,6 +389,82 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Flips one interior line of `key`'s segment to non-JSON garbage,
+    /// leaving the final line (the torn-tail slot) intact.
+    fn corrupt_interior_line(dir: &Path, key: u32) {
+        let path = HistoryBackend::segment(dir, key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines.len() >= 2,
+            "need an interior line to corrupt, got {} line(s)",
+            lines.len()
+        );
+        let victim = lines.len() / 2 - lines.len().is_multiple_of(2) as usize;
+        lines[victim] = "{\"epoch\":garbage";
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    }
+
+    #[test]
+    fn interior_segment_corruption_is_loud_never_a_silent_truncation() {
+        let dir = tmp_dir("interior");
+        let mut disk = HistoryBackend::disk(&dir).unwrap();
+        disk.append(5, &entries_of(1, 2)).unwrap();
+        disk.append(5, &entries_of(2, 2)).unwrap();
+        corrupt_interior_line(&dir, 5);
+
+        // Every access path must refuse: returning the readable prefix
+        // would silently drop claims from the rebuild replay source.
+        let err = disk.read(5).unwrap_err().to_string();
+        assert!(
+            err.contains("corrupt"),
+            "read error names corruption: {err}"
+        );
+        assert!(
+            err.contains("cluster-0000000005.jsonl"),
+            "read error names the segment: {err}"
+        );
+        let err = disk.remove(5).unwrap_err().to_string();
+        assert!(err.contains("corrupt"), "remove error: {err}");
+        assert!(
+            HistoryBackend::segment(&dir, 5).exists(),
+            "a failed remove must leave the evidence on disk"
+        );
+        let err = disk.merge(5, entries_of(9, 1)).unwrap_err().to_string();
+        assert!(err.contains("corrupt"), "merge error: {err}");
+
+        // Other clusters stay readable.
+        disk.append(6, &entries_of(3, 1)).unwrap();
+        assert_eq!(disk.read(6).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_segment_line_is_dropped_but_interior_tear_is_not() {
+        let dir = tmp_dir("torn");
+        let mut disk = HistoryBackend::disk(&dir).unwrap();
+        disk.append(5, &entries_of(1, 3)).unwrap();
+        let path = HistoryBackend::segment(&dir, 5);
+
+        // Chop the final line mid-record: the crash-mid-append
+        // signature. Recovery semantics allow dropping exactly that.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 8]).unwrap();
+        assert_eq!(
+            disk.read(5).unwrap().len(),
+            2,
+            "torn tail drops only the final record"
+        );
+
+        // The same tear *inside* the file (a missing newline splices
+        // two records) is interior corruption and must be loud.
+        let spliced = text.replacen('\n', "", 1);
+        std::fs::write(&path, spliced).unwrap();
+        let err = disk.read(5).unwrap_err().to_string();
+        assert!(err.contains("corrupt"), "spliced records are loud: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn wipe_drops_every_segment() {
         let dir = tmp_dir("wipe");

@@ -40,7 +40,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use socsense_core::{
-    exact_bound, BoundResult, ClusterTracker, SenseError, SourceParams, StreamingEstimator,
+    exact_bound, BoundResult, ClusterTracker, ClusterUpdate, SenseError, SourceParams,
+    StreamingEstimator,
 };
 use socsense_graph::{FollowerGraph, TimedClaim};
 use socsense_obs::{Obs, Recorder, Tee};
@@ -232,7 +233,7 @@ impl ShardedService {
             let handle = std::thread::Builder::new()
                 .name(format!("socsense-shard-{i}"))
                 .spawn(move || worker.run(rx))
-                // detlint: allow(D5) -- construction-time: no client exists yet, so a failed spawn panics the caller, not a worker others wait on
+                // detlint: allow(P1) -- construction-time: no client exists yet, so a failed spawn panics the caller, not a worker others wait on
                 .expect("spawning a shard worker thread");
             shard_tx.push(tx);
             shard_depth.push(depth);
@@ -262,6 +263,7 @@ impl ShardedService {
             obs,
             depth: router_depth,
             durable: None,
+            wedged: None,
         };
         // Recovery runs here, on the caller thread, with the shards
         // already live (they receive the snapshot's cluster states and
@@ -275,7 +277,7 @@ impl ShardedService {
         let router = std::thread::Builder::new()
             .name("socsense-router".into())
             .spawn(move || router.run(rx))
-            // detlint: allow(D5) -- construction-time: no client exists yet, so a failed spawn panics the caller, not a worker others wait on
+            // detlint: allow(P1) -- construction-time: no client exists yet, so a failed spawn panics the caller, not a worker others wait on
             .expect("spawning the router thread");
         Ok(Self {
             tx,
@@ -363,6 +365,12 @@ struct Router {
     depth: Arc<AtomicUsize>,
     /// Durability engine, when [`ServeConfig::persist`] is set.
     durable: Option<DurableLog>,
+    /// Set when an ingest epoch failed after the WAL append but before
+    /// the shard fan-out completed: the shards are missing that
+    /// epoch's cluster operations, so every later request fails fast
+    /// with this message instead of serving silently incomplete state.
+    /// A restart clears the wedge by rebuilding from the WAL.
+    wedged: Option<String>,
 }
 
 impl Router {
@@ -438,6 +446,9 @@ impl Router {
     }
 
     fn dispatch(&mut self, req: Request) -> Result<Response, ServeError> {
+        if let Some(why) = &self.wedged {
+            return Err(ServeError::Wedged(why.clone()));
+        }
         match req {
             Request::Ingest(batch) => self.ingest(batch),
             Request::Posterior(j) => self.posterior(j),
@@ -476,19 +487,78 @@ impl Router {
         // epoch does not advance.
         let update = self.tracker.ingest(&batch)?;
         self.epoch += 1;
+        // Everything between the epoch advance and the drain barrier
+        // must either complete or wedge the router: a failure in here
+        // (a corrupt history segment, a dead WAL) means the shards
+        // never received this epoch's cluster operations, so carrying
+        // on would serve from silently incomplete state — exactly the
+        // truncation-without-telling-anyone failure the durability
+        // layer exists to rule out. On failure the router broadcasts
+        // bare epoch markers (keeping the fleet's epochs aligned so
+        // the drain protocol still works), records the wedge, and
+        // fails every later request fast until a restart rebuilds the
+        // histories from the WAL.
+        let returns = match self.commit_batch(&batch, &update, log) {
+            Ok(returns) => returns,
+            Err(e) => {
+                self.wedged = Some(e.to_string());
+                self.obs.counter("serve.router.wedged_total", 1);
+                let _ = self.dispatch_ops(BTreeMap::new());
+                return Err(e);
+            }
+        };
+        let mut refitted = false;
+        let mut first_error: Option<SenseError> = None;
+        for ret in returns {
+            for ack in ret.payload? {
+                if let Some(rc) = self.recorded.get_mut(&ack.key) {
+                    rc.pending = ack.pending;
+                }
+                refitted |= ack.refitted;
+                if first_error.is_none() {
+                    first_error = ack.error;
+                }
+            }
+        }
+        if log {
+            self.maybe_snapshot()?;
+        }
+        // Mirror the unsharded service: a failed eager refit surfaces as
+        // an error, but the claims stay ingested.
+        if let Some(e) = first_error {
+            return Err(ServeError::Sense(e));
+        }
+        Ok(Response::Ingested(IngestAck {
+            total_claims: self.total_claims,
+            pending_claims: self.recorded.values().map(|rc| rc.pending).sum(),
+            refitted,
+        }))
+    }
+
+    /// The wedge-guarded half of one ingest epoch: WAL append, history
+    /// advance, cluster-operation build (including history reads for
+    /// rebuilds), and the shard fan-out. Runs with the epoch already
+    /// advanced; [`Router::ingest_impl`] wedges the router if any step
+    /// fails.
+    fn commit_batch(
+        &mut self,
+        batch: &[TimedClaim],
+        update: &ClusterUpdate,
+        log: bool,
+    ) -> Result<Vec<ShardReturn<Vec<ClusterAck>>>, ServeError> {
         // Log the accepted batch before the fan-out and the ack — with
         // `fsync_every = 1`, an acked batch is on disk.
         if log && self.durable.is_some() {
             let epoch = self.epoch;
             let obs = self.obs.clone();
             if let Some(d) = &mut self.durable {
-                d.append(epoch, &batch, &obs)?;
+                d.append(epoch, batch, &obs)?;
             }
         }
         self.total_claims += batch.len();
         self.obs.gauge("serve.router.epoch", self.epoch as f64);
 
-        let (per_key, merged_into) = self.advance_history(self.epoch, &batch, &update.removed)?;
+        let (per_key, merged_into) = self.advance_history(self.epoch, batch, &update.removed)?;
 
         // Cluster operations, grouped per shard in ascending key order.
         let mut ops: BTreeMap<usize, Vec<ClusterOp>> = BTreeMap::new();
@@ -544,33 +614,7 @@ impl Router {
         self.obs
             .gauge("serve.router.clusters", self.recorded.len() as f64);
 
-        let returns = self.dispatch_ops(ops)?;
-        let mut refitted = false;
-        let mut first_error: Option<SenseError> = None;
-        for ret in returns {
-            for ack in ret.payload? {
-                if let Some(rc) = self.recorded.get_mut(&ack.key) {
-                    rc.pending = ack.pending;
-                }
-                refitted |= ack.refitted;
-                if first_error.is_none() {
-                    first_error = ack.error;
-                }
-            }
-        }
-        if log {
-            self.maybe_snapshot()?;
-        }
-        // Mirror the unsharded service: a failed eager refit surfaces as
-        // an error, but the claims stay ingested.
-        if let Some(e) = first_error {
-            return Err(ServeError::Sense(e));
-        }
-        Ok(Response::Ingested(IngestAck {
-            total_claims: self.total_claims,
-            pending_claims: self.recorded.values().map(|rc| rc.pending).sum(),
-            refitted,
-        }))
+        self.dispatch_ops(ops)
     }
 
     /// Applies one batch's history consequences: clusters merged away

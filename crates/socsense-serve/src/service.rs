@@ -34,6 +34,7 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// A typed request, one per client call. Shared verbatim by the
 /// unsharded worker and the sharded router, so both backends present
 /// the same client surface.
+// detlint: protocol
 pub(crate) enum Request {
     Ingest(Vec<TimedClaim>),
     Posterior(u32),
@@ -182,7 +183,7 @@ impl ServeHandle {
                 // detlint: allow(D2) -- observation-only queue timestamp (test helper)
                 queued: Instant::now(),
             })
-            // detlint: allow(D5) -- test-only helper: a refused send is a broken test setup, so panicking is the honest failure
+            // detlint: allow(P1) -- test-only helper: a refused send is a broken test setup, so panicking is the honest failure
             .expect("service accepts the raw envelope");
         rx
     }
@@ -377,7 +378,7 @@ impl QueryService {
         let worker = std::thread::Builder::new()
             .name("socsense-serve".into())
             .spawn(move || worker.run(rx))
-            // detlint: allow(D5) -- construction-time: no client exists yet, so a failed spawn panics the caller, not a worker others wait on
+            // detlint: allow(P1) -- construction-time: no client exists yet, so a failed spawn panics the caller, not a worker others wait on
             .expect("spawning the service worker thread");
         Ok(Self {
             tx,

@@ -30,6 +30,7 @@ use crate::durable::ClusterSnapshot;
 /// A message from the router to one shard. FIFO delivery per shard is
 /// the consistency mechanism: an epoch marker or ingest enqueued before
 /// a query is always applied before it.
+// detlint: protocol
 pub(crate) enum ShardMsg {
     /// Epoch advance with no work for this shard.
     Epoch(u64),
@@ -57,6 +58,7 @@ pub(crate) struct ShardReturn<T> {
 }
 
 /// One cluster operation within an ingest batch.
+// detlint: protocol
 pub(crate) enum ClusterOp {
     /// Create — or rebuild after membership growth / a merge — the
     /// cluster's full state by replaying its batch history (global-id
@@ -91,6 +93,7 @@ pub(crate) struct ClusterAck {
 }
 
 /// A query forwarded to one shard.
+// detlint: protocol
 pub(crate) enum ShardQuery {
     /// Posterior of one global assertion owned by cluster `key`.
     Posterior { key: u32, assertion: u32 },

@@ -1,0 +1,163 @@
+//! Interior corruption of a router history segment
+//! (`<data_dir>/clusters/cluster-<key>.jsonl`) must surface as a loud
+//! `Corrupt` error on the live serve path — never as a silent
+//! truncation that rebuilds a cluster from a partial claim history.
+//!
+//! The segments are a cache of the WAL (recovery wipes and re-derives
+//! them), so the second half of the contract is that a *restart* over
+//! the same data directory heals: the corrupt segment is discarded,
+//! the history is rebuilt from the WAL, and the recovered service is
+//! bit-identical to a control that never saw the corruption.
+
+use std::path::{Path, PathBuf};
+
+use socsense_graph::{FollowerGraph, TimedClaim};
+use socsense_serve::{PersistConfig, ServeConfig, ShardedService};
+
+const N: u32 = 4;
+const M: u32 = 4;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("socsense-histcor-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn persisted(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        persist: Some(PersistConfig {
+            data_dir: dir.to_path_buf(),
+            fsync_every: 1,
+            snapshot_every: 0,
+        }),
+        ..ServeConfig::default()
+    }
+}
+
+/// Three claims by source 0 on assertion 0: one cluster, three history
+/// lines in its segment.
+fn seed_batch() -> Vec<TimedClaim> {
+    (0..3).map(|t| TimedClaim::new(0, 0, t + 1)).collect()
+}
+
+/// Source 1 joins the cluster: membership grows, so the router must
+/// rebuild the cluster's estimator from its full claim history.
+fn growth_batch() -> Vec<TimedClaim> {
+    vec![TimedClaim::new(1, 0, 10)]
+}
+
+/// Corrupts the middle line of the single cluster segment under `dir`
+/// and returns the segment path.
+fn corrupt_only_segment(dir: &Path) -> PathBuf {
+    let clusters = dir.join("clusters");
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&clusters)
+        .expect("clusters dir exists after first ingest")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    segments.sort();
+    assert_eq!(
+        segments.len(),
+        1,
+        "seed batch forms one cluster: {segments:?}"
+    );
+    let path = segments.remove(0);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() >= 3,
+        "expected 3 history lines, got {}",
+        lines.len()
+    );
+    lines[1] = "{\"epoch\":not-json";
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    path
+}
+
+#[test]
+fn corrupt_segment_fails_the_rebuild_loudly_and_restart_heals_it() {
+    let dir = tmp_dir("live");
+    let graph = FollowerGraph::new(N);
+
+    let service = ShardedService::spawn(N, M, graph.clone(), persisted(&dir), 2).unwrap();
+    let client = service.handle();
+    client.ingest(seed_batch()).unwrap();
+    let segment = corrupt_only_segment(&dir);
+
+    // The growth batch forces a rebuild of the corrupted cluster; the
+    // router reads the segment, hits the garbage line, and must refuse
+    // rather than rebuild from the readable prefix.
+    let err = client.ingest(growth_batch()).unwrap_err().to_string();
+    assert!(
+        err.contains("corrupt"),
+        "rebuild over a corrupt segment is loud: {err}"
+    );
+    assert!(
+        err.contains("line 2"),
+        "the error pinpoints the corrupt line: {err}"
+    );
+    assert!(
+        segment.exists(),
+        "the failed read leaves the corrupt segment as evidence"
+    );
+
+    // The router is now wedged: the failed epoch's cluster operations
+    // never reached the shards, so every further request fails fast
+    // with the original error instead of serving incomplete state.
+    let err = client.posteriors().unwrap_err().to_string();
+    assert!(
+        err.contains("wedged"),
+        "queries fail fast when wedged: {err}"
+    );
+    assert!(err.contains("corrupt"), "the wedge names its cause: {err}");
+    let err = client.ingest(growth_batch()).unwrap_err().to_string();
+    assert!(
+        err.contains("wedged"),
+        "ingests fail fast when wedged: {err}"
+    );
+
+    // Graceful shutdown still drains and joins the shards.
+    service.shutdown().unwrap();
+
+    // Restart over the same directory: recovery wipes the segments and
+    // replays the WAL — which logged the growth batch before the
+    // rebuild failed — so the recovered service matches a control that
+    // ingested both batches without ever touching disk.
+    let recovered = ShardedService::spawn(N, M, graph.clone(), persisted(&dir), 2).unwrap();
+    let control = ShardedService::spawn(N, M, graph, ServeConfig::default(), 2).unwrap();
+    let control_client = control.handle();
+    control_client.ingest(seed_batch()).unwrap();
+    control_client.ingest(growth_batch()).unwrap();
+
+    let recovered_client = recovered.handle();
+    let got: Vec<u64> = recovered_client
+        .posteriors()
+        .unwrap()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    let want: Vec<u64> = control_client
+        .posteriors()
+        .unwrap()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    assert_eq!(got, want, "recovery rebuilt the history from the WAL");
+
+    // And the healed service keeps serving: another growth ingest now
+    // reads a freshly rebuilt segment.
+    recovered_client
+        .ingest(vec![TimedClaim::new(2, 0, 20)])
+        .unwrap();
+    control_client
+        .ingest(vec![TimedClaim::new(2, 0, 20)])
+        .unwrap();
+    assert_eq!(
+        recovered_client.posterior(0).unwrap().to_bits(),
+        control_client.posterior(0).unwrap().to_bits()
+    );
+
+    recovered.shutdown().unwrap();
+    control.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_lint.json: detlint full-workspace scan throughput
+# (lex + tree parse + per-file rules + the workspace-aware flow pass)
+# behind the lint-throughput and lint-clean gates. Run from the repo
+# root.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_lint.json}"
+mkdir -p "$(dirname "$out")"
+cargo run --release -p socsense-lint --bin bench_lint -- "$out"

@@ -19,7 +19,8 @@ if [ -f "$dir/BENCH_parallel.json" ]; then
 fi
 for f in "$dir"/BENCH_parallel.json "$dir"/BENCH_ingest.json \
          "$dir"/BENCH_serve.json "$dir"/BENCH_delta.json \
-         "$dir"/BENCH_wal.json "$dir"/BENCH_discover.json; do
+         "$dir"/BENCH_wal.json "$dir"/BENCH_discover.json \
+         "$dir"/BENCH_lint.json; do
     [ -f "$f" ] || continue
     warning=$(python3 -c 'import json,sys;print(json.load(open(sys.argv[1])).get("warning",""))' "$f")
     if [ -n "$warning" ]; then
